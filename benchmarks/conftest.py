@@ -1,0 +1,45 @@
+"""Shared fixtures for the experiment benchmarks (E1-E14, see DESIGN.md).
+
+Each benchmark regenerates one of the paper's tables/figures/theorem
+audits and prints the rows through the ``report`` fixture (bypassing
+pytest's capture so ``pytest benchmarks/ --benchmark-only | tee ...``
+records them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Print a table to the real terminal and archive it under
+    benchmarks/results/<test_name>.txt."""
+    chunks: list[str] = []
+
+    def _report(rows, columns=None, title=""):
+        text = format_table(rows, columns, title)
+        chunks.append(text)
+        with capsys.disabled():
+            print("\n" + text)
+
+    yield _report
+
+    if chunks:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text("\n\n".join(chunks) + "\n")
+
+
+def measured_load(result) -> int:
+    """Max per-node routed payload bits — the exponent-bearing load."""
+    return max(
+        result.max_counter("route_payload_in_bits"),
+        result.max_counter("route_payload_out_bits"),
+    )

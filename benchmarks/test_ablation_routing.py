@@ -1,0 +1,87 @@
+"""Ablation — routing scheme and bandwidth choices (DESIGN.md §5.8).
+
+Two design choices the library makes are isolated here:
+
+* **router scheme**: the default ``lenzen`` cost model vs the executable
+  ``relay`` store-and-forward vs naive ``direct`` per-link chunking, on
+  the Theorem 9 workload (all schemes must produce identical results;
+  the cost model matches the theorem's bound, direct pays for skew),
+* **bandwidth multiplier**: the model folds constant bandwidth factors
+  into the running time — doubling B should roughly halve data rounds.
+"""
+
+from conftest import measured_load
+
+from repro.algorithms import k_dominating_set, triangle_detection
+from repro.clique import run_algorithm
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def router_ablation() -> list[dict]:
+    rows = []
+    g = gen.random_graph(64, 0.2, seed=5)
+    want = None
+    for scheme in ("lenzen", "relay", "direct"):
+        def prog(node, scheme=scheme):
+            return (yield from k_dominating_set(node, 2, scheme=scheme))
+
+        result = run_algorithm(prog, g, bandwidth_multiplier=2)
+        found, witness = result.common_output()
+        if want is None:
+            want = found
+        rows.append(
+            {
+                "scheme": scheme,
+                "n": 64,
+                "rounds": result.rounds,
+                "bulk channel bits": result.bulk_bits,
+                "checked message bits": result.total_message_bits,
+                "decision": found,
+                "agrees": found == want,
+            }
+        )
+    return rows
+
+
+def bandwidth_ablation() -> list[dict]:
+    rows = []
+    g = gen.random_graph(64, 0.15, seed=9)
+    for mult in (2, 4, 8):
+        def prog(node):
+            return (yield from triangle_detection(node))
+
+        result = run_algorithm(prog, g, bandwidth_multiplier=mult)
+        found, _ = result.common_output()
+        rows.append(
+            {
+                "bandwidth multiplier": mult,
+                "B (bits/link/round)": mult * 6,
+                "rounds": result.rounds,
+                "correct": found == ref.has_triangle(g),
+            }
+        )
+    return rows
+
+
+def test_ablation_routing(benchmark, report):
+    routers = benchmark.pedantic(router_ablation, rounds=1, iterations=1)
+    bandwidth = bandwidth_ablation()
+
+    report(routers, title="Ablation - router scheme on Theorem 9's workload")
+    report(bandwidth, title="Ablation - bandwidth multiplier on triangle detection")
+
+    assert all(r["agrees"] for r in routers)
+    assert all(r["correct"] for r in bandwidth)
+    # cost model charges fewer or equal rounds than executable schemes
+    by_scheme = {r["scheme"]: r["rounds"] for r in routers}
+    assert by_scheme["lenzen"] <= by_scheme["relay"]
+    assert by_scheme["lenzen"] <= by_scheme["direct"]
+    # only the cost model uses the bulk channel
+    assert all(
+        (r["scheme"] == "lenzen") == (r["bulk channel bits"] > 0)
+        for r in routers
+    )
+    # more bandwidth, fewer (or equal) rounds
+    rounds = [r["rounds"] for r in bandwidth]
+    assert rounds[0] >= rounds[1] >= rounds[2]

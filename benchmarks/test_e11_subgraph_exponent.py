@@ -1,0 +1,109 @@
+"""E11 — the Dolev et al. subgraph-detection bounds used by Figure 1.
+
+Load scaling for triangle detection (= 3-IS detection = size-3
+subgraph) and 4-IS / 4-cycle detection; fitted exponents against the
+``1 - 2/k`` family (busiest-node payload = n^(2-2/k) bits, implied
+delta = slope - 1).
+"""
+
+from conftest import measured_load
+
+from repro.algorithms import (
+    k_cycle_detection,
+    k_independent_set_detection,
+    triangle_detection,
+)
+from repro.analysis import fit_exponent
+from repro.clique import run_algorithm
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def sweep(make_prog, ns, check, p=0.2) -> list[dict]:
+    rows = []
+    for n in ns:
+        g = gen.random_graph(n, p, seed=n)
+        result = run_algorithm(make_prog(), g, bandwidth_multiplier=2)
+        found, witness = result.common_output()
+        rows.append(
+            {
+                "n": n,
+                "rounds": result.rounds,
+                "payload load (bits)": measured_load(result),
+                "found": found,
+                "correct": found == check(g),
+            }
+        )
+    return rows
+
+
+def triangle_sweep():
+    return sweep(
+        lambda: (lambda node: (yield from triangle_detection(node))),
+        [27, 64, 125, 216],
+        ref.has_triangle,
+    )
+
+
+def four_is_sweep():
+    """Planted 4-IS instances (brute-force reference is infeasible at
+    n=256; correctness = the returned witness is a real 4-IS)."""
+    rows = []
+    for n in (16, 81, 256):
+        g, _ = gen.planted_independent_set(n, 4, 0.55, seed=n)
+
+        def prog(node):
+            return (yield from k_independent_set_detection(node, 4))
+
+        result = run_algorithm(prog, g, bandwidth_multiplier=2)
+        found, witness = result.common_output()
+        rows.append(
+            {
+                "n": n,
+                "rounds": result.rounds,
+                "payload load (bits)": measured_load(result),
+                "found": found,
+                "correct": bool(found)
+                and ref.is_independent_set(g, witness)
+                and len(set(witness)) == 4,
+            }
+        )
+    return rows
+
+
+def test_e11_subgraph_exponent(benchmark, report):
+    tri = benchmark.pedantic(triangle_sweep, rounds=1, iterations=1)
+    fis = four_is_sweep()
+
+    fits = []
+    for name, k, rows, regime in (
+        ("triangle (k=3)", 3, tri, "asymptotic"),
+        ("4-IS (k=4)", 4, fis, "degenerate (n <= k^k)"),
+    ):
+        fit = fit_exponent(
+            [r["n"] for r in rows], [r["payload load (bits)"] for r in rows]
+        )
+        fits.append(
+            {
+                "problem": name,
+                "load exponent (fit)": round(fit.slope, 3),
+                "implied delta": round(fit.slope - 1, 3),
+                "Dolev et al. 1 - 2/k": round(1 - 2 / k, 3),
+                "regime": regime,
+            }
+        )
+
+    report(tri, title="E11 - triangle detection scaling")
+    report(fis, title="E11 - 4-IS detection scaling")
+    report(fits, title="E11 - fitted exponents vs 1 - 2/k")
+
+    assert all(r["correct"] for r in tri + fis)
+    # Triangle (k=3) is in its asymptotic regime at these sizes and must
+    # match 1 - 2/3.  For k=4 the group unions S_v degenerate to all of V
+    # until n > k^k = 256 (|S_v| = min(k ceil(n/g), n)), so the measured
+    # load is ~n^2 by design — the bench documents the boundary rather
+    # than pretending the asymptotic exponent is visible (EXPERIMENTS.md).
+    tri_fit = fits[0]
+    assert abs(tri_fit["implied delta"] - tri_fit["Dolev et al. 1 - 2/k"]) < 0.2
+    fis_fit = fits[1]
+    assert fis_fit["load exponent (fit)"] > 1.8  # the documented n^2 regime

@@ -1,0 +1,117 @@
+"""E13 — the Section 7.3 fixed-parameter tractability comparison.
+
+Regenerates the paper's FPT discussion as a measured table:
+
+* k-VC: O(k) rounds — polynomial in k, independent of n,
+* k-path: exp(k) rounds — exponential in k, independent of n,
+* k-IS: O(n^(1-2/k)) rounds — n-dependence grows with k,
+* k-DS: O(n^(1-1/k)) rounds — n-dependence grows with k,
+
+mirroring the centralised FPT / W[1] / W[2] split the paper draws.
+"""
+
+from conftest import measured_load
+
+from repro.algorithms import (
+    k_dominating_set,
+    k_independent_set_detection,
+    k_path_detection,
+    k_vertex_cover,
+)
+from repro.clique import run_algorithm
+from repro.problems import generators as gen
+
+
+def fpt_rows() -> list[dict]:
+    rows = []
+    k = 3
+    for n in (27, 64, 125):
+        g_vc, _ = gen.planted_vertex_cover(n, k, 0.4, seed=n)
+
+        def vc_prog(node):
+            return (yield from k_vertex_cover(node, k))
+
+        r_vc = run_algorithm(vc_prog, g_vc, bandwidth_multiplier=2)
+
+        g_path, _ = gen.planted_hamiltonian_path(n, 0.05, seed=n)
+
+        def path_prog(node):
+            return (yield from k_path_detection(node, k, trials=3, seed=n))
+
+        r_path = run_algorithm(path_prog, g_path, bandwidth_multiplier=2)
+
+        g_is, _ = gen.planted_independent_set(n, k, 0.5, seed=n)
+
+        def is_prog(node):
+            return (yield from k_independent_set_detection(node, k))
+
+        r_is = run_algorithm(is_prog, g_is, bandwidth_multiplier=2)
+
+        g_ds, _ = gen.planted_dominating_set(n, k, 0.1, seed=n)
+
+        def ds_prog(node):
+            return (yield from k_dominating_set(node, k))
+
+        r_ds = run_algorithm(ds_prog, g_ds, bandwidth_multiplier=2)
+
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "k-VC rounds (O(k))": r_vc.rounds,
+                "k-path rounds (exp(k))": r_path.rounds,
+                "k-IS rounds (n^(1-2/k))": r_is.rounds,
+                "k-IS load": measured_load(r_is),
+                "k-DS rounds (n^(1-1/k))": r_ds.rounds,
+                "k-DS load": measured_load(r_ds),
+            }
+        )
+    return rows
+
+
+def k_growth_rows(n: int = 32) -> list[dict]:
+    rows = []
+    for k in (2, 3, 4):
+        g_vc, _ = gen.planted_vertex_cover(n, k, 0.4, seed=k)
+
+        def vc_prog(node):
+            return (yield from k_vertex_cover(node, k))
+
+        r_vc = run_algorithm(vc_prog, g_vc, bandwidth_multiplier=2)
+
+        g_path, _ = gen.planted_hamiltonian_path(n, 0.05, seed=k)
+
+        def path_prog(node):
+            return (yield from k_path_detection(node, k, trials=2, seed=k))
+
+        r_path = run_algorithm(path_prog, g_path, bandwidth_multiplier=2)
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "k-VC rounds": r_vc.rounds,
+                "k-path rounds": r_path.rounds,
+                "k-path DP table bits (2^k)": 1 << k,
+            }
+        )
+    return rows
+
+
+def test_e13_fpt_table(benchmark, report):
+    rows = benchmark.pedantic(fpt_rows, rounds=1, iterations=1)
+    growth = k_growth_rows()
+
+    report(rows, title="E13 / Section 7.3 - FPT comparison across n (k=3)")
+    report(growth, title="E13 - growth in k at n=32")
+
+    # k-VC flat in n
+    vc = [r["k-VC rounds (O(k))"] for r in rows]
+    assert max(vc) <= min(vc) + 2
+    # k-path flat in n (exp(k) but n-independent)
+    kp = [r["k-path rounds (exp(k))"] for r in rows]
+    assert max(kp) <= min(kp) + 4
+    # k-DS load grows faster than k-IS load (1-1/k > 1-2/k)
+    assert rows[-1]["k-DS load"] > rows[-1]["k-IS load"]
+    # k-path rounds grow with k (the 2^k DP tables)
+    kp_growth = [r["k-path rounds"] for r in growth]
+    assert kp_growth[-1] > kp_growth[0]

@@ -1,0 +1,103 @@
+"""E16 — the CLIQUE(1) vs NCLIQUE(1) gap (Section 6.1's open question).
+
+The paper's P-vs-NP analogue: every NCLIQUE(1) problem is trivially in
+CLIQUE(n / log n) (gather the graph, search certificates locally — local
+computation is free), and nothing better is known *in general*, while
+verification takes one round.  This harness measures that gap for the
+catalog problems: verifier rounds (constant) vs the deterministic
+gather-decider rounds (Theta(n / log n)), plus the fastest known
+specialised deterministic algorithms from Figure 1 sitting in between.
+"""
+
+from repro.algorithms import (
+    decide_by_gathering,
+    k_dominating_set,
+    triangle_detection,
+)
+from repro.clique import run_algorithm
+from repro.core.nondeterminism import run_with_labelling
+from repro.core.verifiers import (
+    k_dominating_set_verifier,
+    triangle_verifier,
+)
+from repro.problems import generators as gen
+
+
+def gap_rows() -> list[dict]:
+    rows = []
+    for n in (16, 32, 64, 128):
+        # triangle: verify vs gather vs the Dolev et al. algorithm
+        g, _ = gen.planted_k_cycle(n, 3, 0.1, seed=n)
+        vp = triangle_verifier()
+        cert = vp.prover(g)
+        verify = run_with_labelling(vp.algorithm, g, cert)
+
+        gather = run_algorithm(
+            decide_by_gathering(vp.problem.predicate), g
+        )
+
+        def tri(node):
+            return (yield from triangle_detection(node))
+
+        special = run_algorithm(tri, g, bandwidth_multiplier=2)
+
+        rows.append(
+            {
+                "problem": "triangle",
+                "n": n,
+                "verify rounds (NCLIQUE(1))": verify.rounds,
+                "gather rounds (CLIQUE(n/log n))": gather.rounds,
+                "specialised rounds (Fig. 1)": special.rounds,
+                "all agree": verify.common_output() == 1
+                and gather.common_output() == 1
+                and special.common_output()[0],
+            }
+        )
+    return rows
+
+
+def kds_gap_rows() -> list[dict]:
+    rows = []
+    for n in (16, 64):
+        g, _ = gen.planted_dominating_set(n, 2, 0.1, seed=n)
+        vp = k_dominating_set_verifier(2)
+        cert = vp.prover(g)
+        verify = run_with_labelling(vp.algorithm, g, cert)
+        gather = run_algorithm(
+            decide_by_gathering(vp.problem.predicate), g
+        )
+
+        def kds(node):
+            return (yield from k_dominating_set(node, 2))
+
+        special = run_algorithm(kds, g, bandwidth_multiplier=2)
+        rows.append(
+            {
+                "problem": "2-dominating-set",
+                "n": n,
+                "verify rounds (NCLIQUE(1))": verify.rounds,
+                "gather rounds (CLIQUE(n/log n))": gather.rounds,
+                "Thm 9 rounds (n^(1/2))": special.rounds,
+                "all agree": verify.common_output() == 1
+                and gather.common_output() == 1
+                and special.common_output()[0],
+            }
+        )
+    return rows
+
+
+def test_e16_nclique1_gap(benchmark, report):
+    tri = benchmark.pedantic(gap_rows, rounds=1, iterations=1)
+    kds = kds_gap_rows()
+
+    report(tri, title="E16 - verify vs decide: triangle")
+    report(kds, title="E16 - verify vs decide: 2-dominating-set")
+
+    assert all(r["all agree"] for r in tri + kds)
+    # verification is constant-round at every size
+    assert len({r["verify rounds (NCLIQUE(1))"] for r in tri}) == 1
+    # the deterministic gather decider grows with n (the gap the open
+    # question CLIQUE(1) != NCLIQUE(1) is about)
+    gathers = [r["gather rounds (CLIQUE(n/log n))"] for r in tri]
+    assert gathers[-1] > gathers[0]
+    assert gathers[-1] > tri[-1]["verify rounds (NCLIQUE(1))"]

@@ -1,0 +1,115 @@
+"""E1 — Figure 1: the fine-grained landscape.
+
+Regenerates the figure as (a) the delta-bound table for every problem
+node and (b) the arrow list, and *executes* a representative arrow from
+each family to confirm the inequality direction is real:
+
+* triangle <= Boolean MM (matmul family),
+* k-COL <= MaxIS (blow-up family),
+* k-IS <= k-DS (Theorem 10),
+* Boolean MM <= (2-eps)-APSP (Dor et al.).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import triangle_detection
+from repro.clique import run_algorithm
+from repro.core.exponents import OMEGA, figure1_registry
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+from repro.reductions import (
+    approximate_apsp,
+    apsp_to_product,
+    bmm_to_apsp_instance,
+    col_to_is_instance,
+    is_to_ds_instance,
+    triangle_via_boolean_mm,
+)
+
+
+def verify_arrows(seed: int = 3) -> list[dict]:
+    rows = []
+
+    # triangle <= Boolean MM
+    g = gen.random_graph(12, 0.3, seed)
+    via_mm, _ = triangle_via_boolean_mm(g)
+
+    def tri_prog(node):
+        return (yield from triangle_detection(node))
+
+    direct, _ = run_algorithm(tri_prog, g, bandwidth_multiplier=2).common_output()
+    rows.append(
+        {
+            "arrow": "triangle <= Boolean MM",
+            "instance": "G(12, .3)",
+            "agrees": via_mm == direct == ref.has_triangle(g),
+        }
+    )
+
+    # k-COL <= MaxIS
+    g = gen.random_graph(7, 0.45, seed)
+    gp, _ = col_to_is_instance(g, 3)
+    rows.append(
+        {
+            "arrow": "3-COL <= MaxIS",
+            "instance": "G(7, .45) -> 21 nodes",
+            "agrees": ref.is_k_colourable(g, 3)
+            == (ref.max_independent_set_size(gp) >= 7),
+        }
+    )
+
+    # k-IS <= k-DS (Theorem 10)
+    g = gen.random_graph(6, 0.5, seed)
+    gp, _ = is_to_ds_instance(g, 2)
+    rows.append(
+        {
+            "arrow": "2-IS <= 2-DS (Thm 10)",
+            "instance": f"G(6, .5) -> {gp.n} nodes",
+            "agrees": ref.has_independent_set(g, 2)
+            == ref.has_dominating_set(gp, 2),
+        }
+    )
+
+    # Boolean MM <= (2-eps)-APSP (Dor et al.)
+    rng = gen.rng_from(seed)
+    a = rng.random((6, 6)) < 0.4
+    b = rng.random((6, 6)) < 0.4
+    gg, info = bmm_to_apsp_instance(a, b)
+    approx = approximate_apsp(gg, ratio=1.5, seed=seed)
+    rows.append(
+        {
+            "arrow": "Boolean MM <= (2-eps)-APSP",
+            "instance": "6x6 -> 18 nodes",
+            "agrees": np.array_equal(
+                apsp_to_product(approx, info, eps=0.5),
+                ref.boolean_matmul(a, b),
+            ),
+        }
+    )
+    return rows
+
+
+def test_e1_figure1_landscape(benchmark, report):
+    registry = figure1_registry(k=3, omega=OMEGA)
+    arrow_rows = benchmark.pedantic(verify_arrows, rounds=1, iterations=1)
+
+    report(
+        registry.table(),
+        columns=["problem", "delta_upper", "direct_bound", "source"],
+        title="E1 / Figure 1 - problem exponents (k=3)",
+    )
+    report(
+        [
+            {"arrow": f"delta({e.frm}) <= delta({e.to})", "source": e.source or "-"}
+            for e in registry.arrows()
+        ],
+        title=f"E1 / Figure 1 - {len(registry.arrows())} arrows",
+    )
+    report(arrow_rows, title="E1 - executed arrow spot-checks")
+
+    assert all(r["agrees"] for r in arrow_rows)
+    bounds = registry.all_bounds()
+    assert bounds["triangle"] == pytest.approx(1 - 2 / OMEGA)
+    assert bounds["k-ds"] == pytest.approx(2 / 3)
+    assert bounds["k-vc"] == 0.0

@@ -1,0 +1,105 @@
+"""E2 — Figure 2 / Theorem 10: the k-IS -> k-DS gadget.
+
+Sweeps the construction over random graphs, verifying the equivalence
+and both witness maps, and runs the full pipeline (build G', run the
+Theorem 9 algorithm on the simulator, map the witness back) end to end.
+"""
+
+import pytest
+
+from repro.algorithms import k_dominating_set
+from repro.clique import run_algorithm
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+from repro.reductions import (
+    ds_witness_to_is,
+    is_to_ds_instance,
+    is_witness_to_ds,
+    simulation_overhead,
+)
+
+
+def gadget_sweep() -> list[dict]:
+    rows = []
+    for k in (2, 3):
+        for seed in range(5):
+            g = gen.random_graph(6, 0.45, seed)
+            gp, info = is_to_ds_instance(g, k)
+            has_is = ref.has_independent_set(g, k)
+            has_ds = ref.has_dominating_set(gp, k)
+            fwd = bwd = None
+            if has_is:
+                from repro.problems.catalog import k_independent_set_problem
+
+                witness = k_independent_set_problem(k).certifier(g)
+                fwd = ref.is_dominating_set(gp, is_witness_to_ds(witness, info))
+            rows.append(
+                {
+                    "k": k,
+                    "seed": seed,
+                    "n": g.n,
+                    "n'": gp.n,
+                    "bound (k^2+k+2)n": (k * k + k + 2) * g.n,
+                    "IS(G)": has_is,
+                    "DS(G')": has_ds,
+                    "equivalent": has_is == has_ds,
+                    "fwd witness ok": fwd,
+                }
+            )
+    return rows
+
+
+def end_to_end() -> list[dict]:
+    rows = []
+    for seed in range(3):
+        k = 2
+        g = gen.random_graph(6, 0.45, seed)
+        gp, info = is_to_ds_instance(g, k)
+
+        def prog(node):
+            return (yield from k_dominating_set(node, k))
+
+        result = run_algorithm(prog, gp, bandwidth_multiplier=2)
+        found, witness = result.common_output()
+        ok = found == ref.has_independent_set(g, k)
+        back_ok = None
+        if found:
+            back = ds_witness_to_is(witness, info)
+            back_ok = ref.is_independent_set(g, back)
+        rows.append(
+            {
+                "seed": seed,
+                "G' nodes": gp.n,
+                "simulator rounds": result.rounds,
+                "decision correct": ok,
+                "witness maps back": back_ok,
+            }
+        )
+    return rows
+
+
+def test_e2_figure2_gadget(benchmark, report):
+    sweep = benchmark.pedantic(gadget_sweep, rounds=1, iterations=1)
+    pipeline = end_to_end()
+
+    report(sweep, title="E2 / Figure 2 - gadget equivalence sweep")
+    report(pipeline, title="E2 - end-to-end simulation (Theorem 9 on G')")
+    report(
+        [
+            {
+                "k": k,
+                "delta(k-DS)": round(1 - 1 / k, 3),
+                "overhead factor k^(2d+4)": round(k ** (2 * (1 - 1 / k) + 4), 1),
+                "model factor": round(
+                    simulation_overhead(k * k + k + 2, k * k, 1 - 1 / k), 1
+                ),
+            }
+            for k in (2, 3, 4)
+        ],
+        title="E2 - Theorem 10 overhead accounting",
+    )
+
+    assert all(r["equivalent"] for r in sweep)
+    assert all(r["fwd witness ok"] in (True, None) for r in sweep)
+    assert all(r["decision correct"] for r in pipeline)
+    assert all(r["witness maps back"] in (True, None) for r in pipeline)

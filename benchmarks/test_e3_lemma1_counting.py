@@ -1,0 +1,93 @@
+"""E3 — Lemma 1: protocols vs functions.
+
+Regenerates the counting table behind all the paper's lower bounds:
+log2(#protocols) vs log2(#functions) across an (n, b, L, t) grid, the
+hard-round-budget threshold (~ L/b - 1), and — at miniature scale — the
+*exact* exhaustive protocol counts against the bound.
+"""
+
+import math
+
+from repro.analysis.report import magnitude
+from repro.core.counting import (
+    log2_num_functions,
+    log2_num_protocols,
+    max_hard_round_budget,
+    protocols_fewer_than_functions,
+)
+from repro.core.protocols import computable_functions
+
+
+def counting_grid() -> list[dict]:
+    rows = []
+    for n in (8, 64, 256):
+        b = max(1, math.ceil(math.log2(n)))
+        for L in (2 * b, 8 * b):
+            for t in (0, 1, L // b - 2, L // b):
+                if t < 0:
+                    continue
+                lp = log2_num_protocols(n, b, L, t)
+                lf = log2_num_functions(n, L)
+                rows.append(
+                    {
+                        "n": n,
+                        "b": b,
+                        "L": L,
+                        "t": t,
+                        "log2 #protocols": magnitude(lp),
+                        "log2 #functions": magnitude(lf),
+                        "hard f exists": lp < lf,
+                    }
+                )
+    return rows
+
+
+def threshold_rows() -> list[dict]:
+    rows = []
+    for n in (8, 64, 256, 1024):
+        b = max(1, math.ceil(math.log2(n)))
+        L = 10 * b
+        rows.append(
+            {
+                "n": n,
+                "b": b,
+                "L": L,
+                "max hard t": max_hard_round_budget(n, b, L),
+                "paper's L/b - 1": L // b - 1,
+            }
+        )
+    return rows
+
+
+def exact_miniature() -> list[dict]:
+    rows = []
+    for n, L in ((2, 1), (2, 2), (3, 1)):
+        exact = len(computable_functions(n, L, 1))
+        bound = log2_num_protocols(n, 1, L, 1)
+        rows.append(
+            {
+                "n": n,
+                "L": L,
+                "exact #computable (exhaustive)": exact,
+                "log2 of Lemma 1 bound": bound,
+                "#functions": 1 << (1 << (n * L)),
+                "bound sound": math.log2(exact) <= bound,
+            }
+        )
+    return rows
+
+
+def test_e3_lemma1_counting(benchmark, report):
+    grid = benchmark.pedantic(counting_grid, rounds=1, iterations=1)
+    thresholds = threshold_rows()
+    exact = exact_miniature()
+
+    report(grid, title="E3 / Lemma 1 - protocols vs functions")
+    report(thresholds, title="E3 - hard-round-budget threshold (= L/b - 1)")
+    report(exact, title="E3 - exact exhaustive counts vs Lemma 1 bound")
+
+    for row in thresholds:
+        assert row["max hard t"] == row["paper's L/b - 1"]
+    assert all(r["bound sound"] for r in exact)
+    # the headline: in the paper's regime protocols are outnumbered
+    assert protocols_fewer_than_functions(256, 8, 64, 4)

@@ -1,0 +1,71 @@
+"""E5 — Theorem 3: the NCLIQUE normal form.
+
+For each NCLIQUE(1) verifier and a range of sizes: extract transcripts
+from an accepting run, run the transformed algorithm B on them, and
+table the label sizes against the O(T(n) n log n) bound.
+"""
+
+from repro.core.normal_form import (
+    normal_form_label_bound,
+    to_normal_form,
+    transcript_labelling,
+)
+from repro.core.nondeterminism import run_with_labelling
+from repro.core.verifiers import (
+    k_colouring_verifier,
+    k_independent_set_verifier,
+    triangle_verifier,
+)
+from repro.problems import generators as gen
+
+
+def make_cases():
+    cases = []
+    for n in (8, 16, 32):
+        g, _ = gen.planted_colouring(n, 3, 0.6, 1)
+        cases.append((k_colouring_verifier(3), g, n))
+        g2, _ = gen.planted_independent_set(n, 2, 0.5, 2)
+        cases.append((k_independent_set_verifier(2), g2, n))
+    g3 = gen.random_graph(12, 0.6, 3)
+    cases.append((triangle_verifier(), g3, 12))
+    return cases
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for vp, g, n in make_cases():
+        if not vp.problem.contains(g):
+            continue
+        base = vp.prover(g)
+        labels, accepted = transcript_labelling(vp.algorithm, g, base)
+        b = to_normal_form(vp.algorithm)
+        result = run_with_labelling(b, g, labels)
+        b_accepts = all(o == 1 for o in result.outputs.values())
+        T = vp.algorithm.running_time(n)
+        bw = max(1, (n - 1).bit_length())
+        bound = normal_form_label_bound(n, T, bw)
+        max_label = max(len(l) for l in labels)
+        rows.append(
+            {
+                "verifier": vp.algorithm.name,
+                "n": n,
+                "T(n)": T,
+                "A accepts": accepted,
+                "B accepts transcripts": b_accepts,
+                "B rounds == T": result.rounds == T,
+                "max |z_v| (bits)": max_label,
+                "O(T n log n) bound": bound,
+                "within bound": max_label <= bound,
+            }
+        )
+    return rows
+
+
+def test_e5_normal_form(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(rows, title="E5 / Theorem 3 - transcript normal form")
+    assert rows, "no yes-instances generated"
+    for r in rows:
+        assert r["A accepts"] and r["B accepts transcripts"]
+        assert r["B rounds == T"]
+        assert r["within bound"]

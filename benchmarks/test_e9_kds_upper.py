@@ -1,0 +1,91 @@
+"""E9 — Theorem 9: k-dominating set in O(n^(1-1/k)) rounds.
+
+Round/load scaling for k in {2, 3} over n = g^k grid points (exact group
+sizes), fitted load exponents against the theorem's 1 - 1/k (the load of
+the busiest node is n * n^(1-1/k) payload bits), plus correctness
+against brute force at small sizes.
+"""
+
+from conftest import measured_load
+
+from repro.algorithms import k_dominating_set
+from repro.analysis import fit_exponent
+from repro.clique import run_algorithm
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def scaling(k: int, ns: list[int]) -> list[dict]:
+    rows = []
+    for n in ns:
+        g, _ = gen.planted_dominating_set(n, k, 0.1, seed=n)
+
+        def prog(node):
+            return (yield from k_dominating_set(node, k))
+
+        result = run_algorithm(prog, g, bandwidth_multiplier=2)
+        found, witness = result.common_output()
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "rounds": result.rounds,
+                "payload load (bits)": measured_load(result),
+                "found": found,
+                "witness dominates": ref.is_dominating_set(g, witness)
+                if found
+                else None,
+            }
+        )
+    return rows
+
+
+def correctness_sweep(k: int = 2) -> int:
+    wrong = 0
+    for seed in range(8):
+        g = gen.random_graph(9, 0.3, seed)
+
+        def prog(node):
+            return (yield from k_dominating_set(node, k))
+
+        found, _ = run_algorithm(prog, g, bandwidth_multiplier=2).common_output()
+        if found != ref.has_dominating_set(g, k):
+            wrong += 1
+    return wrong
+
+
+def test_e9_kds_upper(benchmark, report):
+    rows2 = scaling(2, [16, 36, 64, 100, 144])
+    rows3 = benchmark.pedantic(
+        scaling, args=(3, [27, 64, 125, 216]), rounds=1, iterations=1
+    )
+
+    fits = []
+    for k, rows in ((2, rows2), (3, rows3)):
+        fit = fit_exponent(
+            [r["n"] for r in rows], [r["payload load (bits)"] for r in rows]
+        )
+        fits.append(
+            {
+                "k": k,
+                "load exponent (fit)": round(fit.slope, 3),
+                "implied delta (= fit - 1)": round(fit.slope - 1, 3),
+                "Theorem 9 bound 1 - 1/k": round(1 - 1 / k, 3),
+                "r^2": round(fit.r_squared, 4),
+            }
+        )
+
+    report(rows2 + rows3, title="E9 / Theorem 9 - k-DS scaling")
+    report(fits, title="E9 - fitted exponents vs 1 - 1/k")
+    wrong = correctness_sweep()
+    report(
+        [{"random 9-node graphs": 8, "wrong decisions": wrong}],
+        title="E9 - correctness vs brute force",
+    )
+
+    assert wrong == 0
+    assert all(r["found"] for r in rows2 + rows3)  # planted instances
+    assert all(r["witness dominates"] for r in rows2 + rows3)
+    for f in fits:
+        # shape agreement: within 0.15 of the theorem's exponent
+        assert abs(f["implied delta (= fit - 1)"] - f["Theorem 9 bound 1 - 1/k"]) < 0.15

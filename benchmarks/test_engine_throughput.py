@@ -1,0 +1,67 @@
+"""Engine micro-benchmarks — performance tracking for the simulator.
+
+Not a paper experiment: tracks the throughput of the engine's hot paths
+(message fan-out, bit packing, routing) so regressions show up in the
+benchmark history.  The exponent experiments (E9-E12) depend on being
+able to run n in the hundreds.
+"""
+
+import numpy as np
+
+from repro.algorithms.common import decode_bool_row, encode_bool_row
+from repro.clique.bits import BitString
+from repro.clique.network import CongestedClique
+from repro.clique.routing import route
+from repro.problems import generators as gen
+
+
+def all_to_all_chatter(n: int, rounds: int):
+    def prog(node):
+        payload = BitString(node.id % 2, 1)
+        for _ in range(rounds):
+            node.send_to_all(payload)
+            yield
+        return None
+
+    return CongestedClique(n).run(prog)
+
+
+def test_message_fanout_throughput(benchmark):
+    n, rounds = 64, 16
+
+    def work():
+        return all_to_all_chatter(n, rounds)
+
+    result = benchmark(work)
+    assert result.rounds == rounds
+    assert result.total_message_bits == n * (n - 1) * rounds
+
+
+def test_bool_row_codec_throughput(benchmark):
+    rng = gen.rng_from(1)
+    row = rng.random(4096) < 0.5
+
+    def work():
+        bits = encode_bool_row(row)
+        back = decode_bool_row(bits, row.size)
+        return back
+
+    back = benchmark(work)
+    assert np.array_equal(back, row)
+
+
+def test_relay_router_throughput(benchmark):
+    n = 16
+    payload = BitString.zeros(512)
+
+    def work():
+        def prog(node):
+            flows = {(node.id + 1) % n: payload, (node.id + 5) % n: payload}
+            got = yield from route(node, flows, scheme="relay")
+            return sum(len(b) for b in got.values())
+
+        clique = CongestedClique(n, bandwidth_multiplier=2, max_rounds=10**5)
+        return clique.run(prog)
+
+    result = benchmark(work)
+    assert all(v == 1024 for v in result.outputs.values())

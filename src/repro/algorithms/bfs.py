@@ -1,0 +1,77 @@
+"""BFS trees and unweighted SSSP — the "trivial" arrows of Figure 1.
+
+The BFS frontier expands one layer per round: every node whose distance
+equals the current layer announces itself with a single bit; every node
+knows its own incident edges, so it can tell when a neighbour is first
+announced and thereby learn its own distance.  Since each reachable node
+announces exactly once (at round ``dist+1``), the full distance vector
+becomes common knowledge for free.  Rounds: ``ecc(source) + 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..clique.bits import BitString, uint_width
+from ..clique.node import Node
+from ..clique.primitives import all_gather_uint
+
+__all__ = ["bfs_distances", "bfs_tree", "UNREACHED"]
+
+#: Distance sentinel for unreachable nodes.
+UNREACHED = -1
+
+
+def bfs_distances(node: Node) -> Generator[None, None, np.ndarray]:
+    """Unweighted single-source shortest path distances from the source
+    given in ``node.aux`` (an int, common to all nodes).
+
+    Returns the full distance vector (identical at every node);
+    unreachable nodes get :data:`UNREACHED`.
+    """
+    n = node.n
+    source = int(node.aux)
+    neighbours = np.asarray(node.input, dtype=bool)
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    layer = 0
+    while True:
+        announcing = dist[node.id] == layer
+        if announcing:
+            node.send_to_all(BitString(1, 1))
+        yield
+        announced = set(node.inbox.keys())
+        if announcing:
+            announced.add(node.id)
+        if not announced:
+            break
+        for u in announced:
+            dist[u] = layer
+        if dist[node.id] == UNREACHED and any(neighbours[u] for u in announced):
+            dist[node.id] = layer + 1
+        layer += 1
+    return dist
+
+
+def bfs_tree(node: Node) -> Generator[None, None, tuple[np.ndarray, np.ndarray]]:
+    """BFS tree: distances plus a parent vector.
+
+    The parent of the source and of unreachable nodes is ``-1``.  Costs
+    one extra all-gather (each node reports its chosen parent) on top of
+    :func:`bfs_distances`.
+    """
+    n = node.n
+    dist = yield from bfs_distances(node)
+    neighbours = np.asarray(node.input, dtype=bool)
+    me = node.id
+    parent_me = 0  # encoded as parent+1; 0 = none
+    if dist[me] > 0:
+        for u in range(n):
+            if neighbours[u] and dist[u] == dist[me] - 1:
+                parent_me = u + 1
+                break
+    parents = yield from all_gather_uint(node, parent_me, uint_width(n))
+    parent = np.array([p - 1 for p in parents], dtype=np.int64)
+    return dist, parent

@@ -1,0 +1,77 @@
+"""Whole-graph gathering — the trivial upper bounds.
+
+Every decision problem is solvable in ``O(n / log n)`` rounds by having
+each node broadcast its incidence row and deciding locally; this is the
+baseline against which all other bounds are measured (and the reason the
+time hierarchy theorem is stated for ``T(n) = O(n / log n)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+import numpy as np
+
+from ..clique.graph import INF, CliqueGraph
+from ..clique.node import Node
+from ..clique.primitives import all_broadcast
+from .common import decode_bool_row, decode_uint_row, encode_bool_row, encode_uint_row
+
+__all__ = ["gather_graph", "gather_weighted_graph", "decide_by_gathering"]
+
+
+def gather_graph(node: Node) -> Generator[None, None, np.ndarray]:
+    """All nodes learn the full (unweighted, undirected) adjacency matrix.
+
+    Each node broadcasts its n-bit incidence row: ``ceil(n / B)`` rounds.
+    ``node.input`` must be the incidence row (the engine's default when
+    run on a :class:`CliqueGraph`).
+    """
+    n = node.n
+    rows = yield from all_broadcast(node, encode_bool_row(node.input))
+    adj = np.stack([decode_bool_row(r, n) for r in rows])
+    # Symmetrise: each unordered pair was reported by both endpoints.
+    return adj | adj.T
+
+
+def gather_weighted_graph(
+    node: Node, weight_width: int
+) -> Generator[None, None, np.ndarray]:
+    """All nodes learn the full weighted adjacency matrix.
+
+    Weights (and the INF no-edge sentinel) are transported as
+    ``weight_width``-bit values; INF maps to the all-ones code.
+    """
+    n = node.n
+    sentinel = (1 << weight_width) - 1
+    row = [
+        sentinel if int(x) >= INF else int(x) for x in np.asarray(node.input)
+    ]
+    for x in row:
+        if x != sentinel and x >= sentinel:
+            raise ValueError(
+                f"weight {x} does not fit in {weight_width}-bit encoding"
+            )
+    payloads = yield from all_broadcast(
+        node, encode_uint_row(row, weight_width)
+    )
+    out = np.full((n, n), INF, dtype=np.int64)
+    for v in range(n):
+        vals = decode_uint_row(payloads[v], n, weight_width)
+        for u, x in enumerate(vals):
+            out[v, u] = INF if x == sentinel else x
+    np.fill_diagonal(out, 0)
+    return np.minimum(out, out.T)
+
+
+def decide_by_gathering(
+    predicate: Callable[[CliqueGraph], bool],
+) -> Callable[[Node], Generator[None, None, int]]:
+    """Build the trivial decision algorithm for ``predicate``: gather the
+    graph in ``ceil(n/B)`` rounds, decide locally, output 0/1."""
+
+    def program(node: Node) -> Generator[None, None, int]:
+        adj = yield from gather_graph(node)
+        return int(predicate(CliqueGraph(adj)))
+
+    return program

@@ -1,0 +1,48 @@
+"""k-colourability.
+
+Figure 1 places k-COL at exponent <= 1 via the blow-up reduction to
+MaxIS ([46], implemented in :mod:`repro.reductions.col_to_is`); the
+direct algorithm here is the same trivial gather-and-solve upper bound
+(``O(n / log n)`` rounds), which is what the reduction also achieves
+since MaxIS itself is solved by gathering.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..clique.graph import CliqueGraph
+from ..clique.node import Node
+from ..problems.reference import is_k_colourable
+from .broadcast import gather_graph
+
+__all__ = ["decide_k_colouring", "find_k_colouring"]
+
+
+def decide_k_colouring(node: Node, k: int) -> Generator[None, None, int]:
+    """Decide k-colourability by gathering; every node outputs 0/1."""
+    adj = yield from gather_graph(node)
+    return int(is_k_colourable(CliqueGraph(adj), k))
+
+
+def find_k_colouring(
+    node: Node, k: int
+) -> Generator[None, None, list[int] | None]:
+    """Output a proper k-colouring (identical at every node) or None."""
+    adj = yield from gather_graph(node)
+    n = node.n
+    colours = [-1] * n
+
+    def backtrack(v: int) -> bool:
+        if v == n:
+            return True
+        used = {colours[u] for u in range(v) if adj[u, v]}
+        for c in range(k):
+            if c not in used:
+                colours[v] = c
+                if backtrack(v + 1):
+                    return True
+                colours[v] = -1
+        return False
+
+    return list(colours) if backtrack(0) else None

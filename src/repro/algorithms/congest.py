@@ -1,0 +1,78 @@
+"""CONGEST-model algorithms — the contrast class for the clique.
+
+Section 3 defines the congested clique as CONGEST on a complete
+topology; Section 2 explains why the clique is interesting — CONGEST
+lower bounds come from graphs with *bottlenecks* (small cuts carrying
+lots of information), which a clique never has.  These algorithms run
+under ``CongestedClique(topology=G)`` and make that contrast measurable:
+
+* :func:`congest_bfs` — BFS waves along topology edges:
+  ``Theta(ecc(source))`` rounds, i.e. up to ``n - 1`` on a path, while
+  the clique gathers the whole graph in ``ceil(n/B)`` rounds,
+* :func:`congest_flood_count` — count the nodes by flood/echo-free
+  aggregation (flooding a max takes diameter rounds per update).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..clique.bits import BitString, uint_width
+from ..clique.node import Node
+
+__all__ = ["congest_bfs", "congest_flood_max"]
+
+#: Distance sentinel for unreachable nodes.
+UNREACHED = -1
+
+
+def congest_bfs(node: Node) -> Generator[None, None, int]:
+    """BFS distance from ``node.aux`` (the source id), CONGEST-style:
+    each newly-reached node pings its *neighbours only*.  Returns the
+    node's own distance (UNREACHED if the wave never arrives).
+
+    Termination: runs for exactly ``n`` rounds (a node cannot know the
+    eccentricity in advance without extra machinery), so the measured
+    round count is n; the *wave arrival time* (the distance itself) is
+    the quantity compared against the clique's gather in tests.
+    """
+    n = node.n
+    source = int(node.aux)
+    row = np.asarray(node.input, dtype=bool)
+    dist = 0 if node.id == source else UNREACHED
+    for r in range(n):
+        if dist == r:
+            for u in range(n):
+                if row[u]:
+                    node.send(u, BitString(1, 1))
+        yield
+        if dist == UNREACHED and node.inbox:
+            dist = r + 1
+    return dist
+
+
+def congest_flood_max(node: Node) -> Generator[None, None, int]:
+    """Every node holds a value (``node.aux``, which must fit in one
+    B-bit message); all learn the maximum by iterative neighbour
+    exchange.  Takes ``diameter`` rounds to stabilise; runs for n rounds
+    (safe upper bound) like :func:`congest_bfs`.  Returns the maximum
+    seen (== global max on connected topologies)."""
+    n = node.n
+    row = np.asarray(node.input, dtype=bool)
+    width = node.bandwidth
+    best = int(node.aux)
+    if best.bit_length() > width:
+        raise ValueError(
+            f"value {best} does not fit in one {width}-bit message; run "
+            f"with a larger bandwidth multiplier"
+        )
+    for _ in range(n):
+        for u in range(n):
+            if row[u]:
+                node.send(u, BitString(best, width))
+        yield
+        for msg in node.inbox.values():
+            best = max(best, msg.value)
+    return best

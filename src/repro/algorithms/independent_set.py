@@ -1,0 +1,66 @@
+"""Independent set problems.
+
+``k``-IS detection reuses the Dolev et al. harness (``O(n^(1-2/k))``
+rounds, the bound cited in Figure 1).  Maximum independent set and
+minimum vertex cover sit at exponent 1 in Figure 1: the whole graph is
+gathered in ``ceil(n/B) = O(n / log n)`` rounds and solved locally (the
+two problems are complements of each other — Gallai).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..clique.node import Node
+from .broadcast import gather_graph
+from .subgraph import k_independent_set_detection
+
+__all__ = ["k_independent_set", "max_independent_set", "min_vertex_cover"]
+
+k_independent_set = k_independent_set_detection
+
+
+def _local_max_is(adj: np.ndarray) -> tuple[int, ...]:
+    """Exact maximum independent set by branch and bound on the
+    complement-clique formulation (fine for the gathered-graph regime)."""
+    n = adj.shape[0]
+    best: list[int] = []
+    order = sorted(range(n), key=lambda v: int(adj[v].sum()))
+
+    def expand(chosen: list[int], candidates: list[int]) -> None:
+        nonlocal best
+        if len(chosen) + len(candidates) <= len(best):
+            return
+        if not candidates:
+            if len(chosen) > len(best):
+                best = list(chosen)
+            return
+        v = candidates[0]
+        rest = candidates[1:]
+        # branch 1: include v
+        expand(chosen + [v], [u for u in rest if not adj[v, u]])
+        # branch 2: exclude v
+        expand(chosen, rest)
+
+    expand([], order)
+    return tuple(sorted(best))
+
+
+def max_independent_set(
+    node: Node,
+) -> Generator[None, None, tuple[int, ...]]:
+    """MaxIS by gathering (exponent 1 in Figure 1).  Returns the same
+    maximum independent set at every node."""
+    adj = yield from gather_graph(node)
+    return _local_max_is(adj)
+
+
+def min_vertex_cover(
+    node: Node,
+) -> Generator[None, None, tuple[int, ...]]:
+    """MinVC = V minus MaxIS (Gallai); same gathering cost."""
+    adj = yield from gather_graph(node)
+    mis = set(_local_max_is(adj))
+    return tuple(v for v in range(node.n) if v not in mis)

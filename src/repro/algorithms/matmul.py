@@ -1,0 +1,284 @@
+"""Distributed matrix multiplication over semirings.
+
+Implements the 3D ("cube partitioned") congested clique matrix
+multiplication of Censor-Hillel et al. [10]: with ``g = floor(n^(1/3))``,
+node ``(a, b, c) in [g]^3`` fetches the blocks ``A[Ba, Bb]`` and
+``B[Bb, Bc]``, multiplies locally, and partial results are aggregated at
+the row owners.  Per-node communication is ``O(n^(4/3))`` entries, so via
+:func:`~repro.clique.routing.route` the round complexity is
+``O(n^(1/3))`` entries-per-link — the paper's semiring MM bound.
+
+The paper additionally cites ``delta(ring MM) <= 1 - 2/omega`` via
+distributed Strassen-style block kernels [10, 41]; we expose ``omega`` in
+the exponent registry but execute the cube algorithm for all semirings
+(substitution documented in DESIGN.md — the communication schedule, the
+object of study, is identical in structure).
+
+Supported semirings: ``boolean`` (OR/AND), ``ring`` (+/*, unsigned), and
+``minplus`` ((min, +) with an INF sentinel) — exactly the three flavours
+in Figure 1 (Boolean MM, Ring MM, (min,+) MM / Semiring MM).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+import numpy as np
+
+from ..clique.bits import BitReader, BitString, BitWriter, uint_width
+from ..clique.graph import INF
+from ..clique.network import CongestedClique
+from ..clique.node import Node
+from ..clique.routing import route
+from .common import group_partition, int_ceil_root
+
+__all__ = [
+    "Semiring",
+    "BOOLEAN",
+    "RING",
+    "MINPLUS",
+    "distributed_matmul",
+    "run_matmul",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring with bit-exact wire encodings.
+
+    ``local_matmul`` runs at a node (free local computation);
+    ``combine`` accumulates partial result blocks (the semiring addition);
+    ``in_width`` / ``acc_width`` give the wire widths for input entries
+    and partial-result entries given the caller's ``max_entry`` bound.
+    """
+
+    name: str
+    local_matmul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity: int  # additive identity (as an int64 value; INF for minplus)
+    in_width: Callable[[int, int], int]
+    acc_width: Callable[[int, int], int]
+    uses_inf: bool = False
+
+    def encode_entries(self, values: np.ndarray, width: int) -> BitString:
+        """Pack entries at ``width`` bits each (INF -> the all-ones code)."""
+        w = BitWriter()
+        sentinel = (1 << width) - 1
+        for x in np.asarray(values).ravel():
+            x = int(x)
+            if self.uses_inf and x >= INF:
+                w.write_uint(sentinel, width)
+            else:
+                if self.uses_inf and x >= sentinel:
+                    raise ValueError(
+                        f"{self.name}: finite entry {x} collides with the "
+                        f"{width}-bit INF sentinel"
+                    )
+                w.write_uint(x, width)
+        return w.finish()
+
+    def decode_entries(self, bits: BitString, count: int, width: int) -> np.ndarray:
+        """Unpack ``count`` entries of ``width`` bits each."""
+        r = BitReader(bits)
+        sentinel = (1 << width) - 1
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            x = r.read_uint(width)
+            out[i] = INF if (self.uses_inf and x == sentinel) else x
+        return out
+
+
+def _bool_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a.astype(np.int64) @ b.astype(np.int64) > 0).astype(np.int64)
+
+
+def _minplus_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.full((a.shape[0], b.shape[1]), INF, dtype=np.int64)
+    for i in range(a.shape[0]):
+        sums = a[i][:, None] + b
+        out[i] = np.minimum(sums.min(axis=0), INF)
+    return out
+
+
+BOOLEAN = Semiring(
+    name="boolean",
+    local_matmul=_bool_matmul,
+    combine=lambda x, y: ((x + y) > 0).astype(np.int64),
+    identity=0,
+    in_width=lambda n, m: 1,
+    acc_width=lambda n, m: 1,
+)
+
+RING = Semiring(
+    name="ring",
+    local_matmul=lambda a, b: a @ b,
+    combine=lambda x, y: x + y,
+    identity=0,
+    in_width=lambda n, m: uint_width(m),
+    acc_width=lambda n, m: 2 * uint_width(m) + uint_width(n),
+)
+
+MINPLUS = Semiring(
+    name="minplus",
+    local_matmul=_minplus_matmul,
+    combine=np.minimum,
+    identity=INF,
+    in_width=lambda n, m: uint_width(m) + 1,  # +1 for the INF sentinel
+    acc_width=lambda n, m: uint_width(2 * max(1, m)) + 1,
+    uses_inf=True,
+)
+
+
+def _maxmin_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(max, min) product — the bottleneck/widest-path semiring."""
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
+    for i in range(a.shape[0]):
+        caps = np.minimum(a[i][:, None], b)
+        out[i] = caps.max(axis=0)
+    return out
+
+
+MAXMIN = Semiring(
+    name="maxmin",
+    local_matmul=_maxmin_matmul,
+    combine=np.maximum,
+    identity=0,  # capacity 0 = no path
+    in_width=lambda n, m: uint_width(m),
+    acc_width=lambda n, m: uint_width(m),
+)
+
+SEMIRINGS = {
+    "boolean": BOOLEAN,
+    "ring": RING,
+    "minplus": MINPLUS,
+    "maxmin": MAXMIN,
+}
+
+
+def _triple_of(t: int, g: int) -> tuple[int, int, int]:
+    return (t // (g * g), (t // g) % g, t % g)
+
+
+def distributed_matmul(
+    node: Node,
+    a_row: np.ndarray,
+    b_row: np.ndarray,
+    semiring: Semiring,
+    max_entry: int,
+    scheme: str = "lenzen",
+) -> Generator[None, None, np.ndarray]:
+    """Compute ``C = A (x) B``; node ``i`` holds rows ``A[i]``/``B[i]`` and
+    returns ``C[i]``.
+
+    ``max_entry`` bounds every finite input entry (wire widths derive
+    from it); all nodes must pass the same value.
+    """
+    n = node.n
+    me = node.id
+    g = int_ceil_root(n, 3)
+    blocks = group_partition(n, g)
+    in_w = semiring.in_width(n, max_entry)
+    acc_w = semiring.acc_width(n, max_entry)
+    a_row = np.asarray(a_row, dtype=np.int64)
+    b_row = np.asarray(b_row, dtype=np.int64)
+
+    def block_of(i: int) -> int:
+        size = math.ceil(n / g)
+        return min(i // size, g - 1)
+
+    # ---- Phase 1: distribute input blocks to the cube nodes.
+    my_block = block_of(me)
+    flows: dict[int, BitString] = {}
+    for t in range(g**3):
+        a, b, c = _triple_of(t, g)
+        w = BitWriter()
+        if a == my_block:  # t needs our A row restricted to Bb
+            w.write_bits(semiring.encode_entries(a_row[blocks[b]], in_w))
+        if b == my_block:  # t needs our B row restricted to Bc
+            w.write_bits(semiring.encode_entries(b_row[blocks[c]], in_w))
+        payload = w.finish()
+        if len(payload) > 0:
+            flows[t] = payload
+    received = yield from route(node, flows, scheme=scheme)
+
+    # ---- Phase 2: local block multiply at cube nodes.
+    partial = None
+    if me < g**3:
+        a, b, c = _triple_of(me, g)
+        Ba, Bb, Bc = blocks[a], blocks[b], blocks[c]
+        a_block = np.full((len(Ba), len(Bb)), semiring.identity, dtype=np.int64)
+        b_block = np.full((len(Bb), len(Bc)), semiring.identity, dtype=np.int64)
+        for src, bits in received.items():
+            r = BitReader(bits)
+            src_block = block_of(src)
+            if src_block == a:
+                chunk = r.read_bits(len(Bb) * in_w)
+                a_block[Ba.index(src)] = semiring.decode_entries(
+                    chunk, len(Bb), in_w
+                )
+            if src_block == b:
+                chunk = r.read_bits(len(Bc) * in_w)
+                b_block[Bb.index(src)] = semiring.decode_entries(
+                    chunk, len(Bc), in_w
+                )
+        partial = semiring.local_matmul(a_block, b_block)
+
+    # ---- Phase 3: aggregate partial rows at the row owners.
+    flows3: dict[int, BitString] = {}
+    if partial is not None:
+        a, b, c = _triple_of(me, g)
+        Ba = blocks[a]
+        for idx, i in enumerate(Ba):
+            flows3[i] = semiring.encode_entries(partial[idx], acc_w)
+    received3 = yield from route(node, flows3, scheme=scheme)
+
+    c_row = np.full(n, semiring.identity, dtype=np.int64)
+    for t, bits in received3.items():
+        a, b, c = _triple_of(t, g)
+        Bc = blocks[c]
+        vals = semiring.decode_entries(bits, len(Bc), acc_w)
+        c_row[Bc] = semiring.combine(c_row[Bc], vals)
+    return c_row
+
+
+def run_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring,
+    max_entry: int | None = None,
+    scheme: str = "lenzen",
+    bandwidth_multiplier: int = 2,
+):
+    """Driver: run the distributed multiplication of square matrices
+    ``a @ b`` on an ``n``-node clique; returns ``(C, RunResult)``."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError("run_matmul needs square matrices of equal size")
+    if max_entry is None:
+        finite = [
+            int(x)
+            for m in (a, b)
+            for x in m.ravel()
+            if not (semiring.uses_inf and x >= INF)
+        ]
+        max_entry = max(finite, default=1) or 1
+
+    def program(node: Node):
+        row = yield from distributed_matmul(
+            node,
+            a[node.id],
+            b[node.id],
+            semiring,
+            max_entry,
+            scheme=scheme,
+        )
+        return row
+
+    clique = CongestedClique(n, bandwidth_multiplier=bandwidth_multiplier)
+    result = clique.run(program)
+    c = np.stack([result.outputs[i] for i in range(n)])
+    return c, result

@@ -1,0 +1,152 @@
+"""Maximal independent set and connected components.
+
+Two classic distributed algorithms rounding out the "local problems"
+corner of the congested clique literature the paper cites ([11, 30, 31],
+Luby [46]):
+
+* **Luby's MIS** with shared randomness: each phase, every undecided
+  node draws a random priority; local maxima among undecided neighbours
+  join the set and their neighbours drop out.  O(log n) phases with high
+  probability; each phase costs two 1-bit-ish broadcast exchanges plus a
+  priority broadcast.  The output is verified by the NCLIQUE(1)-
+  labelling verifier of :mod:`repro.core.labelling_problems` in tests.
+
+* **Connected components / spanning forest** by unit-weight Boruvka:
+  every node learns its component's representative (the minimum member
+  id) and the forest edges.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..clique.bits import BitString, BitWriter, uint_width
+from ..clique.node import Node
+from ..clique.primitives import all_broadcast, broadcast_from
+
+__all__ = ["luby_mis", "connected_components"]
+
+_SEED_BITS = 64
+
+
+def luby_mis(
+    node: Node, seed: int | None = None
+) -> Generator[None, None, frozenset[int]]:
+    """Luby's maximal independent set with shared randomness.
+
+    Node 0 broadcasts a seed (pass ``seed`` for reproducibility); all
+    nodes then derive identical per-phase priorities, so the evolution
+    is common knowledge given the 1-bit state broadcasts.  Returns the
+    same MIS at every node.  O(log n) phases w.h.p.
+    """
+    n = node.n
+    if node.id == 0:
+        if seed is None:
+            seed = int(np.random.default_rng().integers(1 << 63))
+        payload = BitString(seed, _SEED_BITS)
+    else:
+        payload = None
+    seed_bits = yield from broadcast_from(node, 0, payload, _SEED_BITS)
+    common_seed = seed_bits.value
+
+    row = np.asarray(node.input, dtype=bool)
+    in_set: set[int] = set()
+    undecided = set(range(n))
+    phase = 0
+    while undecided:
+        rng = np.random.default_rng((common_seed, phase))
+        priority = rng.permutation(n)  # distinct priorities, shared
+        # A node joins if it is undecided and beats all undecided
+        # neighbours.  Everyone knows ``undecided`` (maintained from the
+        # broadcasts below) and the shared priorities, but only each node
+        # knows its own neighbourhood — so joins must be announced.
+        i_join = False
+        if node.id in undecided:
+            i_join = all(
+                priority[node.id] > priority[u]
+                for u in range(n)
+                if u != node.id and u in undecided and row[u]
+            )
+        bits = yield from all_broadcast(
+            node, BitString(1 if i_join else 0, 1)
+        )
+        joined = {v for v in range(n) if bits[v].value == 1}
+        in_set |= joined
+        # Nodes adjacent to a joiner retire; they announce retirement so
+        # the shared ``undecided`` set stays common knowledge.
+        i_retire = (
+            node.id in undecided
+            and node.id not in joined
+            and any(row[u] for u in joined)
+        )
+        bits = yield from all_broadcast(
+            node, BitString(1 if i_retire else 0, 1)
+        )
+        retired = {v for v in range(n) if bits[v].value == 1}
+        undecided -= joined
+        undecided -= retired
+        phase += 1
+        if phase > 4 * n + 8:  # deterministic safety net
+            raise RuntimeError("Luby MIS failed to converge")
+    return frozenset(in_set)
+
+
+def connected_components(
+    node: Node,
+) -> Generator[None, None, tuple[np.ndarray, frozenset[tuple[int, int]]]]:
+    """Connected components by unit-weight Boruvka.
+
+    Returns ``(component, forest)`` — identical at every node — where
+    ``component[v]`` is the minimum node id in v's component and
+    ``forest`` is a spanning forest.
+    """
+    n = node.n
+    vw = uint_width(max(1, n - 1))
+    row = np.asarray(node.input, dtype=bool)
+    comp = list(range(n))
+    forest: set[tuple[int, int]] = set()
+
+    for _phase in range(max(1, n.bit_length())):
+        # Propose the lexicographically-smallest edge leaving my comp.
+        best: tuple[int, int] | None = None
+        for u in range(n):
+            if u != node.id and row[u] and comp[u] != comp[node.id]:
+                cand = (min(node.id, u), max(node.id, u))
+                if best is None or cand < best:
+                    best = cand
+        w = BitWriter()
+        if best is None:
+            w.write_bit(0)
+            w.write_uint(0, vw)
+        else:
+            other = best[0] if best[0] != node.id else best[1]
+            w.write_bit(1)
+            w.write_uint(other, vw)
+        payloads = yield from all_broadcast(node, w.finish())
+
+        merged = False
+        parent = {c: c for c in set(comp)}
+
+        def find(c: int) -> int:
+            while parent[c] != c:
+                parent[c] = parent[parent[c]]
+                c = parent[c]
+            return c
+
+        for v in range(n):
+            bits = payloads[v]
+            if bits[0] == 0:
+                continue
+            u = bits[1 : 1 + vw].value
+            ra, rb = find(comp[v]), find(comp[u])
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+                forest.add((min(v, u), max(v, u)))
+                merged = True
+        comp = [find(c) for c in comp]
+        if not merged:
+            break
+
+    return np.array(comp), frozenset(forest)

@@ -1,0 +1,104 @@
+"""Minimum spanning tree — Borůvka in the congested clique.
+
+MST is the flagship problem of the congested clique upper-bound
+literature (Lotker et al. O(log log n) [45], Ghaffari & Parter
+O(log* n) [25]); the paper's related-work section leans on it.  We
+implement the straightforward Borůvka variant: each phase, every node
+broadcasts the lightest edge leaving its component; merges are computed
+identically everywhere from the broadcasts.  Components at least halve
+per phase, so there are at most ``ceil(log2 n)`` phases of
+``ceil((1 + W + log n) / B)`` rounds each — ``O(log n)`` total.
+
+(The O(log log n) algorithm needs randomised sparsification machinery
+orthogonal to this paper's contribution; the registry notes the better
+bound.)
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..clique.bits import BitReader, BitWriter, uint_width
+from ..clique.graph import INF
+from ..clique.node import Node
+from ..clique.primitives import all_broadcast
+
+__all__ = ["boruvka_mst"]
+
+
+def boruvka_mst(
+    node: Node,
+) -> Generator[None, None, frozenset[tuple[int, int]]]:
+    """MST (minimum spanning forest for disconnected graphs) of the
+    weighted input graph; ``node.aux['max_weight']`` bounds edge weights.
+
+    Returns the same edge set at every node.
+    """
+    n = node.n
+    me = node.id
+    max_weight = int(node.aux["max_weight"])
+    ww = uint_width(max(1, max_weight))
+    vw = uint_width(max(1, n - 1))
+    row = np.asarray(node.input, dtype=np.int64)
+
+    comp = list(range(n))
+    mst: set[tuple[int, int]] = set()
+
+    for _phase in range(max(1, n.bit_length())):
+        # Lightest edge from me leaving my component, tie-broken by
+        # (weight, min endpoint, max endpoint) for global determinism.
+        best: tuple[int, int, int] | None = None
+        for u in range(n):
+            if u == me or row[u] >= INF:
+                continue
+            if comp[u] == comp[me]:
+                continue
+            cand = (int(row[u]), min(me, u), max(me, u))
+            if best is None or cand < best:
+                best = cand
+        w = BitWriter()
+        if best is None:
+            w.write_bit(0)
+            w.write_uint(0, ww)
+            w.write_uint(0, vw)
+        else:
+            w.write_bit(1)
+            w.write_uint(best[0], ww)
+            other = best[1] if best[1] != me else best[2]
+            w.write_uint(other, vw)
+        payloads = yield from all_broadcast(node, w.finish())
+
+        # Everyone reconstructs all proposals identically.
+        proposals: dict[int, tuple[int, int, int]] = {}
+        for v in range(n):
+            r = BitReader(payloads[v])
+            if not r.read_bit():
+                continue
+            weight = r.read_uint(ww)
+            u = r.read_uint(vw)
+            cand = (weight, min(v, u), max(v, u))
+            c = comp[v]
+            if c not in proposals or cand < proposals[c]:
+                proposals[c] = cand
+        if not proposals:
+            break
+
+        # Merge along chosen edges (identical computation at all nodes).
+        parent = {c: c for c in set(comp)}
+
+        def find(c: int) -> int:
+            while parent[c] != c:
+                parent[c] = parent[parent[c]]
+                c = parent[c]
+            return c
+
+        for weight, a, b in proposals.values():
+            ra, rb = find(comp[a]), find(comp[b])
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+                mst.add((a, b))
+        comp = [find(c) for c in comp]
+
+    return frozenset(mst)

@@ -1,0 +1,73 @@
+"""Order statistics via distributed sorting.
+
+Selection (k-th smallest of the union of all nodes' keys) drops out of
+the sorting primitive: after :func:`~repro.clique.sorting.distributed_sort`
+node ``i`` holds the ranks ``[i*q, (i+1)*q)``, so the owner of the target
+rank announces the answer — sorting cost plus two O(1)-round collectives.
+This is the classic routing-and-sorting application Lenzen's paper [43]
+(which the congested clique literature builds on) motivates.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..clique.bits import BitReader, BitWriter
+from ..clique.errors import ProtocolViolation
+from ..clique.node import Node
+from ..clique.primitives import all_broadcast, all_gather_uint
+from ..clique.sorting import distributed_sort
+
+__all__ = ["distributed_select", "distributed_median"]
+
+
+def distributed_select(
+    node: Node,
+    keys: list[int],
+    key_width: int,
+    rank: int,
+    scheme: str = "lenzen",
+) -> Generator[None, None, int]:
+    """The global ``rank``-th smallest key (0-based) of the union of all
+    nodes' keys; returned at every node.
+
+    Raises :class:`ProtocolViolation` if ``rank`` is out of range (all
+    nodes detect this consistently from the gathered sizes).
+    """
+    mine = yield from distributed_sort(node, keys, key_width, scheme=scheme)
+    sizes = yield from all_gather_uint(node, len(mine), 32)
+    total = sum(sizes)
+    if not 0 <= rank < total:
+        raise ProtocolViolation(
+            f"rank {rank} out of range for {total} keys"
+        )
+    # distributed_sort slices are contiguous in node order
+    offset = sum(sizes[: node.id])
+    has_it = offset <= rank < offset + len(mine)
+    w = BitWriter()
+    w.write_bit(1 if has_it else 0)
+    w.write_uint(mine[rank - offset] if has_it else 0, key_width)
+    payloads = yield from all_broadcast(node, w.finish())
+    for v in range(node.n):
+        r = BitReader(payloads[v])
+        if r.read_bit():
+            return r.read_uint(key_width)
+    raise ProtocolViolation("no node claimed the target rank")
+
+
+def distributed_median(
+    node: Node,
+    keys: list[int],
+    key_width: int,
+    scheme: str = "lenzen",
+) -> Generator[None, None, int]:
+    """The lower median of the union of all nodes' keys."""
+    sizes = yield from all_gather_uint(node, len(keys), 32)
+    total = sum(sizes)
+    if total == 0:
+        raise ProtocolViolation("median of an empty key set")
+    return (
+        yield from distributed_select(
+            node, keys, key_width, (total - 1) // 2, scheme=scheme
+        )
+    )

@@ -1,0 +1,149 @@
+"""Spanners and spanner-based approximate APSP.
+
+Section 7's fine-grained discussion: "we know that constant-approximation
+APSP can be solved faster than the current matrix multiplication upper
+bound, using the spanner constructions of Censor-Hillel et al. [11]".
+This module implements the classical randomised 3-spanner of
+Baswana & Sen (the k=2 case) in the congested clique and the resulting
+3-approximate APSP:
+
+1. shared randomness selects each node as a *centre* with probability
+   ``1/sqrt(n)``,
+2. every node broadcasts its cluster choice (an adjacent centre, or
+   "unclustered") — one O(log n)-bit broadcast round,
+3. spanner edges are then chosen *locally*: clustered nodes keep the
+   edge to their centre plus one edge into every adjacent cluster;
+   unclustered nodes keep all their edges (w.h.p. they have low degree),
+4. the spanner (O(n^(3/2) log n) edges w.h.p.) is gathered by
+   variable-length broadcasts in ``O(max_degree_in_spanner / B)`` ~
+   O(sqrt(n) polylog) rounds, and every node solves APSP on it locally.
+
+Stretch guarantee (tested): spanner distances are at most 3x the true
+distances.  The round count is sublinear — the behaviour the paper's
+"2-approximate APSP may beat matrix multiplication" conjecture builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+import numpy as np
+
+from ..clique.bits import BitReader, BitString, BitWriter, uint_width
+from ..clique.graph import INF, CliqueGraph
+from ..clique.node import Node
+from ..clique.primitives import (
+    agree_uint_max,
+    all_broadcast,
+    broadcast_from,
+)
+
+__all__ = ["baswana_sen_3_spanner", "approx_apsp_via_spanner"]
+
+_SEED_BITS = 64
+#: Cluster code for "not adjacent to any centre".
+_UNCLUSTERED = 0
+
+
+def baswana_sen_3_spanner(
+    node: Node, seed: int | None = None
+) -> Generator[None, None, frozenset[tuple[int, int]]]:
+    """Build a 3-spanner of the (unweighted, undirected) input graph.
+
+    Returns the same spanner edge set at every node.  ``seed`` fixes the
+    shared randomness (drawn by node 0 if omitted).
+    """
+    n = node.n
+    vw = uint_width(n)  # cluster codes are centre_id + 1; 0 = unclustered
+    row = np.asarray(node.input, dtype=bool)
+
+    # Shared randomness: centres sampled with probability 1/sqrt(n).
+    if node.id == 0:
+        if seed is None:
+            seed = int(np.random.default_rng().integers(1 << 63))
+        payload = BitString(seed, _SEED_BITS)
+    else:
+        payload = None
+    seed_bits = yield from broadcast_from(node, 0, payload, _SEED_BITS)
+    rng = np.random.default_rng(seed_bits.value)
+    p = 1.0 / math.sqrt(max(2, n))
+    centres = rng.random(n) < p
+    if not centres.any():
+        centres[int(rng.integers(n))] = True  # avoid the empty corner case
+
+    # Cluster choice: centres form their own cluster; others join the
+    # lowest-id adjacent centre, if any.  One broadcast round makes all
+    # memberships common knowledge.
+    if centres[node.id]:
+        my_cluster = node.id + 1
+    else:
+        adjacent_centres = [u for u in range(n) if row[u] and centres[u]]
+        my_cluster = (adjacent_centres[0] + 1) if adjacent_centres else _UNCLUSTERED
+    codes = yield from all_broadcast(node, BitString(my_cluster, vw))
+    cluster = [c.value for c in codes]  # 0 = unclustered, else centre+1
+
+    # Local spanner-edge selection.
+    chosen: set[tuple[int, int]] = set()
+    me = node.id
+    if cluster[me] == _UNCLUSTERED:
+        for u in range(n):
+            if row[u]:
+                chosen.add((min(me, u), max(me, u)))
+    else:
+        centre = cluster[me] - 1
+        if centre != me:
+            chosen.add((min(me, centre), max(me, centre)))
+        # one edge into each adjacent foreign cluster
+        seen_clusters: set[int] = set()
+        for u in range(n):
+            if not row[u]:
+                continue
+            cu = cluster[u]
+            if cu == _UNCLUSTERED or cu == cluster[me]:
+                continue  # unclustered neighbours kept all their edges
+            if cu not in seen_clusters:
+                seen_clusters.add(cu)
+                chosen.add((min(me, u), max(me, u)))
+
+    # Gather: everyone broadcasts its chosen edges (as the *other*
+    # endpoint list, padded to the global maximum count).
+    my_others = sorted(
+        b if a == me else a for a, b in chosen
+    )
+    max_count = yield from agree_uint_max(node, len(my_others), 32)
+    w = BitWriter()
+    w.write_uint(len(my_others), 32)
+    ow = uint_width(max(1, n - 1))
+    for u in my_others:
+        w.write_uint(u, ow)
+    for _ in range(max_count - len(my_others)):
+        w.write_uint(0, ow)
+    payloads = yield from all_broadcast(node, w.finish())
+
+    spanner: set[tuple[int, int]] = set()
+    for v in range(n):
+        r = BitReader(payloads[v])
+        count = r.read_uint(32)
+        for _ in range(count):
+            u = r.read_uint(ow)
+            spanner.add((min(v, u), max(v, u)))
+    return frozenset(spanner)
+
+
+def approx_apsp_via_spanner(
+    node: Node, seed: int | None = None
+) -> Generator[None, None, np.ndarray]:
+    """3-approximate unweighted APSP: build the 3-spanner, gather it (its
+    sparsity is the whole point), and solve exactly on it locally.
+
+    Returns node ``i``'s row of spanner distances ``d~`` with
+    ``d <= d~ <= 3 d`` (INF stays INF: a spanner preserves connectivity).
+    """
+    spanner = yield from baswana_sen_3_spanner(node, seed)
+    n = node.n
+    sub = CliqueGraph.from_edges(n, spanner)
+    from ..problems.reference import apsp_matrix
+
+    dist = apsp_matrix(sub)
+    return dist[node.id]

@@ -1,0 +1,6 @@
+"""Measurement analysis: exponent fitting and report tables."""
+
+from .fitting import ExponentFit, fit_exponent
+from .report import format_table, print_table
+
+__all__ = ["ExponentFit", "fit_exponent", "format_table", "print_table"]

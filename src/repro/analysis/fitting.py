@@ -1,0 +1,55 @@
+"""Empirical exponent fitting.
+
+The fine-grained framework of Section 7 measures problems by their round
+exponent ``delta``; the benches estimate it from measured rounds at a few
+sizes by least-squares in log-log space.  Because the simulator's round
+counts include additive protocol overheads (length exchanges, headers)
+that vanish only as ``n`` grows, fitted slopes are reported with the raw
+data and should be read as indicative (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ExponentFit", "fit_exponent"]
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """Result of a log-log least squares fit ``rounds ~ c * n^slope``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    ns: tuple[int, ...]
+    rounds: tuple[int, ...]
+
+    def predicted(self, n: int) -> float:
+        """Round count the fit predicts at size ``n``."""
+        return float(np.exp(self.intercept) * n**self.slope)
+
+
+def fit_exponent(ns: Sequence[int], rounds: Sequence[int]) -> ExponentFit:
+    """Fit ``log rounds = slope * log n + intercept``."""
+    if len(ns) != len(rounds) or len(ns) < 2:
+        raise ValueError("need at least two (n, rounds) points")
+    if any(r <= 0 for r in rounds) or any(n <= 1 for n in ns):
+        raise ValueError("need positive rounds and n > 1")
+    x = np.log(np.asarray(ns, dtype=float))
+    y = np.log(np.asarray(rounds, dtype=float))
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ExponentFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r2,
+        ns=tuple(int(n) for n in ns),
+        rounds=tuple(int(r) for r in rounds),
+    )

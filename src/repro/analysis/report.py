@@ -1,0 +1,69 @@
+"""Plain-text table rendering shared by the benchmark harnesses.
+
+Each experiment (E1-E14 in DESIGN.md) prints the rows it regenerates in
+the same shape the paper reports them; this module keeps the formatting
+in one place so the bench output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "magnitude"]
+
+#: log10(2), for order-of-magnitude rendering of astronomic exact ints.
+_LOG10_2 = 0.30102999566398114
+
+
+def magnitude(x: int) -> str:
+    """Render a (possibly astronomically large) nonnegative int compactly:
+    exact below a million, ``~10^k`` above — without ever stringifying
+    the full number (Python caps int->str conversions at 4300 digits)."""
+    if x < 10**6:
+        return str(x)
+    return f"~10^{int(x.bit_length() * _LOG10_2)}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in cols
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for r in rows:
+        lines.append(
+            " | ".join(_fmt(r.get(c)).ljust(widths[c]) for c in cols)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> None:
+    """Print :func:`format_table` output with a leading blank line."""
+    print()
+    print(format_table(rows, columns, title))

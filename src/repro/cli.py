@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure1``     print the Figure 1 exponent table and reduction arrows
+``miniature``   run the Theorem 2 time-hierarchy miniature end to end
+``counting``    print the Lemma 1 / Theorem 2/4/8 counting tables
+``run``         run a distributed algorithm on a random input graph
+``demo``        run one of the bundled example scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.report import format_table, magnitude
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (see the module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of 'Towards a Complexity Theory for "
+            "the Congested Clique' (Korhonen & Suomela, SPAA 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure1", help="the fine-grained landscape")
+    p_fig.add_argument("--k", type=int, default=3)
+    p_fig.add_argument("--omega", type=float, default=None)
+    p_fig.add_argument(
+        "--arrows", action="store_true", help="also list reduction arrows"
+    )
+
+    sub.add_parser(
+        "miniature", help="Theorem 2 executed at (n=2, b=1, L=2)"
+    )
+
+    p_count = sub.add_parser("counting", help="Lemma 1 counting tables")
+    p_count.add_argument(
+        "--theorem", choices=["2", "4", "8"], default="2"
+    )
+    p_count.add_argument(
+        "--sizes", type=int, nargs="+", default=[64, 256, 1024]
+    )
+
+    p_run = sub.add_parser("run", help="run an algorithm on G(n, p)")
+    p_run.add_argument(
+        "algorithm",
+        choices=[
+            "triangle",
+            "kds",
+            "kvc",
+            "kis",
+            "mst",
+            "bfs",
+            "maxis",
+            "median",
+        ],
+    )
+    p_run.add_argument("--n", type=int, default=32)
+    p_run.add_argument("--p", type=float, default=0.3)
+    p_run.add_argument("--k", type=int, default=2)
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_demo = sub.add_parser("demo", help="run a bundled example scenario")
+    p_demo.add_argument(
+        "name",
+        choices=[
+            "quickstart",
+            "landscape",
+            "nondeterminism",
+            "routing",
+            "hierarchy",
+            "search",
+        ],
+    )
+    return parser
+
+
+def _cmd_figure1(args) -> int:
+    from .core.exponents import OMEGA, figure1_registry
+
+    registry = figure1_registry(
+        k=args.k, omega=args.omega if args.omega else OMEGA
+    )
+    print(
+        format_table(
+            registry.table(),
+            columns=["problem", "delta_upper", "direct_bound", "source"],
+            title=f"Figure 1 exponents (k={args.k})",
+        )
+    )
+    if args.arrows:
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "arrow": f"delta({e.frm}) <= delta({e.to})",
+                        "source": e.source or "-",
+                    }
+                    for e in registry.arrows()
+                ],
+                title="reduction arrows",
+            )
+        )
+    return 0
+
+
+def _cmd_miniature(_args) -> int:
+    from .core.time_hierarchy import time_hierarchy_miniature
+
+    audit = time_hierarchy_miniature()
+    rows = [
+        {
+            "n": audit.n,
+            "b": audit.b,
+            "L": audit.L,
+            "#functions": audit.num_functions,
+            "#1-round computable": audit.num_computable_one_round,
+            "first hard f": audit.f_index,
+            "decider rounds": audit.decider_rounds,
+            "separates": audit.separates,
+        }
+    ]
+    print(format_table(rows, title="Theorem 2 miniature"))
+    return 0 if audit.separates else 1
+
+
+def _cmd_counting(args) -> int:
+    from .core.time_hierarchy import separation_table
+
+    rows = separation_table(args.sizes, f"theorem{args.theorem}")
+    for row in rows:
+        for key in ("log2_protocols", "log2_functions"):
+            if key in row:
+                row[key] = magnitude(row[key])
+    print(format_table(rows, title=f"Theorem {args.theorem} counting"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .clique.algorithm import run_algorithm
+    from .problems import generators as gen
+
+    g = gen.random_graph(args.n, args.p, args.seed)
+    k = args.k
+
+    if args.algorithm == "triangle":
+        from .algorithms import triangle_detection
+
+        def prog(node):
+            return (yield from triangle_detection(node))
+
+    elif args.algorithm == "kds":
+        from .algorithms import k_dominating_set
+
+        def prog(node):
+            return (yield from k_dominating_set(node, k))
+
+    elif args.algorithm == "kvc":
+        from .algorithms import k_vertex_cover
+
+        def prog(node):
+            return (yield from k_vertex_cover(node, k))
+
+    elif args.algorithm == "kis":
+        from .algorithms import k_independent_set_detection
+
+        def prog(node):
+            return (yield from k_independent_set_detection(node, k))
+
+    elif args.algorithm == "mst":
+        from .algorithms import boruvka_mst
+
+        g = gen.random_weighted_graph(args.n, args.p, 50, args.seed)
+
+        def prog(node):
+            return (yield from boruvka_mst(node))
+
+        result = run_algorithm(prog, g, aux=lambda v: {"max_weight": 50})
+        mst = result.common_output()
+        print(f"graph: {g}")
+        print(f"MST edges: {sorted(mst)}")
+        print(f"rounds: {result.rounds}")
+        return 0
+
+    elif args.algorithm == "bfs":
+        from .algorithms import bfs_distances
+
+        def prog(node):
+            d = yield from bfs_distances(node)
+            return d.tolist()
+
+        result = run_algorithm(prog, g, aux=0)
+        print(f"graph: {g}")
+        print(f"distances from node 0: {result.common_output()}")
+        print(f"rounds: {result.rounds}")
+        return 0
+
+    elif args.algorithm == "maxis":
+        from .algorithms import max_independent_set
+
+        def prog(node):
+            return (yield from max_independent_set(node))
+
+    elif args.algorithm == "median":
+        from .algorithms import distributed_median
+        from .problems.generators import rng_from
+
+        rng = rng_from(args.seed)
+        keys = {
+            v: rng.integers(0, 256, size=4).tolist() for v in range(args.n)
+        }
+
+        def prog(node):
+            return (yield from distributed_median(node, keys[node.id], 8))
+
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.algorithm)
+
+    result = run_algorithm(prog, g, bandwidth_multiplier=2)
+    print(f"graph: {g}")
+    print(f"output: {result.common_output()}")
+    print(f"rounds: {result.rounds}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import pathlib
+    import runpy
+
+    mapping = {
+        "quickstart": "quickstart.py",
+        "landscape": "fine_grained_landscape.py",
+        "nondeterminism": "nondeterminism_demo.py",
+        "routing": "cluster_routing.py",
+        "hierarchy": "time_hierarchy_miniature.py",
+        "search": "search_problems_and_broadcast.py",
+    }
+    script = (
+        pathlib.Path(__file__).resolve().parent.parent.parent
+        / "examples"
+        / mapping[args.name]
+    )
+    if not script.exists():
+        print(
+            f"example {script} not found (demos need the source checkout)",
+            file=sys.stderr,
+        )
+        return 2
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return {
+        "figure1": _cmd_figure1,
+        "miniature": _cmd_miniature,
+        "counting": _cmd_counting,
+        "run": _cmd_run,
+        "demo": _cmd_demo,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Convenience driver for running node programs on input graphs."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .graph import CliqueGraph
+from .network import CongestedClique, NodeProgram, RunResult
+
+__all__ = ["run_algorithm"]
+
+
+def run_algorithm(
+    program: NodeProgram,
+    graph: CliqueGraph,
+    *,
+    aux: Any = None,
+    bandwidth_multiplier: int = 1,
+    bandwidth: int | None = None,
+    record_transcripts: bool = False,
+    max_rounds: int | None = None,
+) -> RunResult:
+    """Run ``program`` on ``graph`` in a congested clique of ``graph.n`` nodes.
+
+    Each node ``v`` receives ``graph.local_view(v)`` as its input and
+    ``aux``'s per-node resolution as auxiliary input.
+    """
+    clique = CongestedClique(
+        graph.n,
+        bandwidth=bandwidth,
+        bandwidth_multiplier=bandwidth_multiplier,
+        record_transcripts=record_transcripts,
+        max_rounds=max_rounds,
+    )
+    return clique.run(program, graph, aux=aux)

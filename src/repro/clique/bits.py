@@ -1,0 +1,288 @@
+"""Bit-exact message payloads.
+
+The congested clique's measured resource is *bits of communication*: each
+ordered node pair may carry one message of at most ``B = c * ceil(log2 n)``
+bits per round.  To keep that accounting honest, every message payload in
+the simulator is a :class:`BitString` — an immutable, length-aware bit
+vector — and all higher-level values (node identifiers, edge lists, matrix
+blocks, distance vectors) are packed and unpacked through
+:class:`BitWriter` / :class:`BitReader`.
+
+A :class:`BitString` is backed by a Python ``int`` holding the bits
+MSB-first plus an explicit bit length, so leading zero bits are preserved
+and ``len()`` is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .errors import EncodingError
+
+__all__ = [
+    "BitString",
+    "BitWriter",
+    "BitReader",
+    "uint_width",
+    "encode_uint",
+    "decode_uint",
+]
+
+
+def uint_width(max_value: int) -> int:
+    """Number of bits needed to encode any integer in ``[0, max_value]``.
+
+    ``uint_width(0) == 1``: even a constant needs one bit on the wire in
+    our accounting (a zero-bit message is reserved for "no message").
+    """
+    if max_value < 0:
+        raise EncodingError(f"max_value must be nonnegative, got {max_value}")
+    return max(1, max_value.bit_length())
+
+
+class BitString:
+    """An immutable sequence of bits (MSB-first).
+
+    Supports concatenation (``+``), slicing, indexing, equality and
+    hashing, so bit strings can be dict keys (e.g. transcript tables).
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int = 0, length: int = 0) -> None:
+        if length < 0:
+            raise EncodingError(f"negative bit length {length}")
+        if value < 0:
+            raise EncodingError("BitString value must be nonnegative")
+        if value.bit_length() > length:
+            raise EncodingError(
+                f"value {value} does not fit in {length} bits"
+            )
+        self._value = value
+        self._length = length
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitString":
+        """Build from an iterable of 0/1 integers, first bit = MSB."""
+        value = 0
+        length = 0
+        for b in bits:
+            if b not in (0, 1):
+                raise EncodingError(f"bit must be 0 or 1, got {b!r}")
+            value = (value << 1) | b
+            length += 1
+        return cls(value, length)
+
+    @classmethod
+    def from_str(cls, s: str) -> "BitString":
+        """Build from a string of ``'0'``/``'1'`` characters."""
+        return cls.from_bits(int(c) for c in s)
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitString":
+        return cls(0, length)
+
+    @classmethod
+    def empty(cls) -> "BitString":
+        return _EMPTY
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The bits interpreted as an unsigned integer (MSB-first)."""
+        return self._value
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step != 1:
+                return BitString.from_bits(
+                    self._bit_at(i) for i in range(start, stop, step)
+                )
+            if stop <= start:
+                return _EMPTY
+            width = stop - start
+            shifted = self._value >> (self._length - stop)
+            return BitString(shifted & ((1 << width) - 1), width)
+        i = index
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit index {index} out of range")
+        return self._bit_at(i)
+
+    def _bit_at(self, i: int) -> int:
+        return (self._value >> (self._length - 1 - i)) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self._bit_at(i)
+
+    def __add__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return BitString(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._value == other._value and self._length == other._length
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __repr__(self) -> str:
+        if self._length <= 64:
+            return f"BitString('{self.to_str()}')"
+        return f"BitString(<{self._length} bits>)"
+
+    def to_str(self) -> str:
+        """Render as a '0'/'1' string (MSB first)."""
+        return format(self._value, f"0{self._length}b") if self._length else ""
+
+    def to_bits(self) -> list[int]:
+        """The bits as a list of 0/1 ints (MSB first)."""
+        return list(self)
+
+
+_EMPTY = BitString(0, 0)
+
+
+def encode_uint(value: int, width: int) -> BitString:
+    """Encode ``value`` as an unsigned ``width``-bit string."""
+    if value < 0:
+        raise EncodingError(f"cannot encode negative value {value}")
+    if value.bit_length() > width:
+        raise EncodingError(f"value {value} does not fit in {width} bits")
+    return BitString(value, width)
+
+
+def decode_uint(bits: BitString) -> int:
+    """Decode a bit string as an unsigned integer."""
+    return bits.value
+
+
+class BitWriter:
+    """Incrementally packs values into a single :class:`BitString`.
+
+    Mirrors the mpi4py convention of explicit datatypes: every write names
+    its width so the matching :class:`BitReader` can parse symmetrically.
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def write_bit(self, bit: int) -> "BitWriter":
+        """Append one bit."""
+        if bit not in (0, 1):
+            raise EncodingError(f"bit must be 0 or 1, got {bit!r}")
+        self._value = (self._value << 1) | bit
+        self._length += 1
+        return self
+
+    def write_uint(self, value: int, width: int) -> "BitWriter":
+        """Append ``value`` as ``width`` unsigned bits."""
+        if value < 0 or value.bit_length() > width:
+            raise EncodingError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+        return self
+
+    def write_int(self, value: int, width: int) -> "BitWriter":
+        """Two's-complement signed write; ``width`` includes the sign bit."""
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise EncodingError(f"value {value} does not fit in int{width}")
+        return self.write_uint(value & ((1 << width) - 1), width)
+
+    def write_bits(self, bits: BitString) -> "BitWriter":
+        """Append an existing BitString."""
+        self._value = (self._value << len(bits)) | bits.value
+        self._length += len(bits)
+        return self
+
+    def write_uint_seq(self, values: Sequence[int], width: int) -> "BitWriter":
+        """Append each value as ``width`` unsigned bits."""
+        for v in values:
+            self.write_uint(v, width)
+        return self
+
+    def __len__(self) -> int:
+        return self._length
+
+    def finish(self) -> BitString:
+        """The accumulated bits as an immutable BitString."""
+        return BitString(self._value, self._length)
+
+
+class BitReader:
+    """Sequentially unpacks values written by a :class:`BitWriter`."""
+
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, bits: BitString) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit."""
+        return self.read_uint(1)
+
+    def read_uint(self, width: int) -> int:
+        """Read a ``width``-bit unsigned integer."""
+        if width < 0:
+            raise EncodingError(f"negative read width {width}")
+        if self._pos + width > len(self._bits):
+            raise EncodingError(
+                f"read of {width} bits at offset {self._pos} overruns "
+                f"{len(self._bits)}-bit message"
+            )
+        chunk = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        return chunk.value
+
+    def read_int(self, width: int) -> int:
+        """Read a two's-complement signed ``width``-bit integer."""
+        raw = self.read_uint(width)
+        if raw >= 1 << (width - 1):
+            raw -= 1 << width
+        return raw
+
+    def read_bits(self, width: int) -> BitString:
+        """Read ``width`` raw bits as a BitString."""
+        if self._pos + width > len(self._bits):
+            raise EncodingError(
+                f"read of {width} bits at offset {self._pos} overruns "
+                f"{len(self._bits)}-bit message"
+            )
+        chunk = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        return chunk
+
+    def read_uint_seq(self, count: int, width: int) -> list[int]:
+        """Read ``count`` unsigned ``width``-bit integers."""
+        return [self.read_uint(width) for _ in range(count)]
+
+    def read_rest(self) -> BitString:
+        """Read all remaining bits."""
+        return self.read_bits(self.remaining)

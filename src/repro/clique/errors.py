@@ -1,0 +1,70 @@
+"""Exception taxonomy for the congested clique simulator.
+
+Every violation of the model's rules (bandwidth, addressing, protocol
+synchronisation) raises a distinct exception type so that tests can assert
+precisely which rule was broken.
+"""
+
+from __future__ import annotations
+
+
+class CliqueError(Exception):
+    """Base class for all simulator errors."""
+
+
+class BandwidthExceeded(CliqueError):
+    """A message larger than the per-round, per-link bit budget was sent.
+
+    The congested clique allows one message of O(log n) bits per ordered
+    node pair per round; the engine enforces an exact bit budget.
+    """
+
+    def __init__(self, src: int, dst: int, bits: int, budget: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.bits = bits
+        self.budget = budget
+        super().__init__(
+            f"message {src}->{dst} has {bits} bits, exceeding the "
+            f"per-link budget of {budget} bits/round"
+        )
+
+
+class DuplicateMessage(CliqueError):
+    """Two messages were queued on the same ordered link in one round."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
+        super().__init__(
+            f"node {src} queued two messages for node {dst} in one round; "
+            f"the model allows one message per ordered pair per round"
+        )
+
+
+class InvalidAddress(CliqueError):
+    """A message was addressed to a nonexistent node or to the sender."""
+
+
+class ProtocolViolation(CliqueError):
+    """A node program broke the synchronous protocol.
+
+    Examples: sending after halting, collectives invoked by only a subset
+    of nodes, or reading an inbox before the first round boundary.
+    """
+
+
+class RoundLimitExceeded(CliqueError):
+    """The algorithm did not halt within the allowed number of rounds."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(f"algorithm did not halt within {limit} rounds")
+
+
+class EncodingError(CliqueError):
+    """A bit-level encode/decode operation failed (overflow, truncation)."""
+
+
+class RoutingOverload(CliqueError):
+    """A routing instance violated the declared per-node load guarantee."""

@@ -1,0 +1,313 @@
+"""Input graphs for the congested clique.
+
+Following the paper (Section 3), the input is a graph ``G = (V, E)`` with
+``V = {0, 1, ..., n-1}`` (we use 0-based identifiers; the paper uses
+1-based).  Node ``v``'s local input is the indicator vector of its
+incident edges.  We support the paper's core setting (undirected,
+unweighted) plus the weighted/directed variants needed by Section 7
+(APSP/SSSP/matrix problems).
+
+The module also implements the paper's *private input bits* convention:
+every potential edge is assigned to exactly one endpoint so that each node
+owns at least ``floor((n-1)/2)`` input bits (used by the counting and
+time-hierarchy machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .bits import BitString
+from .errors import CliqueError
+
+__all__ = ["CliqueGraph", "edge_owner", "private_bit_layout"]
+
+#: Sentinel for "no edge" in weighted adjacency matrices.
+INF = np.iinfo(np.int64).max // 4
+
+
+class CliqueGraph:
+    """An input graph on nodes ``0..n-1`` backed by numpy adjacency.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` matrix.  For unweighted graphs a boolean matrix; for
+        weighted graphs an int64 matrix where :data:`INF` means "no edge".
+        The diagonal must be empty (``False`` / ``INF`` / 0 for weighted).
+    directed:
+        If ``False`` (default, the paper's setting) the adjacency must be
+        symmetric.
+    weighted:
+        If ``True``, entries are int64 weights; weights must fit in
+        ``O(log n)`` bits for the model's bandwidth assumptions to hold
+        (the caller is responsible; :meth:`max_weight` helps check).
+    """
+
+    __slots__ = ("_adj", "n", "directed", "weighted")
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        *,
+        directed: bool = False,
+        weighted: bool = False,
+    ) -> None:
+        adj = np.asarray(adjacency)
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise CliqueError(f"adjacency must be square, got {adj.shape}")
+        n = adj.shape[0]
+        if weighted:
+            adj = adj.astype(np.int64, copy=True)
+            np.fill_diagonal(adj, 0)
+            if (adj < 0).any():
+                raise CliqueError("negative edge weights are not supported")
+        else:
+            adj = adj.astype(bool, copy=True)
+            np.fill_diagonal(adj, False)
+        if not directed:
+            if weighted:
+                if not np.array_equal(adj, adj.T):
+                    raise CliqueError("undirected graph needs symmetric weights")
+            elif not np.array_equal(adj, adj.T):
+                raise CliqueError("undirected graph needs symmetric adjacency")
+        self._adj = adj
+        self._adj.setflags(write=False)
+        self.n = n
+        self.directed = directed
+        self.weighted = weighted
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def empty(cls, n: int) -> "CliqueGraph":
+        return cls(np.zeros((n, n), dtype=bool))
+
+    @classmethod
+    def complete(cls, n: int) -> "CliqueGraph":
+        adj = np.ones((n, n), dtype=bool)
+        np.fill_diagonal(adj, False)
+        return cls(adj)
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], *, directed: bool = False
+    ) -> "CliqueGraph":
+        adj = np.zeros((n, n), dtype=bool)
+        for u, v in edges:
+            if u == v:
+                raise CliqueError(f"self-loop ({u},{v}) not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise CliqueError(f"edge ({u},{v}) out of range for n={n}")
+            adj[u, v] = True
+            if not directed:
+                adj[v, u] = True
+        return cls(adj, directed=directed)
+
+    @classmethod
+    def from_weighted_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int, int]],
+        *,
+        directed: bool = False,
+    ) -> "CliqueGraph":
+        adj = np.full((n, n), INF, dtype=np.int64)
+        np.fill_diagonal(adj, 0)
+        for u, v, w in edges:
+            if u == v:
+                raise CliqueError(f"self-loop ({u},{v}) not allowed")
+            adj[u, v] = w
+            if not directed:
+                adj[v, u] = w
+        return cls(adj, directed=directed, weighted=True)
+
+    @classmethod
+    def from_networkx(cls, g) -> "CliqueGraph":
+        """Convert a networkx graph with integer nodes ``0..n-1``."""
+        import networkx as nx
+
+        n = g.number_of_nodes()
+        if set(g.nodes) != set(range(n)):
+            raise CliqueError("networkx graph must have nodes 0..n-1")
+        directed = g.is_directed()
+        weighted = any("weight" in d for _, _, d in g.edges(data=True))
+        if weighted:
+            adj = np.full((n, n), INF, dtype=np.int64)
+            np.fill_diagonal(adj, 0)
+            for u, v, d in g.edges(data=True):
+                w = int(d.get("weight", 1))
+                adj[u, v] = w
+                if not directed:
+                    adj[v, u] = w
+            return cls(adj, directed=directed, weighted=True)
+        adj = np.zeros((n, n), dtype=bool)
+        for u, v in g.edges():
+            adj[u, v] = True
+            if not directed:
+                adj[v, u] = True
+        return cls(adj, directed=directed)
+
+    def to_networkx(self):
+        """Convert to a networkx (Di)Graph, preserving weights."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self.directed else nx.Graph()
+        g.add_nodes_from(range(self.n))
+        if self.weighted:
+            for u, v in zip(*np.nonzero((self._adj != INF) & (self._adj != 0))):
+                if self.directed or u < v:
+                    g.add_edge(int(u), int(v), weight=int(self._adj[u, v]))
+        else:
+            for u, v in zip(*np.nonzero(self._adj)):
+                if self.directed or u < v:
+                    g.add_edge(int(u), int(v))
+        return g
+
+    # -- local views (what a node initially knows) -----------------------
+
+    def row(self, v: int) -> np.ndarray:
+        """Outgoing incidence/weight row of node ``v`` (read-only view)."""
+        return self._adj[v]
+
+    def col(self, v: int) -> np.ndarray:
+        """Incoming incidence/weight column of node ``v`` (read-only)."""
+        return self._adj[:, v]
+
+    def local_view(self, v: int) -> np.ndarray:
+        """Everything node ``v`` knows initially.
+
+        For undirected graphs this is the incidence row; for directed
+        graphs the paper's convention extends to both directions, so we
+        return a ``(2, n)`` stack of (out-row, in-column).
+        """
+        if self.directed:
+            return np.stack([self._adj[v], self._adj[:, v]])
+        return self._adj[v]
+
+    # -- whole-graph accessors (for reference solvers / engine only) -----
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        return self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` (or arc ``(u, v)``) exists."""
+        if self.weighted:
+            return u != v and self._adj[u, v] != INF
+        return bool(self._adj[u, v])
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of ``(u, v)``; INF when absent."""
+        if not self.weighted:
+            raise CliqueError("unweighted graph has no weights")
+        return int(self._adj[u, v])
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v`` (out-degree if directed)."""
+        if self.weighted:
+            row = self._adj[v]
+            return int(np.count_nonzero(row != INF)) - 1  # minus diagonal 0
+        return int(np.count_nonzero(self._adj[v]))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges (u < v for undirected graphs)."""
+        if self.weighted:
+            mask = self._adj != INF
+            np.fill_diagonal(mask, False)
+        else:
+            mask = self._adj
+        for u, v in zip(*np.nonzero(mask)):
+            if self.directed or u < v:
+                yield int(u), int(v)
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return sum(1 for _ in self.edges())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CliqueGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.directed == other.directed
+            and self.weighted == other.weighted
+            and np.array_equal(self._adj, other._adj)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.n, self.directed, self.weighted, self._adj.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        w = "weighted" if self.weighted else "unweighted"
+        return f"CliqueGraph(n={self.n}, {kind}, {w}, m={self.num_edges()})"
+
+    # -- private input bit convention (Section 3, "Input encoding") ------
+
+    def private_input_bits(self, v: int) -> BitString:
+        """Node ``v``'s private input bits under the paper's convention.
+
+        Each potential edge ``{u, v}`` is owned by exactly one endpoint
+        (see :func:`edge_owner`); node ``v``'s private input is the
+        indicator bits of its owned potential edges, ordered by the other
+        endpoint's identifier.
+        """
+        if self.directed or self.weighted:
+            raise CliqueError(
+                "private input bits are defined for the paper's core "
+                "setting (undirected, unweighted)"
+            )
+        owned = private_bit_layout(self.n)[v]
+        return BitString.from_bits(int(self._adj[v, u]) for u in owned)
+
+
+def edge_owner(u: int, v: int, n: int) -> int:
+    """Which endpoint owns the potential edge ``{u, v}``.
+
+    The paper requires an assignment where every node owns at least
+    ``floor((n-1)/2)`` potential-edge bits.  We use the classical cyclic
+    (round-robin tournament) rule: ``u`` owns ``{u, v}`` iff
+    ``(v - u) mod n`` lies in ``1..ceil((n-1)/2)``; for even ``n`` the
+    diametric pairs ``(v - u) mod n == n/2`` are tie-broken to the smaller
+    endpoint of even parity to keep the load balanced.
+    """
+    if u == v:
+        raise CliqueError("no self-loops")
+    if not (0 <= u < n and 0 <= v < n):
+        raise CliqueError(f"nodes ({u},{v}) out of range for n={n}")
+    d = (v - u) % n
+    if n % 2 == 1:
+        return u if d <= (n - 1) // 2 else v
+    half = n // 2
+    if d < half:
+        return u
+    if d > half:
+        return v
+    # Diametric pair for even n: alternate ownership by the smaller id's
+    # parity so each node owns at most one diametric edge and the counts
+    # stay within one of each other.
+    lo = min(u, v)
+    return lo if lo % 2 == 0 else max(u, v)
+
+
+def private_bit_layout(n: int) -> list[list[int]]:
+    """For each node ``v``, the ordered list of endpoints ``u`` such that
+    ``v`` owns the potential edge ``{v, u}``.
+
+    The concatenation over all nodes covers every unordered pair exactly
+    once, and every node owns at least ``floor((n-1)/2)`` pairs.
+    """
+    layout: list[list[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            owner = edge_owner(u, v, n)
+            other = v if owner == u else u
+            layout[owner].append(other)
+    for owned in layout:
+        owned.sort()
+    return layout

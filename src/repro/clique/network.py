@@ -1,0 +1,347 @@
+"""The synchronous round engine.
+
+The engine advances one generator-coroutine per node in lockstep:
+
+1. every live node's generator runs until its next ``yield`` (queueing
+   messages via :meth:`Node.send`) or until it returns (halts with an
+   output),
+2. the engine validates every queued message against the model's rules
+   (one message of at most ``B`` bits per ordered pair per round),
+3. messages are delivered into the recipients' inboxes and the round
+   counter increments.
+
+The *time complexity* reported is exactly the number of communication
+rounds, matching the paper's Section 3 cost model.  Local computation is
+unlimited and free, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Mapping, Sequence
+
+from .bits import BitString
+from .errors import CliqueError, RoundLimitExceeded
+from .graph import CliqueGraph
+from .node import Node
+from .transcript import RoundRecord, Transcript
+
+__all__ = ["CongestedClique", "RunResult", "default_bandwidth", "NodeProgram"]
+
+#: A node program: a generator function taking the node-local API.
+NodeProgram = Callable[[Node], Generator[None, None, Any]]
+
+
+def default_bandwidth(n: int, multiplier: int = 1) -> int:
+    """The per-link, per-round bit budget ``B = multiplier * ceil(log2 n)``.
+
+    Per Section 3 of the paper, constants hidden in the O(log n) bandwidth
+    can be moved into the running time, so the canonical budget is exactly
+    ``ceil(log2 n)`` bits (with a floor of 1 bit for tiny cliques).
+    """
+    if n < 1:
+        raise CliqueError(f"need at least one node, got n={n}")
+    if multiplier < 1:
+        raise CliqueError(f"bandwidth multiplier must be >= 1, got {multiplier}")
+    return multiplier * max(1, math.ceil(math.log2(n)) if n > 1 else 1)
+
+
+def _outputs_equal(a: Any, b: Any) -> bool:
+    """Equality that tolerates numpy arrays and containers thereof."""
+    import numpy as np
+
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            _outputs_equal(x, y) for x, y in zip(a, b)
+        )
+    result = a == b
+    if isinstance(result, bool):
+        return result
+    try:
+        return bool(result)
+    except (ValueError, TypeError):
+        import numpy as np
+
+        return bool(np.asarray(result).all())
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one algorithm execution."""
+
+    #: Per-node outputs (the generators' return values).
+    outputs: dict[int, Any]
+    #: Number of communication rounds used.
+    rounds: int
+    #: Total bits carried by bandwidth-checked messages.
+    total_message_bits: int
+    #: Total bits carried by the privileged cost-model router channel.
+    bulk_bits: int
+    #: Per-node sent/received bit totals (bulk included) — the load
+    #: profile Lenzen-style round accounting is based on.
+    sent_bits: tuple[int, ...] = ()
+    received_bits: tuple[int, ...] = ()
+    #: Per-node measurement counters (see :meth:`Node.count`).
+    counters: tuple[dict, ...] = ()
+    #: Per-node transcripts, if recording was enabled.
+    transcripts: tuple[Transcript, ...] | None = None
+
+    def max_counter(self, key: str) -> int:
+        """``max_v counters[v][key]`` (0 when never counted)."""
+        return max(
+            (c.get(key, 0) for c in self.counters), default=0
+        )
+
+    def max_node_load(self) -> int:
+        """``max_v max(sent_v, received_v)`` in bits — the quantity the
+        routing bounds are stated in."""
+        if not self.sent_bits:
+            return 0
+        return max(
+            max(s, r) for s, r in zip(self.sent_bits, self.received_bits)
+        )
+
+    def common_output(self) -> Any:
+        """The single output all nodes agree on (decision problems).
+
+        Raises if the nodes disagree — decision algorithms in the paper
+        require every node to produce the same verdict.
+        """
+        it = iter(self.outputs.values())
+        try:
+            first = next(it)
+        except StopIteration:
+            raise CliqueError("no outputs recorded") from None
+        for value in it:
+            if not _outputs_equal(value, first):
+                raise CliqueError(f"nodes disagree on output: {self.outputs}")
+        return first
+
+
+def _resolve_per_node(spec: Any, n: int) -> list[Any]:
+    """Expand an input spec into one value per node.
+
+    Accepts a :class:`CliqueGraph` (each node gets its local view), a
+    callable ``v -> value``, a sequence of length ``n``, a mapping, or a
+    single value shared by all nodes.
+    """
+    if isinstance(spec, CliqueGraph):
+        if spec.n != n:
+            raise CliqueError(f"graph has {spec.n} nodes, engine has {n}")
+        return [spec.local_view(v) for v in range(n)]
+    if callable(spec):
+        return [spec(v) for v in range(n)]
+    if isinstance(spec, Mapping):
+        return [spec.get(v) for v in range(n)]
+    if isinstance(spec, Sequence) and not isinstance(spec, (str, bytes)):
+        if len(spec) != n:
+            raise CliqueError(f"per-node sequence has length {len(spec)}, need {n}")
+        return list(spec)
+    return [spec] * n
+
+
+class CongestedClique:
+    """A congested clique of ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    bandwidth:
+        Per-link bit budget per round; defaults to ``ceil(log2 n)``.
+    bandwidth_multiplier:
+        Convenience multiplier applied to the default budget (ignored when
+        ``bandwidth`` is given explicitly).
+    record_transcripts:
+        If ``True``, record per-node communication transcripts (needed by
+        the Theorem 3 normal-form machinery).
+    max_rounds:
+        Safety limit; :class:`RoundLimitExceeded` is raised beyond it.
+    broadcast_only:
+        If ``True``, run the *broadcast congested clique* (the variant
+        the paper's related work cites for communication-complexity
+        lower bounds [19]): each round a node must send the *same*
+        message to every other node, or nothing.  Unicast sends raise
+        :class:`ProtocolViolation` at delivery time.
+    topology:
+        If given (a :class:`CliqueGraph`), run the general **CONGEST**
+        model instead of the clique: messages may only travel along the
+        topology's edges.  The congested clique is exactly
+        ``topology=None`` (Section 3: "a specialisation of the standard
+        CONGEST model to a fully connected network topology"); the
+        restricted variant exists so the bottleneck behaviour the
+        paper's related work discusses can be demonstrated.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        bandwidth: int | None = None,
+        bandwidth_multiplier: int = 1,
+        record_transcripts: bool = False,
+        max_rounds: int | None = None,
+        broadcast_only: bool = False,
+        topology: "CliqueGraph | None" = None,
+    ) -> None:
+        if n < 1:
+            raise CliqueError(f"need at least one node, got n={n}")
+        self.n = n
+        self.bandwidth = (
+            bandwidth
+            if bandwidth is not None
+            else default_bandwidth(n, bandwidth_multiplier)
+        )
+        if self.bandwidth < 1:
+            raise CliqueError(f"bandwidth must be >= 1 bit, got {self.bandwidth}")
+        self.record_transcripts = record_transcripts
+        self.max_rounds = (
+            max_rounds if max_rounds is not None else max(1024, 16 * n * n)
+        )
+        self.broadcast_only = broadcast_only
+        if topology is not None and topology.n != n:
+            raise CliqueError(
+                f"topology has {topology.n} nodes, engine has {n}"
+            )
+        self.topology = topology
+
+    def run(
+        self,
+        program: NodeProgram,
+        node_input: Any = None,
+        aux: Any = None,
+    ) -> RunResult:
+        """Execute ``program`` on all nodes synchronously.
+
+        ``node_input`` and ``aux`` are per-node specs (see
+        :func:`_resolve_per_node`); typically ``node_input`` is the input
+        :class:`CliqueGraph`.
+        """
+        n = self.n
+        inputs = _resolve_per_node(node_input, n)
+        auxes = _resolve_per_node(aux, n)
+        nodes = [
+            Node(v, n, self.bandwidth, inputs[v], auxes[v]) for v in range(n)
+        ]
+        gens: dict[int, Generator[None, None, Any]] = {}
+        outputs: dict[int, Any] = {}
+        records: list[list[RoundRecord]] = [[] for _ in range(n)]
+
+        for v in range(n):
+            gen = program(nodes[v])
+            if not hasattr(gen, "send"):
+                raise CliqueError(
+                    "node program must be a generator function "
+                    "(use 'yield' for round boundaries)"
+                )
+            gens[v] = gen
+
+        live = set(range(n))
+        rounds = 0
+        total_bits = 0
+        bulk_bits = 0
+        sent_bits = [0] * n
+        received_bits = [0] * n
+
+        def advance(v: int) -> None:
+            try:
+                next(gens[v])
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                nodes[v]._halted = True
+                live.discard(v)
+
+        # Initial local-computation phase (before the first round).
+        for v in range(n):
+            advance(v)
+
+        while True:
+            pending = any(
+                nodes[v]._outbox or nodes[v]._bulk_outbox for v in range(n)
+            )
+            if not live and not pending:
+                break
+            if rounds >= self.max_rounds:
+                raise RoundLimitExceeded(self.max_rounds)
+
+            # Deliver: swap outboxes into inboxes.
+            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
+            sent_records: list[dict[int, BitString]] = [{} for _ in range(n)]
+            for v in range(n):
+                node = nodes[v]
+                if self.broadcast_only and node._outbox:
+                    payloads = set(node._outbox.values())
+                    if len(payloads) != 1 or len(node._outbox) != n - 1:
+                        from .errors import ProtocolViolation
+
+                        raise ProtocolViolation(
+                            f"broadcast congested clique: node {v} must "
+                            f"send one identical message to all n-1 peers "
+                            f"or stay silent (sent {len(node._outbox)} "
+                            f"messages, {len(payloads)} distinct)"
+                        )
+                if self.broadcast_only and node._bulk_outbox:
+                    from .errors import ProtocolViolation
+
+                    raise ProtocolViolation(
+                        "broadcast congested clique: the cost-model bulk "
+                        "channel is unicast; use direct message passing"
+                    )
+                for dst, payload in node._outbox.items():
+                    if self.topology is not None and not self.topology.has_edge(
+                        v, dst
+                    ):
+                        from .errors import ProtocolViolation
+
+                        raise ProtocolViolation(
+                            f"CONGEST: node {v} sent to non-neighbour {dst}"
+                        )
+                    total_bits += len(payload)
+                    sent_bits[v] += len(payload)
+                    received_bits[dst] += len(payload)
+                    inboxes[dst][v] = payload
+                    if self.record_transcripts:
+                        sent_records[v][dst] = payload
+                for dst, payload in node._bulk_outbox.items():
+                    bulk_bits += len(payload)
+                    sent_bits[v] += len(payload)
+                    received_bits[dst] += len(payload)
+                    inboxes[dst][v] = payload
+                    if self.record_transcripts:
+                        sent_records[v][dst] = payload
+                node._outbox = {}
+                node._bulk_outbox = {}
+            rounds += 1
+
+            for v in range(n):
+                nodes[v]._inbox = inboxes[v]
+                nodes[v]._round = rounds
+                if self.record_transcripts:
+                    records[v].append(
+                        RoundRecord(
+                            sent=sent_records[v], received=dict(inboxes[v])
+                        )
+                    )
+
+            for v in sorted(live):
+                advance(v)
+
+        transcripts = None
+        if self.record_transcripts:
+            transcripts = tuple(
+                Transcript(node=v, n=n, rounds=tuple(records[v]))
+                for v in range(n)
+            )
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_message_bits=total_bits,
+            bulk_bits=bulk_bits,
+            sent_bits=tuple(sent_bits),
+            received_bits=tuple(received_bits),
+            counters=tuple(dict(nodes[v].counters) for v in range(n)),
+            transcripts=transcripts,
+        )

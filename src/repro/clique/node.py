@@ -1,0 +1,147 @@
+"""Node-local API handed to congested clique algorithms.
+
+A node program is a generator function ``program(node)``:
+
+* during a round it queues messages with :meth:`Node.send` (at most one
+  message of at most ``node.bandwidth`` bits per destination),
+* ``yield`` ends the round; when the generator resumes, :attr:`Node.inbox`
+  holds the messages received that round (``{src: BitString}``),
+* ``return value`` halts the node with ``value`` as its output.
+
+This mirrors the synchronous send/receive structure of MPI programs
+(cf. mpi4py's ``send``/``recv``): all nodes run the same program, and the
+engine advances them in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .bits import BitString
+from .errors import (
+    BandwidthExceeded,
+    DuplicateMessage,
+    InvalidAddress,
+    ProtocolViolation,
+)
+
+__all__ = ["Node"]
+
+
+class Node:
+    """State and messaging interface of a single congested clique node."""
+
+    __slots__ = (
+        "id",
+        "n",
+        "bandwidth",
+        "input",
+        "aux",
+        "counters",
+        "_outbox",
+        "_bulk_outbox",
+        "_inbox",
+        "_halted",
+        "_round",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        bandwidth: int,
+        node_input: Any,
+        aux: Any = None,
+    ) -> None:
+        #: This node's identifier in ``0..n-1``.
+        self.id = node_id
+        #: Number of nodes in the clique.
+        self.n = n
+        #: Per-link, per-round bit budget ``B``.
+        self.bandwidth = bandwidth
+        #: The node's local share of the input (e.g. its incidence row).
+        self.input = node_input
+        #: Optional algorithm-specific auxiliary input (labels, source id, ...).
+        self.aux = aux
+        #: Free-form measurement counters updated by primitives (e.g.
+        #: ``route_payload_in_bits``) — the loads the theorems bound,
+        #: net of constant protocol overheads.  Collected into
+        #: :class:`~repro.clique.network.RunResult`.
+        self.counters: dict[str, int] = {}
+        self._outbox: dict[int, BitString] = {}
+        self._bulk_outbox: dict[int, BitString] = {}
+        self._inbox: dict[int, BitString] = {}
+        self._halted = False
+        self._round = 0
+
+    # -- messaging -------------------------------------------------------
+
+    def send(self, dst: int, payload: BitString) -> None:
+        """Queue one message of at most :attr:`bandwidth` bits for ``dst``.
+
+        The model allows exactly one message per ordered pair per round;
+        queueing a second message for the same destination raises
+        :class:`DuplicateMessage`.
+        """
+        self._check_can_send(dst)
+        if len(payload) > self.bandwidth:
+            raise BandwidthExceeded(self.id, dst, len(payload), self.bandwidth)
+        if len(payload) == 0:
+            raise ProtocolViolation(
+                f"node {self.id} sent an empty message to {dst}; "
+                f"omit the send instead"
+            )
+        if dst in self._outbox or dst in self._bulk_outbox:
+            raise DuplicateMessage(self.id, dst)
+        self._outbox[dst] = payload
+
+    def send_to_all(self, payload: BitString) -> None:
+        """Queue the same message for every other node (broadcast step)."""
+        for dst in range(self.n):
+            if dst != self.id:
+                self.send(dst, payload)
+
+    def _bulk_send(self, dst: int, payload: BitString) -> None:
+        """Privileged unbounded send used *only* by the Lenzen cost-model
+        router (see :mod:`repro.clique.routing`): the payload bypasses the
+        per-round bandwidth check, and the router separately charges the
+        number of rounds Lenzen's routing theorem guarantees.  Algorithms
+        must never call this directly.
+        """
+        self._check_can_send(dst)
+        if dst in self._outbox or dst in self._bulk_outbox:
+            raise DuplicateMessage(self.id, dst)
+        if len(payload) == 0:
+            return
+        self._bulk_outbox[dst] = payload
+
+    def _check_can_send(self, dst: int) -> None:
+        if self._halted:
+            raise ProtocolViolation(f"node {self.id} sent after halting")
+        if dst == self.id:
+            raise InvalidAddress(f"node {self.id} addressed itself")
+        if not 0 <= dst < self.n:
+            raise InvalidAddress(
+                f"node {self.id} addressed nonexistent node {dst} (n={self.n})"
+            )
+
+    def count(self, key: str, amount: int) -> None:
+        """Add ``amount`` to the measurement counter ``key``."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    @property
+    def inbox(self) -> Mapping[int, BitString]:
+        """Messages received in the round that just ended (``{src: bits}``)."""
+        return self._inbox
+
+    def recv(self, src: int) -> BitString | None:
+        """The message received from ``src`` this round, or ``None``."""
+        return self._inbox.get(src)
+
+    @property
+    def round(self) -> int:
+        """Number of completed communication rounds."""
+        return self._round
+
+    def __repr__(self) -> str:
+        return f"Node(id={self.id}, n={self.n}, round={self._round})"

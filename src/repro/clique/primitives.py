@@ -1,0 +1,208 @@
+"""Collective communication primitives.
+
+These are generator subroutines invoked from node programs via
+``yield from`` — each internal ``yield`` is one synchronous round, and
+*all* nodes must invoke the same collective in the same round (the usual
+MPI collective-call convention, cf. mpi4py's ``bcast``/``allgather``).
+
+All primitives are bit-exact: payload widths are explicit, and messages
+never exceed the node's per-link budget ``node.bandwidth``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from .bits import BitString, BitWriter
+from .errors import ProtocolViolation
+from .node import Node
+
+__all__ = [
+    "idle",
+    "exchange",
+    "all_gather_uint",
+    "all_broadcast",
+    "broadcast_from",
+    "all_gather_bits",
+    "agree_uint_max",
+    "chunks_needed",
+]
+
+
+def chunks_needed(bits: int, chunk: int) -> int:
+    """Rounds needed to push ``bits`` over a link carrying ``chunk``/round."""
+    if chunk < 1:
+        raise ProtocolViolation(f"chunk width must be >= 1, got {chunk}")
+    return max(0, math.ceil(bits / chunk))
+
+
+def idle(rounds: int) -> Generator[None, None, None]:
+    """Spend ``rounds`` rounds sending nothing (synchronisation filler)."""
+    for _ in range(rounds):
+        yield
+
+
+def exchange(
+    node: Node, payloads: dict[int, BitString]
+) -> Generator[None, None, dict[int, BitString]]:
+    """One round: send ``payloads[dst]`` to each ``dst``; return the inbox.
+
+    Every payload must fit in a single round's budget.
+    """
+    for dst, payload in payloads.items():
+        node.send(dst, payload)
+    yield
+    return dict(node.inbox)
+
+
+def all_gather_uint(
+    node: Node, value: int, width: int
+) -> Generator[None, None, list[int]]:
+    """Every node contributes a ``width``-bit uint; all learn all values.
+
+    Takes ``ceil(width / B)`` rounds (the value is chunked if needed).
+    Returns the list indexed by node id (own value included).
+    """
+    bits = BitString(value, width)
+    received = yield from all_broadcast(node, bits)
+    return [chunk.value for chunk in received]
+
+
+def all_broadcast(
+    node: Node, payload: BitString
+) -> Generator[None, None, list[BitString]]:
+    """Every node broadcasts a same-length payload to everyone.
+
+    All nodes must pass payloads of identical length ``k`` (a protocol
+    requirement, unchecked across nodes but validated by reassembly).
+    Takes ``ceil(k / B)`` rounds.  Returns the payload list indexed by
+    node id (own payload included).
+    """
+    b = node.bandwidth
+    k = len(payload)
+    rounds = chunks_needed(k, b)
+    collected: dict[int, BitWriter] = {v: BitWriter() for v in range(node.n)}
+    for r in range(rounds):
+        chunk = payload[r * b : min((r + 1) * b, k)]
+        if len(chunk) > 0:
+            node.send_to_all(chunk)
+        yield
+        for src, msg in node.inbox.items():
+            collected[src].write_bits(msg)
+        collected[node.id].write_bits(chunk)
+    result = []
+    for v in range(node.n):
+        got = collected[v].finish()
+        if len(got) != k:
+            raise ProtocolViolation(
+                f"all_broadcast: node {node.id} reassembled {len(got)} bits "
+                f"from node {v}, expected {k}"
+            )
+        result.append(got)
+    return result
+
+
+def broadcast_from(
+    node: Node, root: int, payload: BitString | None, length: int
+) -> Generator[None, None, BitString]:
+    """Root broadcasts ``length`` bits to everyone.
+
+    Uses the doubling trick: the root scatters distinct chunks across the
+    other nodes, then everyone re-broadcasts their chunk — total
+    ``ceil(length / (B * (n-1))) + ceil(ceil(length/(n-1)) / B)`` rounds,
+    i.e. ``O(length / (B n) + 1)`` instead of direct ``length / B``.
+    ``length`` must be common knowledge; non-root nodes pass
+    ``payload=None``.
+    """
+    n, b = node.n, node.bandwidth
+    if n == 1:
+        if node.id == root:
+            assert payload is not None and len(payload) == length
+            return payload
+        raise ProtocolViolation("broadcast_from with n=1 needs root == self")
+    if node.id == root:
+        if payload is None or len(payload) != length:
+            raise ProtocolViolation(
+                f"root must supply a {length}-bit payload"
+            )
+
+    # Segment layout: node j (j != root, in id order) owns segment index
+    # rank(j) of size ceil(length / (n-1)) (last one may be short).
+    others = [v for v in range(n) if v != root]
+    seg = max(1, math.ceil(length / (n - 1)))
+    bounds = [(min(i * seg, length), min((i + 1) * seg, length)) for i in range(n - 1)]
+
+    # Phase 1: root scatters segment i to others[i], chunked.
+    max_seg = max((hi - lo for lo, hi in bounds), default=0)
+    p1_rounds = chunks_needed(max_seg, b)
+    my_segment = BitWriter()
+    for r in range(p1_rounds):
+        if node.id == root:
+            for i, dst in enumerate(others):
+                lo, hi = bounds[i]
+                chunk = payload[lo + r * b : min(lo + (r + 1) * b, hi)]
+                if len(chunk) > 0:
+                    node.send(dst, chunk)
+        yield
+        if node.id != root:
+            msg = node.recv(root)
+            if msg is not None:
+                my_segment.write_bits(msg)
+
+    # Phase 2: everyone (except root) broadcasts its segment; lengths are
+    # derivable from the common layout, so all_broadcast-style chunking
+    # works per segment.
+    p2_rounds = chunks_needed(max_seg, b)
+    segment_bits = my_segment.finish() if node.id != root else BitString.empty()
+    collected: dict[int, BitWriter] = {v: BitWriter() for v in others}
+    for r in range(p2_rounds):
+        if node.id != root:
+            chunk = segment_bits[r * b : min((r + 1) * b, len(segment_bits))]
+            if len(chunk) > 0:
+                node.send_to_all(chunk)
+        yield
+        for src, msg in node.inbox.items():
+            if src != root:
+                collected[src].write_bits(msg)
+        if node.id != root:
+            collected[node.id].write_bits(
+                segment_bits[r * b : min((r + 1) * b, len(segment_bits))]
+            )
+
+    if node.id == root:
+        return payload  # root already has it
+    w = BitWriter()
+    for i, owner in enumerate(others):
+        lo, hi = bounds[i]
+        if owner == node.id:
+            w.write_bits(segment_bits)
+        else:
+            got = collected[owner].finish()
+            if len(got) != hi - lo:
+                raise ProtocolViolation(
+                    f"broadcast_from: segment {i} from {owner} has "
+                    f"{len(got)} bits, expected {hi - lo}"
+                )
+            w.write_bits(got)
+    return w.finish()
+
+
+def all_gather_bits(
+    node: Node, payload: BitString, length: int
+) -> Generator[None, None, list[BitString]]:
+    """Alias of :func:`all_broadcast` with an explicit common length check."""
+    if len(payload) != length:
+        raise ProtocolViolation(
+            f"all_gather_bits: payload has {len(payload)} bits, "
+            f"declared {length}"
+        )
+    return (yield from all_broadcast(node, payload))
+
+
+def agree_uint_max(
+    node: Node, value: int, width: int
+) -> Generator[None, None, int]:
+    """All nodes learn the maximum of their ``width``-bit values."""
+    values = yield from all_gather_uint(node, value, width)
+    return max(values)

@@ -1,0 +1,282 @@
+"""Virtual-clique simulation — running N' virtual nodes on n real nodes.
+
+Theorem 10's round accounting rests on this machinery: "we have each
+node v in V simulate the nodes v_i and v_{i,j} ... each node is
+simulating at most O(k^2) nodes in G', [giving] O(k^4) rounds for each
+round in G'".  This module implements the simulation generically and
+honestly:
+
+* each real node hosts a fixed set of virtual nodes (any assignment),
+* one virtual round expands into enough real rounds to carry every
+  virtual message over the single real link between the two hosts —
+  with hosts of size at most ``s``, up to ``s^2`` virtual messages share
+  a link, so a virtual round costs ``O(s^2)`` real rounds (each real
+  message carries one virtual message plus a ``[src, dst]`` virtual
+  header),
+* virtual programs are ordinary node programs: they see a
+  :class:`VirtualNode` with the full messaging API and never know they
+  are being simulated.
+
+Intra-host virtual messages are delivered locally for free (local
+computation is unrestricted in the model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from .bits import BitReader, BitString, BitWriter, uint_width
+from .errors import (
+    BandwidthExceeded,
+    DuplicateMessage,
+    InvalidAddress,
+    ProtocolViolation,
+)
+from .network import CongestedClique, NodeProgram, RunResult
+from .node import Node
+
+__all__ = ["VirtualNode", "simulate_virtual_clique"]
+
+
+class VirtualNode:
+    """The node-local API handed to a simulated (virtual) node.
+
+    Mirrors :class:`~repro.clique.node.Node`; ``bandwidth`` is the
+    *virtual* clique's budget (``ceil(log2 N')`` by default).
+    """
+
+    __slots__ = (
+        "id",
+        "n",
+        "bandwidth",
+        "input",
+        "aux",
+        "counters",
+        "_outbox",
+        "_inbox",
+        "_round",
+    )
+
+    def __init__(self, vid: int, n: int, bandwidth: int, vinput, aux) -> None:
+        self.id = vid
+        self.n = n
+        self.bandwidth = bandwidth
+        self.input = vinput
+        self.aux = aux
+        self.counters: dict[str, int] = {}
+        self._outbox: dict[int, BitString] = {}
+        self._inbox: dict[int, BitString] = {}
+        self._round = 0
+
+    def send(self, dst: int, payload: BitString) -> None:
+        """Queue one virtual message of at most ``bandwidth`` bits."""
+        if dst == self.id:
+            raise InvalidAddress(f"virtual node {self.id} addressed itself")
+        if not 0 <= dst < self.n:
+            raise InvalidAddress(
+                f"virtual node {self.id} addressed {dst} (N'={self.n})"
+            )
+        if len(payload) > self.bandwidth:
+            raise BandwidthExceeded(self.id, dst, len(payload), self.bandwidth)
+        if len(payload) == 0:
+            raise ProtocolViolation(
+                f"virtual node {self.id} sent an empty message"
+            )
+        if dst in self._outbox:
+            raise DuplicateMessage(self.id, dst)
+        self._outbox[dst] = payload
+
+    def send_to_all(self, payload: BitString) -> None:
+        """Queue the same message for every other virtual node."""
+        for dst in range(self.n):
+            if dst != self.id:
+                self.send(dst, payload)
+
+    def count(self, key: str, amount: int) -> None:
+        """Add ``amount`` to the measurement counter ``key``."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def _bulk_send(self, dst: int, payload: BitString) -> None:
+        raise ProtocolViolation(
+            "the Lenzen cost-model channel is an accounting device and "
+            "cannot be virtualised; run the virtual algorithm with "
+            "scheme='direct' or scheme='relay'"
+        )
+
+    @property
+    def inbox(self):
+        return self._inbox
+
+    def recv(self, src: int):
+        """The message received from ``src`` this round, or None."""
+        return self._inbox.get(src)
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+
+def simulate_virtual_clique(
+    n_real: int,
+    n_virtual: int,
+    host_of: Callable[[int], int],
+    virtual_program: NodeProgram,
+    virtual_input: Callable[[int], Any],
+    virtual_aux: Callable[[int], Any] | None = None,
+    *,
+    virtual_bandwidth: int | None = None,
+    bandwidth_multiplier: int = 2,
+    max_rounds: int | None = None,
+) -> tuple[dict[int, Any], RunResult]:
+    """Run a virtual clique of ``n_virtual`` nodes on ``n_real`` nodes.
+
+    ``host_of(v)`` maps each virtual node to its real host in
+    ``0..n_real-1``.  Returns ``(virtual_outputs, real RunResult)`` — the
+    real result's ``rounds`` is the honest cost including the ``O(s^2)``
+    per-virtual-round multiplexing overhead.
+
+    The real clique needs header room: each real message carries
+    ``2 ceil(log2 N')`` virtual-address bits plus one virtual payload, so
+    it runs at ``bandwidth_multiplier`` times the virtual budget plus the
+    header (constant-factor bandwidth, per Section 3's remark).
+    """
+    hosts: dict[int, list[int]] = {r: [] for r in range(n_real)}
+    for v in range(n_virtual):
+        r = host_of(v)
+        if not 0 <= r < n_real:
+            raise ProtocolViolation(f"host_of({v}) = {r} out of range")
+        hosts[r].append(v)
+    s = max((len(vs) for vs in hosts.values()), default=1)
+
+    v_bw = (
+        virtual_bandwidth
+        if virtual_bandwidth is not None
+        else max(1, (max(2, n_virtual) - 1).bit_length())
+    )
+    vw = uint_width(max(1, n_virtual - 1))
+    header = 2 * vw
+    real_bw = bandwidth_multiplier * v_bw + header
+    #: messages per link per virtual round, worst case
+    slots = s * s
+
+    def real_program(node: Node) -> Generator[None, None, dict[int, Any]]:
+        my_virtuals = hosts[node.id]
+        gens = {}
+        vnodes: dict[int, VirtualNode] = {}
+        outputs: dict[int, Any] = {}
+        live = set(my_virtuals)
+        for v in my_virtuals:
+            vn = VirtualNode(
+                v,
+                n_virtual,
+                v_bw,
+                virtual_input(v),
+                virtual_aux(v) if virtual_aux else None,
+            )
+            vnodes[v] = vn
+            gens[v] = virtual_program(vn)
+
+        def advance(v: int) -> None:
+            try:
+                next(gens[v])
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                live.discard(v)
+
+        for v in list(my_virtuals):
+            advance(v)
+
+        while True:
+            # Gather this virtual round's outgoing messages.
+            pending: list[tuple[int, int, BitString]] = []
+            for v in my_virtuals:
+                vn = vnodes[v]
+                for dst, payload in vn._outbox.items():
+                    pending.append((v, dst, payload))
+                vn._outbox = {}
+
+            # Sort messages onto real links (intra-host is free local
+            # computation); slot assignment on a link follows the
+            # deterministic (src, dst) order.
+            by_link: dict[int, list[tuple[int, int, BitString]]] = {}
+            inboxes: dict[int, dict[int, BitString]] = {
+                v: {} for v in my_virtuals
+            }
+            for v, dst, payload in sorted(
+                pending, key=lambda t: (t[0], t[1])
+            ):
+                r = host_of(dst)
+                if r == node.id:
+                    inboxes[dst][v] = payload  # intra-host: free
+                else:
+                    by_link.setdefault(r, []).append((v, dst, payload))
+
+            # One coordination round per virtual round: every host
+            # announces (active?, busiest outgoing link load); the
+            # number of multiplexing sub-rounds is the global maximum
+            # (at most s^2 by construction).
+            my_max = max((len(m) for m in by_link.values()), default=0)
+            i_am_done = not live and not pending
+            sw = uint_width(max(1, slots))
+            w = BitWriter()
+            w.write_bit(0 if i_am_done else 1)
+            w.write_uint(my_max, sw)
+            node.send_to_all(w.finish())
+            yield
+            anyone_active = not i_am_done
+            needed = my_max
+            for m in node.inbox.values():
+                rdr = BitReader(m)
+                if rdr.read_bit():
+                    anyone_active = True
+                needed = max(needed, rdr.read_uint(sw))
+            if not anyone_active:
+                break
+
+            for slot in range(needed):
+                for r, msgs in by_link.items():
+                    if slot < len(msgs):
+                        v, dst, payload = msgs[slot]
+                        w = BitWriter()
+                        w.write_uint(v, vw)
+                        w.write_uint(dst, vw)
+                        w.write_bits(payload)
+                        node.send(r, w.finish())
+                yield
+                for _, msg in node.inbox.items():
+                    rdr = BitReader(msg)
+                    src_v = rdr.read_uint(vw)
+                    dst_v = rdr.read_uint(vw)
+                    payload = rdr.read_rest()
+                    if dst_v not in inboxes:
+                        raise ProtocolViolation(
+                            f"real node {node.id} received a virtual "
+                            f"message for {dst_v}, which it does not host"
+                        )
+                    inboxes[dst_v][src_v] = payload
+
+            # Deliver and advance the virtual round.
+            for v in my_virtuals:
+                vn = vnodes[v]
+                vn._inbox = inboxes[v]
+                vn._round += 1
+            for v in sorted(live):
+                advance(v)
+
+        return outputs
+
+    clique = CongestedClique(
+        n_real,
+        bandwidth=real_bw,
+        max_rounds=max_rounds,
+    )
+    result = clique.run(real_program)
+    virtual_outputs: dict[int, Any] = {}
+    for r in range(n_real):
+        virtual_outputs.update(result.outputs[r])
+    if set(virtual_outputs) != set(range(n_virtual)):
+        missing = set(range(n_virtual)) - set(virtual_outputs)
+        raise ProtocolViolation(
+            f"virtual nodes {sorted(missing)} never halted"
+        )
+    return virtual_outputs, result

@@ -1,0 +1,108 @@
+"""Communication transcripts.
+
+A *transcript* of node ``v`` is the full record of messages sent and
+received by ``v`` during an execution — exactly the object used by the
+normal-form theorem (Theorem 3): a nondeterministic algorithm can be
+rewritten so that its certificate is a claimed transcript, which nodes
+verify by replaying it.
+
+Transcripts are bit-exact and serialisable to a single
+:class:`~repro.clique.bits.BitString`, so they can be used as certificate
+labels whose size we can measure against the ``O(T(n) * n * log n)`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bits import BitReader, BitString, BitWriter, uint_width
+
+__all__ = ["RoundRecord", "Transcript"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Messages sent/received by one node in one round."""
+
+    sent: dict[int, BitString] = field(default_factory=dict)
+    received: dict[int, BitString] = field(default_factory=dict)
+
+    def total_bits(self) -> int:
+        """Message bits through this node in this round (sent + received)."""
+        return sum(len(b) for b in self.sent.values()) + sum(
+            len(b) for b in self.received.values()
+        )
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """Per-node record of a full execution."""
+
+    node: int
+    n: int
+    rounds: tuple[RoundRecord, ...]
+
+    def num_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.rounds)
+
+    def total_bits(self) -> int:
+        """Total message bits through this node (sent + received)."""
+        return sum(r.total_bits() for r in self.rounds)
+
+    # -- serialisation ---------------------------------------------------
+    #
+    # Layout (all widths derived from n and the per-execution maxima so the
+    # encoding is self-delimiting):
+    #   [num_rounds : 32][msg_width : 16]
+    #   per round, per direction (sent, received):
+    #     [count : node_width] then count * ([peer : node_width]
+    #                                        [len : 16][payload : len])
+
+    def encode(self) -> BitString:
+        """Serialise to a BitString (see the layout comment above)."""
+        w = BitWriter()
+        node_width = uint_width(max(1, self.n - 1))
+        w.write_uint(len(self.rounds), 32)
+        for rec in self.rounds:
+            for direction in (rec.sent, rec.received):
+                w.write_uint(len(direction), node_width)
+                for peer in sorted(direction):
+                    payload = direction[peer]
+                    w.write_uint(peer, node_width)
+                    w.write_uint(len(payload), 16)
+                    w.write_bits(payload)
+        return w.finish()
+
+    @classmethod
+    def decode(cls, node: int, n: int, bits: BitString) -> "Transcript":
+        r = BitReader(bits)
+        node_width = uint_width(max(1, n - 1))
+        num_rounds = r.read_uint(32)
+        rounds = []
+        for _ in range(num_rounds):
+            directions = []
+            for _ in range(2):
+                count = r.read_uint(node_width)
+                msgs: dict[int, BitString] = {}
+                for _ in range(count):
+                    peer = r.read_uint(node_width)
+                    length = r.read_uint(16)
+                    msgs[peer] = r.read_bits(length)
+                directions.append(msgs)
+            rounds.append(RoundRecord(sent=directions[0], received=directions[1]))
+        return cls(node=node, n=n, rounds=tuple(rounds))
+
+    def consistent_with(self, other: "Transcript") -> bool:
+        """Check pairwise consistency: every message this node claims to
+        have sent to ``other.node`` must appear in ``other``'s received
+        record for the same round, and vice versa.
+        """
+        if len(self.rounds) != len(other.rounds):
+            return False
+        for mine, theirs in zip(self.rounds, other.rounds):
+            if mine.sent.get(other.node) != theirs.received.get(self.node):
+                return False
+            if theirs.sent.get(self.node) != mine.received.get(other.node):
+                return False
+        return True

@@ -1,0 +1,148 @@
+"""The paper's complexity-theory machinery: protocols and counting
+(Lemma 1), time hierarchies (Theorems 2, 4, 8), nondeterminism and the
+normal form (Theorem 3), the decision hierarchy and its collapse
+(Theorem 7), the canonical edge labelling family (Theorem 6), and the
+fine-grained exponent landscape (Section 7 / Figure 1)."""
+
+from .classes import (
+    CLIQUE,
+    NCLIQUE,
+    ClassDescriptor,
+    Pi,
+    Sigma,
+    contains_structurally,
+    quantifier_prefix,
+)
+from .counting import (
+    log2_num_functions,
+    log2_num_protocols,
+    max_hard_round_budget,
+    protocols_fewer_than_functions,
+    theorem2_parameters,
+    theorem4_inequality,
+    theorem8_inequality,
+)
+from .edge_labelling import EdgeLabellingProblem, compile_verifier
+from .exponents import (
+    OMEGA,
+    ExponentRegistry,
+    ProblemEntry,
+    ReductionEdge,
+    figure1_registry,
+)
+from .hierarchy import (
+    evaluate_alternation,
+    run_k_labelling,
+    sigma2_decides,
+    sigma2_honest_guess,
+    sigma2_universal_algorithm,
+)
+from .labelling_problems import (
+    LabellingProblem,
+    colouring_search_problem,
+    maximal_independent_set_problem,
+    maximal_matching_problem,
+)
+from .nondeterminism import (
+    Labelling,
+    NondeterministicAlgorithm,
+    all_labellings,
+    decide_nondeterministic,
+    run_with_labelling,
+)
+from .normal_form import (
+    normal_form_label_bound,
+    simulate_node_locally,
+    to_normal_form,
+    transcript_labelling,
+)
+from .randomness import (
+    MonteCarloAlgorithm,
+    estimate_acceptance,
+    monte_carlo_to_nondeterministic,
+    run_with_randomness,
+)
+from .protocols import (
+    computable_functions,
+    first_hard_function,
+    function_from_index,
+    index_of_function,
+    nondet_computable_functions,
+)
+from .time_hierarchy import (
+    TimeHierarchyMiniature,
+    decider_program,
+    separation_table,
+    time_hierarchy_miniature,
+)
+from .verifiers import (
+    VerifiedProblem,
+    hamiltonian_path_verifier,
+    k_colouring_verifier,
+    k_dominating_set_verifier,
+    k_independent_set_verifier,
+    k_vertex_cover_verifier,
+    triangle_verifier,
+)
+
+__all__ = [
+    "CLIQUE",
+    "ClassDescriptor",
+    "EdgeLabellingProblem",
+    "ExponentRegistry",
+    "Labelling",
+    "LabellingProblem",
+    "MonteCarloAlgorithm",
+    "NCLIQUE",
+    "NondeterministicAlgorithm",
+    "OMEGA",
+    "Pi",
+    "ProblemEntry",
+    "ReductionEdge",
+    "Sigma",
+    "TimeHierarchyMiniature",
+    "VerifiedProblem",
+    "all_labellings",
+    "compile_verifier",
+    "colouring_search_problem",
+    "computable_functions",
+    "contains_structurally",
+    "decide_nondeterministic",
+    "decider_program",
+    "estimate_acceptance",
+    "evaluate_alternation",
+    "figure1_registry",
+    "first_hard_function",
+    "function_from_index",
+    "hamiltonian_path_verifier",
+    "index_of_function",
+    "k_colouring_verifier",
+    "k_dominating_set_verifier",
+    "k_independent_set_verifier",
+    "k_vertex_cover_verifier",
+    "log2_num_functions",
+    "maximal_independent_set_problem",
+    "maximal_matching_problem",
+    "monte_carlo_to_nondeterministic",
+    "log2_num_protocols",
+    "max_hard_round_budget",
+    "nondet_computable_functions",
+    "normal_form_label_bound",
+    "protocols_fewer_than_functions",
+    "quantifier_prefix",
+    "run_k_labelling",
+    "run_with_labelling",
+    "run_with_randomness",
+    "separation_table",
+    "sigma2_decides",
+    "sigma2_honest_guess",
+    "sigma2_universal_algorithm",
+    "simulate_node_locally",
+    "theorem2_parameters",
+    "theorem4_inequality",
+    "theorem8_inequality",
+    "time_hierarchy_miniature",
+    "to_normal_form",
+    "transcript_labelling",
+    "triangle_verifier",
+]

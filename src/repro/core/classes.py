@@ -1,0 +1,106 @@
+"""Complexity class descriptors — CLIQUE, NCLIQUE, Sigma_k / Pi_k.
+
+These are lightweight, self-documenting records tying the classes of the
+paper to the executable machinery that witnesses membership:
+
+* ``CLIQUE(T)`` membership is witnessed by a deterministic node program
+  plus a round bound,
+* ``NCLIQUE(T)`` by a :class:`~repro.core.nondeterminism.NondeterministicAlgorithm`,
+* ``Sigma_k`` / ``Pi_k`` by a k-labelling program plus the quantifier
+  prefix (``unlimited`` or ``logarithmic`` labelling regime).
+
+They are used by the benchmarks and examples to present results in the
+paper's vocabulary, and assert basic structural facts (Sigma_k in
+Delta_k in Sigma_{k+1}, complement flips Sigma/Pi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ClassDescriptor",
+    "CLIQUE",
+    "NCLIQUE",
+    "Sigma",
+    "Pi",
+    "quantifier_prefix",
+    "contains_structurally",
+]
+
+
+@dataclass(frozen=True)
+class ClassDescriptor:
+    """A point in the paper's class landscape."""
+
+    family: str  # "CLIQUE" | "NCLIQUE" | "Sigma" | "Pi"
+    #: Round bound descriptor, e.g. "1", "T", "n^(1/3)"; for Sigma/Pi the
+    #: level k.
+    parameter: str
+    #: labelling regime for hierarchy classes: "unlimited" | "log"
+    regime: str = ""
+
+    def __str__(self) -> str:
+        if self.family in ("Sigma", "Pi"):
+            sup = "log" if self.regime == "log" else ""
+            return f"{self.family}{sup}_{self.parameter}"
+        return f"{self.family}({self.parameter})"
+
+
+def CLIQUE(parameter: str) -> ClassDescriptor:
+    """The deterministic class CLIQUE(T) (Section 3)."""
+    return ClassDescriptor("CLIQUE", parameter)
+
+
+def NCLIQUE(parameter: str) -> ClassDescriptor:
+    """The nondeterministic class NCLIQUE(T) (Section 5)."""
+    return ClassDescriptor("NCLIQUE", parameter)
+
+
+def Sigma(k: int, regime: str = "unlimited") -> ClassDescriptor:
+    """Level k of the Sigma hierarchy (Section 6.2)."""
+    return ClassDescriptor("Sigma", str(k), regime)
+
+
+def Pi(k: int, regime: str = "unlimited") -> ClassDescriptor:
+    """Level k of the Pi hierarchy (Section 6.2)."""
+    return ClassDescriptor("Pi", str(k), regime)
+
+
+def quantifier_prefix(desc: ClassDescriptor) -> list[str]:
+    """The alternation prefix of a hierarchy class (Section 6.2)."""
+    if desc.family not in ("Sigma", "Pi"):
+        raise ValueError(f"{desc} is not a hierarchy class")
+    k = int(desc.parameter)
+    first = "exists" if desc.family == "Sigma" else "forall"
+    prefix = []
+    current = first
+    for _ in range(k):
+        prefix.append(current)
+        current = "forall" if current == "exists" else "exists"
+    return prefix
+
+
+def contains_structurally(
+    inner: ClassDescriptor, outer: ClassDescriptor
+) -> bool:
+    """The containments the paper lists as "basic properties":
+    Sigma_k, Pi_k are contained in both Sigma_{k+1} and Pi_{k+1} (within
+    a regime), CLIQUE(T) in NCLIQUE(T), and every class in itself."""
+    if inner == outer:
+        return True
+    if (
+        inner.family == "CLIQUE"
+        and outer.family == "NCLIQUE"
+        and inner.parameter == outer.parameter
+    ):
+        return True
+    if inner.family in ("Sigma", "Pi") and outer.family in ("Sigma", "Pi"):
+        if inner.regime != outer.regime:
+            return False
+        ki, ko = int(inner.parameter), int(outer.parameter)
+        if ko > ki:
+            return True
+        if ko == ki:
+            return inner.family == outer.family
+    return False

@@ -1,0 +1,160 @@
+"""Lemma 1 and the counting inequalities behind Theorems 2, 4 and 8.
+
+Lemma 1 (Applebaum et al. [1]): the number of distinct
+``(n, b, L, t)``-protocols is at most ``2^(2bn) * 2^(2^(L+bt) (n-1))``,
+while the number of functions ``{0,1}^(nL) -> {0,1}`` is ``2^(2^(nL))``.
+All quantities here are *exact* log2 values as Python ints, so the
+inequalities can be checked at any scale (the doubly-exponential gap is
+the entire content of the lower bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "log2_num_protocols",
+    "log2_num_functions",
+    "protocols_fewer_than_functions",
+    "max_hard_round_budget",
+    "theorem2_parameters",
+    "theorem4_inequality",
+    "theorem8_inequality",
+]
+
+
+def log2_num_protocols(n: int, b: int, L: int, t: int) -> int:
+    """log2 of Lemma 1's protocol-count upper bound.
+
+    A node's behaviour is a function of its ``L`` input bits plus the
+    ``b * t * (n-1)`` bits it can receive, which is the reading of
+    Lemma 1 consistent with the paper's ``t < L/b - 1`` remark and with
+    the Theorem 4/8 arithmetic (and validated against exact exhaustive
+    protocol counts at miniature scale in the tests).
+    """
+    if min(n, b) < 1 or L < 0 or t < 0:
+        raise ValueError("need n,b >= 1 and L,t >= 0")
+    return 2 * b * n + (n - 1) * (1 << (L + b * t * (n - 1)))
+
+
+def log2_num_functions(n: int, L: int) -> int:
+    """log2 of the number of functions {0,1}^(nL) -> {0,1}."""
+    return 1 << (n * L)
+
+
+def protocols_fewer_than_functions(n: int, b: int, L: int, t: int) -> bool:
+    """Whether Lemma 1 already implies a hard function exists at these
+    parameters (#protocols < #functions)."""
+    return log2_num_protocols(n, b, L, t) < log2_num_functions(n, L)
+
+
+def max_hard_round_budget(n: int, b: int, L: int) -> int:
+    """The largest ``t`` for which Lemma 1 still yields a hard function,
+    i.e. ``max { t : #protocols(t) < #functions }`` (or -1 if none).
+
+    The paper's remark: this is roughly ``L/b - 1``.
+    """
+    t = -1
+    while protocols_fewer_than_functions(n, b, L, t + 1):
+        t += 1
+    return t
+
+
+@dataclass(frozen=True)
+class HierarchyParameters:
+    """Parameter audit for one of the hierarchy constructions."""
+
+    n: int
+    L: int
+    protocol_rounds: int
+    log2_protocols: int
+    log2_functions: int
+
+    @property
+    def hard_function_exists(self) -> bool:
+        return self.log2_protocols < self.log2_functions
+
+    @property
+    def log2_gap(self) -> int:
+        return self.log2_functions - self.log2_protocols
+
+
+def theorem2_parameters(n: int, T: int) -> HierarchyParameters:
+    """The Theorem 2 construction at size ``n``: ``L = T log n``, and the
+    hard function must evade ``(n, log n, L, T/2)``-protocols.
+
+    Requires ``T < n / (4 log n)`` (the proof's standing assumption) for
+    the numbers to be meaningful; we only compute, not enforce.
+    """
+    log_n = max(1, math.ceil(math.log2(n)))
+    L = T * log_n
+    t = max(0, T // 2)
+    return HierarchyParameters(
+        n=n,
+        L=L,
+        protocol_rounds=t,
+        log2_protocols=log2_num_protocols(n, log_n, L, t),
+        log2_functions=log2_num_functions(n, L),
+    )
+
+
+@dataclass(frozen=True)
+class NondetInequality:
+    """The Theorem 4 bookkeeping: ``M + L + T(n-1) log n < (3/4) n L``."""
+
+    n: int
+    T: int
+    L: int
+    M: int
+    lhs: int
+    rhs: int
+
+    @property
+    def holds(self) -> bool:
+        return self.lhs < self.rhs
+
+
+def theorem4_inequality(n: int, T: int) -> NondetInequality:
+    """Theorem 4's parameter check with ``L = T log n`` and
+    ``M = (1/4) T n log n``: the nondeterministic protocols at round
+    budget ``T/4`` are outnumbered when
+    ``M + L + (T/4)(n-1) log n < (3/4) n L``.  To stay exact over the
+    integers, ``lhs``/``rhs`` are stored scaled by 4:
+    ``4M + 4L + T(n-1)log n < 3 n L``."""
+    log_n = max(1, math.ceil(math.log2(n)))
+    L = T * log_n
+    M = (T * n * log_n) // 4
+    lhs = 4 * M + 4 * L + T * (n - 1) * log_n
+    rhs = 3 * n * L
+    return NondetInequality(n=n, T=T, L=L, M=M, lhs=lhs, rhs=rhs)
+
+
+@dataclass(frozen=True)
+class LogHierarchyInequality:
+    """Theorem 8's bookkeeping for level ``k``:
+    ``k M + L + (1/4) T^2 (n-1) log n < (3/4) n L``."""
+
+    n: int
+    T: int
+    k: int
+    L: int
+    M: int
+    lhs: int
+    rhs: int
+
+    @property
+    def holds(self) -> bool:
+        return self.lhs < self.rhs
+
+
+def theorem8_inequality(n: int, T: int, k: int) -> LogHierarchyInequality:
+    """Theorem 8's parameter check with ``L = T^2 log n`` and
+    ``M = (1/4) T n log n``, for hierarchy level ``k <= T``.  Scaled by 4
+    to stay exact: ``4kM + 4L + T^2 (n-1) log n < 3 n L``."""
+    log_n = max(1, math.ceil(math.log2(n)))
+    L = T * T * log_n
+    M = (T * n * log_n) // 4
+    lhs = 4 * k * M + 4 * L + T * T * (n - 1) * log_n
+    rhs = 3 * n * L
+    return LogHierarchyInequality(n=n, T=T, k=k, L=L, M=M, lhs=lhs, rhs=rhs)

@@ -1,0 +1,238 @@
+"""Fine-grained complexity — Section 7 and Figure 1.
+
+The *problem exponent* is ``delta(L) = inf { d : L solvable in O(n^d)
+rounds }``.  Figure 1 maps the landscape: an arrow to ``L1`` from ``L2``
+means ``delta(L1) <= delta(L2)``.  This module encodes the figure as a
+directed reduction graph with sourced edges and direct upper bounds, and
+propagates bounds through the graph (so e.g. ``delta(triangle) <=
+delta(Boolean MM) <= delta(ring MM) <= 1 - 2/omega`` comes out of the
+registry by relaxation, exactly as the paper composes its citations).
+
+Every edge and direct bound carries its paper source; the benchmark
+``benchmarks/test_e1_figure1_landscape.py`` regenerates the figure as an
+edge table and checks measured round exponents against the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Best known matrix multiplication exponent cited by the paper [41].
+OMEGA = 2.3728639
+
+__all__ = [
+    "OMEGA",
+    "ProblemEntry",
+    "ReductionEdge",
+    "ExponentRegistry",
+    "figure1_registry",
+]
+
+
+@dataclass(frozen=True)
+class ProblemEntry:
+    """A problem node of Figure 1."""
+
+    key: str
+    display: str
+    #: Direct upper bound on delta (None if only via reductions).
+    direct_upper: float | None = None
+    #: Human-readable form of the bound (e.g. "1 - 2/omega").
+    bound_formula: str = ""
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class ReductionEdge:
+    """delta(frm) <= delta(to): an arrow *to* ``frm`` *from* ``to``."""
+
+    frm: str
+    to: str
+    source: str = ""
+    note: str = ""
+
+
+class ExponentRegistry:
+    """Problems + reduction arrows + bound propagation."""
+
+    def __init__(self) -> None:
+        self.problems: dict[str, ProblemEntry] = {}
+        self.edges: list[ReductionEdge] = []
+
+    def add_problem(self, entry: ProblemEntry) -> None:
+        """Register a problem node."""
+        if entry.key in self.problems:
+            raise ValueError(f"duplicate problem {entry.key}")
+        self.problems[entry.key] = entry
+
+    def add_reduction(self, frm: str, to: str, source: str = "", note: str = "") -> None:
+        """Register an arrow ``delta(frm) <= delta(to)``."""
+        for key in (frm, to):
+            if key not in self.problems:
+                raise ValueError(f"unknown problem {key!r}")
+        self.edges.append(ReductionEdge(frm=frm, to=to, source=source, note=note))
+
+    def delta_upper(self, key: str) -> float:
+        """Best upper bound on delta(key) via direct bounds + arrows.
+
+        Relaxation over the reduction graph (Bellman–Ford style; the
+        graph may have cycles from equivalences, which relaxation handles
+        naturally).  Every problem has the trivial gather bound 1.
+        """
+        best = {k: 1.0 for k in self.problems}
+        for k, entry in self.problems.items():
+            if entry.direct_upper is not None:
+                best[k] = min(best[k], entry.direct_upper)
+        for _ in range(len(self.problems)):
+            changed = False
+            for e in self.edges:
+                if best[e.to] < best[e.frm]:
+                    best[e.frm] = best[e.to]
+                    changed = True
+            if not changed:
+                break
+        if key not in best:
+            raise KeyError(key)
+        return best[key]
+
+    def all_bounds(self) -> dict[str, float]:
+        """Propagated delta upper bounds for every problem."""
+        return {k: self.delta_upper(k) for k in self.problems}
+
+    def arrows(self) -> list[ReductionEdge]:
+        """All registered reduction arrows."""
+        return list(self.edges)
+
+    def table(self) -> list[dict]:
+        """Figure 1 as rows: problem, propagated bound, provenance."""
+        bounds = self.all_bounds()
+        rows = []
+        for key, entry in sorted(self.problems.items()):
+            rows.append(
+                {
+                    "problem": entry.display,
+                    "key": key,
+                    "delta_upper": round(bounds[key], 4),
+                    "direct_bound": entry.bound_formula or "-",
+                    "source": entry.source or "-",
+                }
+            )
+        return rows
+
+
+def figure1_registry(k: int = 3, omega: float = OMEGA) -> ExponentRegistry:
+    """Figure 1 instantiated for parameter ``k`` (>= 3) and the matrix
+    multiplication exponent ``omega``.
+
+    Problems, bounds, and arrows follow Section 7's enumerated
+    relationships; all 26 nodes of the figure are present.
+    """
+    if k < 3:
+        raise ValueError("Figure 1 is drawn for k >= 3")
+    r = ExponentRegistry()
+    P = ProblemEntry
+
+    mm_bound = 1 - 2 / omega
+
+    # --- matrix multiplication family
+    r.add_problem(P("ring-mm", "Ring MM", mm_bound, "1 - 2/omega", "Censor-Hillel et al. [10], Le Gall [41]"))
+    r.add_problem(P("boolean-mm", "Boolean MM"))
+    r.add_problem(P("minplus-mm", "(min,+) MM"))
+    r.add_problem(P("semiring-mm", "Semiring MM", 1 / 3, "1/3", "Censor-Hillel et al. [10]"))
+    r.add_problem(P("transitive-closure", "Transitive closure"))
+
+    # --- subgraph detection family
+    r.add_problem(P("triangle", "Triangle / 3-IS"))
+    r.add_problem(P("size3-subgraph", "size 3 subgraph"))
+    r.add_problem(
+        P("k-cycle", f"{k}-cycle", 1 - 2 / k, "1 - 2/k", "Censor-Hillel et al. [10], Dolev et al. [16]")
+    )
+    r.add_problem(
+        P("size-k-subgraph", f"size {k} subgraph", 1 - 2 / k, "1 - 2/k", "Dolev et al. [16]")
+    )
+    r.add_problem(P("k-is", f"{k}-IS", 1 - 2 / k, "1 - 2/k", "Dolev et al. [16]"))
+    r.add_problem(P("k-ds", f"{k}-DS", 1 - 1 / k, "1 - 1/k", "Theorem 9"))
+
+    # --- APSP family (w/uw = weighted/unweighted, d/ud = directed or not)
+    r.add_problem(P("apsp-w-d", "APSP w/d", 1.0, "1", "trivial (gather)"))
+    r.add_problem(P("apsp-uw-ud", "APSP uw/ud"))
+    r.add_problem(P("apsp-w-ud", "APSP w/ud"))
+    r.add_problem(P("apsp-uw-d", "APSP uw/d", 0.2096, "0.2096", "Le Gall [42]"))
+    r.add_problem(P("apsp-w-ud-2eps", "APSP w/ud (2-eps)-approx"))
+    r.add_problem(P("apsp-w-ud-1eps", "APSP w/ud (1+eps)-approx"))
+    r.add_problem(
+        P(
+            "apsp-uw-ud-3approx",
+            "APSP uw/ud 3-approx (spanner)",
+            0.5,
+            "1/2 (3-spanner gather)",
+            "Censor-Hillel et al. [11] / Baswana-Sen",
+        )
+    )
+
+    # --- SSSP family
+    r.add_problem(P("bfs-tree", "BFS tree"))
+    r.add_problem(P("sssp-uw-ud", "SSSP uw/ud"))
+    r.add_problem(P("sssp-w-ud", "SSSP w/ud"))
+    r.add_problem(P("sssp-w-d", "SSSP w/d"))
+    r.add_problem(
+        P("sssp-w-ud-1eps", "SSSP w/ud (1+eps)-approx", 0.0, "n^o(1)", "Becker et al. [5]")
+    )
+    r.add_problem(P("sssp-uw-d", "SSSP uw/d"))
+
+    # --- global optimisation / colouring
+    r.add_problem(P("max-is", "MaxIS", 1.0, "1", "trivial (gather)"))
+    r.add_problem(P("min-vc", "MinVC"))
+    r.add_problem(P("k-col", f"{k}-COL"))
+    r.add_problem(P("k-vc", f"{k}-VC", 0.0, "O(k) rounds", "Theorem 11"))
+
+    # ------------------------------------------------------------------ arrows
+    # delta(frm) <= delta(to)
+
+    # matrix multiplication chain
+    r.add_reduction("boolean-mm", "ring-mm", "[10]", "boolean via integer ring")
+    r.add_reduction("transitive-closure", "boolean-mm", "[10]", "log n squarings")
+    r.add_reduction("minplus-mm", "semiring-mm", "", "(min,+) is a semiring")
+    r.add_reduction("apsp-w-d", "minplus-mm", "[10]", "log n squarings")
+
+    # subgraph detection <-> Boolean MM (Censor-Hillel et al.)
+    r.add_reduction("triangle", "boolean-mm", "[10]", "trace of A^3")
+    r.add_reduction("size3-subgraph", "triangle", "[10]")
+    r.add_reduction("triangle", "size3-subgraph", "[10]")
+    r.add_reduction("k-cycle", "size-k-subgraph", "[10]")
+
+    # Dor-Halperin-Zwick: Boolean MM <= (2-eps)-approx APSP
+    r.add_reduction("boolean-mm", "apsp-w-ud-2eps", "Dor et al. [17]")
+    # approx APSP via ring MM (Censor-Hillel et al.)
+    r.add_reduction("apsp-w-ud-1eps", "ring-mm", "[10]")
+
+    # Theorem 10: k-IS <= k-DS
+    r.add_reduction("k-is", "k-ds", "Theorem 10", "O(k^(2d+4)) overhead")
+
+    # trivial containments in the APSP family
+    r.add_reduction("apsp-uw-ud", "apsp-w-ud", "", "unweighted is weighted")
+    r.add_reduction("apsp-w-ud", "apsp-w-d", "", "undirected is directed")
+    r.add_reduction("apsp-uw-ud", "apsp-uw-d", "", "undirected is directed")
+    r.add_reduction("apsp-uw-d", "apsp-w-d", "", "unweighted is weighted")
+    r.add_reduction("apsp-w-ud-2eps", "apsp-w-ud", "", "exact refines approx")
+    r.add_reduction("apsp-w-ud-1eps", "apsp-w-ud-2eps", "", "eps' < eps")
+
+    # SSSP <= APSP and internal containments
+    r.add_reduction("sssp-w-d", "apsp-w-d")
+    r.add_reduction("sssp-w-ud", "apsp-w-ud")
+    r.add_reduction("sssp-uw-ud", "apsp-uw-ud")
+    r.add_reduction("sssp-uw-d", "apsp-uw-d")
+    r.add_reduction("sssp-uw-ud", "sssp-w-ud", "", "unweighted is weighted")
+    r.add_reduction("sssp-w-ud", "sssp-w-d", "", "undirected is directed")
+    r.add_reduction("sssp-uw-d", "sssp-w-d", "", "unweighted is weighted")
+    r.add_reduction("sssp-uw-ud", "sssp-uw-d", "", "undirected is directed")
+    r.add_reduction("sssp-w-ud-1eps", "sssp-w-ud", "", "exact refines approx")
+    r.add_reduction("bfs-tree", "sssp-uw-ud", "", "BFS tree from distances")
+
+    # MaxIS / MinVC / k-COL / k-IS
+    r.add_reduction("min-vc", "max-is", "", "complement sets (Gallai)")
+    r.add_reduction("max-is", "min-vc", "", "complement sets (Gallai)")
+    r.add_reduction("k-col", "max-is", "[46]", "k-fold blow-up")
+    r.add_reduction("k-is", "max-is", "", "size of MaxIS answers k-IS")
+
+    return r

@@ -1,0 +1,338 @@
+"""The constant-round decision hierarchy — Section 6.2.
+
+A ``k``-labelling algorithm takes ``k`` labellings ``z_1 .. z_k``; the
+class Sigma_k quantifies them alternately starting with "exists":
+
+    G in L  iff  exists z_1 forall z_2 ... Q z_k : A(G, z_1..z_k) = 1.
+
+We provide:
+
+* :func:`evaluate_alternation` — exhaustive quantifier evaluation over
+  fixed-width label spaces (miniature instances),
+* :func:`sigma2_universal_algorithm` — the **Theorem 7** construction
+  showing every decision problem is in Sigma_2 of the *unlimited*
+  hierarchy: the existential labelling guesses the whole input graph at
+  every node, the universal labelling spot-checks one encoded bit per
+  node, and each node finally checks its guess against the language.
+
+The logarithmic hierarchy (labels of O(n log n) bits) is separated from
+all finite levels by counting (Theorem 8) — see
+:mod:`repro.core.counting` and :mod:`repro.core.time_hierarchy`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Iterable, Sequence
+
+from ..clique.bits import BitReader, BitString, BitWriter, uint_width
+from ..clique.graph import CliqueGraph
+from ..clique.network import CongestedClique, NodeProgram
+from ..clique.node import Node
+from ..clique.primitives import all_broadcast
+from ..problems.base import DecisionProblem
+
+__all__ = [
+    "run_k_labelling",
+    "evaluate_alternation",
+    "graph_encoding_bits",
+    "encode_graph_guess",
+    "decode_graph_guess",
+    "sigma2_universal_algorithm",
+    "sigma2_honest_guess",
+    "sigma2_decides",
+    "complement_acceptance",
+    "pi2_universal_algorithm",
+    "pi2_decides",
+]
+
+
+def run_k_labelling(
+    program: NodeProgram,
+    graph: CliqueGraph,
+    labellings: Sequence[Sequence[BitString]],
+    *,
+    bandwidth_multiplier: int = 1,
+) -> bool:
+    """One run of a k-labelling algorithm; node ``v`` receives
+    ``node.aux["labels"] = (z_1[v], .., z_k[v])``.  Returns acceptance
+    (all nodes output 1)."""
+    n = graph.n
+
+    def aux(v: int) -> dict:
+        return {"labels": tuple(z[v] for z in labellings)}
+
+    clique = CongestedClique(n, bandwidth_multiplier=bandwidth_multiplier)
+    result = clique.run(program, graph, aux=aux)
+    return all(out == 1 for out in result.outputs.values())
+
+
+def evaluate_alternation(
+    program: NodeProgram,
+    graph: CliqueGraph,
+    quantifiers: Sequence[str],
+    label_spaces: Sequence[Iterable[Sequence[BitString]]],
+    *,
+    bandwidth_multiplier: int = 1,
+) -> bool:
+    """Exhaustively evaluate ``Q_1 z_1 Q_2 z_2 ... : A(G, z..) = 1``.
+
+    ``quantifiers[i]`` is ``"exists"`` or ``"forall"``;
+    ``label_spaces[i]`` iterates over candidate labellings for ``z_i``
+    (each a length-n sequence of BitStrings).  Exponential — miniatures
+    only.
+    """
+    if len(quantifiers) != len(label_spaces):
+        raise ValueError("one label space per quantifier")
+
+    def recurse(level: int, chosen: list) -> bool:
+        if level == len(quantifiers):
+            return run_k_labelling(
+                program,
+                graph,
+                chosen,
+                bandwidth_multiplier=bandwidth_multiplier,
+            )
+        q = quantifiers[level]
+        space = list(label_spaces[level])
+        if q == "exists":
+            return any(recurse(level + 1, chosen + [z]) for z in space)
+        if q == "forall":
+            return all(recurse(level + 1, chosen + [z]) for z in space)
+        raise ValueError(f"unknown quantifier {q!r}")
+
+    return recurse(0, [])
+
+
+# ---------------------------------------------------------------------------
+# Theorem 7: the unlimited hierarchy collapses to Sigma_2
+
+
+def graph_encoding_bits(n: int) -> int:
+    """Bits to encode an undirected n-node graph (upper triangle)."""
+    return n * (n - 1) // 2
+
+
+def _pair_of_slot(slot: int, n: int) -> tuple[int, int]:
+    """The (u, v) pair of upper-triangle slot index ``slot``."""
+    u = 0
+    remaining = slot
+    row = n - 1
+    while remaining >= row:
+        remaining -= row
+        u += 1
+        row -= 1
+    return u, u + 1 + remaining
+
+
+def encode_graph_guess(graph: CliqueGraph) -> BitString:
+    """Encode a graph as its upper-triangle bit vector (the Sigma_2
+    existential label of Theorem 7)."""
+    n = graph.n
+    w = BitWriter()
+    for u in range(n):
+        for v in range(u + 1, n):
+            w.write_bit(int(graph.has_edge(u, v)))
+    return w.finish()
+
+
+def decode_graph_guess(bits: BitString, n: int) -> CliqueGraph:
+    """Inverse of :func:`encode_graph_guess`."""
+    edges = []
+    r = BitReader(bits)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if r.read_bit():
+                edges.append((u, v))
+    return CliqueGraph.from_edges(n, edges)
+
+
+def sigma2_universal_algorithm(problem: DecisionProblem) -> NodeProgram:
+    """Theorem 7's 2-labelling algorithm for an arbitrary decision
+    problem L:
+
+    * ``z_1[v]``: node v's guess of the whole input graph
+      (``n(n-1)/2`` bits — this needs the *unlimited* hierarchy),
+    * ``z_2[v]``: an index into the encoding (``O(log n)`` bits),
+    * protocol: v broadcasts ``(index_v, bit of its guess at index_v)``;
+      everyone cross-checks all broadcasts against their own guess and
+      their local view of G; finally v checks ``G'_v in L``.
+    """
+
+    def program(node: Node) -> Generator[None, None, int]:
+        n = node.n
+        enc_bits = graph_encoding_bits(n)
+        slot_width = uint_width(max(1, enc_bits - 1))
+        guess_bits, index_bits = node.aux["labels"]
+
+        ok = len(guess_bits) == enc_bits and len(index_bits) == slot_width
+        my_slot = index_bits.value if ok else 0
+        if ok and my_slot >= enc_bits:
+            my_slot = my_slot % max(1, enc_bits)
+        my_bit = guess_bits[my_slot] if ok else 0
+
+        # Step (2): broadcast (index, bit); O(log n) bits, O(1) rounds.
+        payload = (
+            BitWriter().write_uint(my_slot, slot_width).write_bit(my_bit).finish()
+        )
+        broadcasts = yield from all_broadcast(node, payload)
+        if not ok:
+            return 0
+
+        row = node.input
+        for v in range(n):
+            r = BitReader(broadcasts[v])
+            slot = r.read_uint(slot_width)
+            bit = r.read_bit()
+            if slot >= enc_bits:
+                return 0
+            # consistency with our own guess
+            if guess_bits[slot] != bit:
+                return 0
+            # consistency with our local view of the real input
+            a, b = _pair_of_slot(slot, n)
+            if node.id in (a, b):
+                other = b if node.id == a else a
+                if int(row[other]) != bit:
+                    return 0
+
+        # Step (3): local membership check of the guessed graph.
+        guessed = decode_graph_guess(guess_bits, n)
+        return int(problem.contains(guessed))
+
+    return program
+
+
+def sigma2_honest_guess(graph: CliqueGraph) -> list[BitString]:
+    """The honest existential labelling: every node guesses the real G."""
+    enc = encode_graph_guess(graph)
+    return [enc for _ in range(graph.n)]
+
+
+def all_index_labellings(n: int) -> Iterable[list[BitString]]:
+    """All universal labellings: each node picks one encoding slot."""
+    enc_bits = graph_encoding_bits(n)
+    slot_width = uint_width(max(1, enc_bits - 1))
+    slots = [BitString(i, slot_width) for i in range(enc_bits)]
+    return (list(combo) for combo in itertools.product(slots, repeat=n))
+
+
+def complement_acceptance(program: NodeProgram) -> NodeProgram:
+    """Complement a k-labelling algorithm's *acceptance*.
+
+    Acceptance means *all* nodes output 1, so per-node output negation
+    does not complement it.  The honest construction costs one extra
+    round: after running the inner algorithm, every node broadcasts its
+    verdict bit and all output 1 iff some inner verdict was 0.  This is
+    the step behind the paper's "it follows that all decision problems
+    are also in Pi_2" (Theorem 7): L in Pi_2 because the Sigma_2
+    algorithm for the complement of L, acceptance-complemented, realises
+    ``forall z1 exists z2``.
+    """
+
+    def wrapped(node: Node) -> Generator[None, None, int]:
+        inner_verdict = yield from _as_subroutine(program, node)
+        bit = 1 if inner_verdict == 1 else 0
+        verdicts = yield from all_broadcast(node, BitString(bit, 1))
+        rejected_somewhere = any(v.value == 0 for v in verdicts)
+        return 1 if rejected_somewhere else 0
+
+    return wrapped
+
+
+def _as_subroutine(program: NodeProgram, node: Node):
+    """Delegate to another node program as a generator subroutine."""
+    result = yield from program(node)
+    return result
+
+
+def pi2_universal_algorithm(problem: DecisionProblem) -> NodeProgram:
+    """Theorem 7's Pi_2 side: the acceptance-complemented Sigma_2
+    algorithm of the *complement* language, so that
+    ``G in L iff forall z1 exists z2 : A(G, z1, z2) = 1``."""
+    from ..problems.base import complement
+
+    return complement_acceptance(
+        sigma2_universal_algorithm(complement(problem))
+    )
+
+
+def pi2_decides(
+    problem: DecisionProblem,
+    graph: CliqueGraph,
+    *,
+    bandwidth_multiplier: int = 2,
+) -> bool:
+    """Exhaustively evaluate the Pi_2 sentence (miniature sizes only:
+    the existential inner space is all per-node graph guesses)."""
+    n = graph.n
+    program = pi2_universal_algorithm(problem)
+    enc_bits = graph_encoding_bits(n)
+    guesses = [BitString(x, enc_bits) for x in range(1 << enc_bits)]
+    exists_space = [
+        list(c) for c in itertools.product(guesses, repeat=n)
+    ]
+    universal = list(all_index_labellings(n))
+
+    # forall z1 (graph guesses) exists z2 (probe indices)... note the
+    # quantifier ORDER: in the complemented algorithm the outer label is
+    # the Sigma_2 guess and the inner the probe, so Pi_2's forall binds
+    # the guess and exists binds the probe.
+    return all(
+        any(
+            run_k_labelling(
+                program,
+                graph,
+                [z1, z2],
+                bandwidth_multiplier=bandwidth_multiplier,
+            )
+            for z2 in universal
+        )
+        for z1 in exists_space
+    )
+
+
+def sigma2_decides(
+    problem: DecisionProblem,
+    graph: CliqueGraph,
+    *,
+    bandwidth_multiplier: int = 2,
+    exists_space: Iterable[Sequence[BitString]] | None = None,
+) -> bool:
+    """Evaluate Theorem 7's Sigma_2 sentence on ``graph`` exhaustively.
+
+    By default the existential space ranges over *all* per-node graph
+    guesses — ``2^(n(n-1)/2 * n)`` labellings, so this is for n <= 3; pass
+    ``exists_space`` to restrict (e.g. product of a few guesses) for
+    larger miniatures.  Early exits make the common paths fast: the
+    honest guess is tried first.
+    """
+    n = graph.n
+    program = sigma2_universal_algorithm(problem)
+    universal = list(all_index_labellings(n))
+
+    def sentence_holds_for(guess_labelling) -> bool:
+        return all(
+            run_k_labelling(
+                program,
+                graph,
+                [guess_labelling, z2],
+                bandwidth_multiplier=bandwidth_multiplier,
+            )
+            for z2 in universal
+        )
+
+    honest = sigma2_honest_guess(graph)
+    if sentence_holds_for(honest):
+        return True
+    if exists_space is None:
+        enc_bits = graph_encoding_bits(n)
+        per_node = [BitString(x, enc_bits) for x in range(1 << enc_bits)]
+        exists_space = itertools.product(per_node, repeat=n)
+    for guess in exists_space:
+        guess = list(guess)
+        if guess == honest:
+            continue
+        if sentence_holds_for(guess):
+            return True
+    return False

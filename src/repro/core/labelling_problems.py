@@ -1,0 +1,210 @@
+"""NCLIQUE(1)-labelling problems — the paper's LCL analogue (Section 8).
+
+The conclusions define the search-problem counterpart of NCLIQUE(1): a
+set ``L`` of pairs ``(G, z)`` where ``z`` is an output labelling and
+membership is decidable in constant rounds; the task is to *find* a
+``z`` with ``(G, z) in L``.  "This class captures many natural graph
+problems of interest, but we do not have lower bounds for any problem in
+this class."
+
+We implement the class executably: each problem bundles a constant-round
+distributed *verifier* (a node program reading its own output label from
+``node.aux['output']``) with a centralised reference solver, plus three
+canonical instances mirroring the classical LCL search problems the
+paper names as analogues (colouring, maximal independent set) and
+maximal matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Sequence
+
+from ..clique.bits import BitString, uint_width
+from ..clique.graph import CliqueGraph
+from ..clique.network import CongestedClique, NodeProgram
+from ..problems import reference as ref
+
+__all__ = [
+    "LabellingProblem",
+    "colouring_search_problem",
+    "maximal_independent_set_problem",
+    "maximal_matching_problem",
+]
+
+
+@dataclass(frozen=True)
+class LabellingProblem:
+    """An NCLIQUE(1)-labelling (search) problem."""
+
+    name: str
+    #: Constant-round verifier; node reads its label from
+    #: ``node.aux["output"]`` and outputs 1 iff its local checks pass.
+    verifier: NodeProgram
+    #: Output label size in bits, as a function of n.
+    label_size: Callable[[int], int]
+    #: Centralised solver: graph -> labelling (list of BitStrings) or None.
+    solver: Callable[[CliqueGraph], list[BitString] | None]
+
+    def verify(
+        self,
+        graph: CliqueGraph,
+        labelling: Sequence[BitString],
+        *,
+        bandwidth_multiplier: int = 1,
+    ) -> bool:
+        """Run the distributed verifier; valid iff all nodes accept."""
+        n = graph.n
+
+        def aux(v: int) -> dict:
+            return {"output": labelling[v]}
+
+        clique = CongestedClique(n, bandwidth_multiplier=bandwidth_multiplier)
+        result = clique.run(self.verifier, graph, aux=aux)
+        return all(o == 1 for o in result.outputs.values())
+
+    def solve_and_verify(self, graph: CliqueGraph) -> bool | None:
+        """Solve centrally and check distributedly; None = no solution."""
+        labelling = self.solver(graph)
+        if labelling is None:
+            return None
+        return self.verify(graph, labelling)
+
+
+# ---------------------------------------------------------------------------
+# proper k-colouring (search form)
+
+
+def colouring_search_problem(k: int) -> LabellingProblem:
+    """Search form of proper k-colouring (output = own colour)."""
+    cw = uint_width(max(1, k - 1))
+
+    def verifier(node) -> Generator[None, None, int]:
+        from ..clique.primitives import all_broadcast
+
+        label: BitString = node.aux["output"]
+        if len(label) != cw:
+            yield from all_broadcast(node, BitString.zeros(cw))
+            return 0
+        colours = yield from all_broadcast(node, label)
+        if label.value >= k:
+            return 0
+        row = node.input
+        for u in range(node.n):
+            if u != node.id and row[u] and colours[u] == label:
+                return 0
+        return 1
+
+    def solver(graph: CliqueGraph) -> list[BitString] | None:
+        from ..problems.catalog import k_colouring_problem
+
+        colours = k_colouring_problem(k).certifier(graph)
+        if colours is None:
+            return None
+        return [BitString(c, cw) for c in colours]
+
+    return LabellingProblem(
+        name=f"{k}-colouring-search",
+        verifier=verifier,
+        label_size=lambda n: cw,
+        solver=solver,
+    )
+
+
+# ---------------------------------------------------------------------------
+# maximal independent set (the Naor-Stockmeyer flagship)
+
+
+def maximal_independent_set_problem() -> LabellingProblem:
+    """Maximal independent set: output = membership bit; the verifier
+    checks independence and maximality in one broadcast round."""
+
+    def verifier(node) -> Generator[None, None, int]:
+        from ..clique.primitives import all_broadcast
+
+        label: BitString = node.aux["output"]
+        if len(label) != 1:
+            yield from all_broadcast(node, BitString.zeros(1))
+            return 0
+        bits = yield from all_broadcast(node, label)
+        in_set = label.value == 1
+        row = node.input
+        neighbour_in_set = any(
+            row[u] and bits[u].value == 1
+            for u in range(node.n)
+            if u != node.id
+        )
+        if in_set and neighbour_in_set:
+            return 0  # not independent
+        if not in_set and not neighbour_in_set:
+            return 0  # not maximal
+        return 1
+
+    def solver(graph: CliqueGraph) -> list[BitString]:
+        chosen: set[int] = set()
+        for v in range(graph.n):  # greedy MIS always exists
+            if not any(graph.has_edge(v, u) for u in chosen):
+                chosen.add(v)
+        return [
+            BitString(1 if v in chosen else 0, 1) for v in range(graph.n)
+        ]
+
+    return LabellingProblem(
+        name="maximal-independent-set",
+        verifier=verifier,
+        label_size=lambda n: 1,
+        solver=solver,
+    )
+
+
+# ---------------------------------------------------------------------------
+# maximal matching
+
+
+def maximal_matching_problem() -> LabellingProblem:
+    """Output label: partner id + 1 (0 = unmatched).  Checks: claims are
+    symmetric, claimed edges exist, and no edge joins two unmatched
+    nodes (maximality)."""
+
+    def verifier(node) -> Generator[None, None, int]:
+        from ..clique.primitives import all_broadcast
+
+        n = node.n
+        pw = uint_width(n)  # values 0..n
+        label: BitString = node.aux["output"]
+        if len(label) != pw:
+            yield from all_broadcast(node, BitString.zeros(pw))
+            return 0
+        claims = yield from all_broadcast(node, label)
+        partners = [c.value - 1 for c in claims]  # -1 = unmatched
+        me = node.id
+        mine = partners[me]
+        row = node.input
+        if mine >= n or (mine >= 0 and mine == me):
+            return 0
+        if mine >= 0:
+            if not row[mine]:
+                return 0  # claimed a non-edge
+            if partners[mine] != me:
+                return 0  # asymmetric claim
+        else:
+            # maximality: every neighbour must be matched
+            for u in range(n):
+                if u != me and row[u] and partners[u] < 0:
+                    return 0
+        return 1
+
+    def solver(graph: CliqueGraph) -> list[BitString]:
+        partner = [-1] * graph.n
+        for u, v in graph.edges():  # greedy maximal matching
+            if partner[u] < 0 and partner[v] < 0:
+                partner[u], partner[v] = v, u
+        pw = uint_width(graph.n)
+        return [BitString(p + 1, pw) for p in partner]
+
+    return LabellingProblem(
+        name="maximal-matching",
+        verifier=verifier,
+        label_size=lambda n: uint_width(n),
+        solver=solver,
+    )

@@ -1,0 +1,129 @@
+"""The nondeterministic congested clique — Section 5.
+
+A *labelling* ``z`` assigns each node a bit-string label; a
+nondeterministic algorithm is a deterministic node program that
+additionally reads its label (we pass it as ``node.aux["label"]``, with
+any problem-specific auxiliary input under other keys).  The algorithm
+*decides* ``L`` when ``G in L  iff  exists z : A(G, z) = 1`` where
+``A(G, z) = 1`` means every node outputs 1.
+
+For small label spaces the existential quantifier is evaluated by
+exhaustive search (:func:`decide_nondeterministic`); for the natural
+problems of Section 6.1 the certificate is produced by a centralised
+prover (the problem's ``certifier``) and only *verified* distributedly —
+both paths exercise the same verifier programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..clique.bits import BitString
+from ..clique.graph import CliqueGraph
+from ..clique.network import CongestedClique, NodeProgram
+
+__all__ = [
+    "Labelling",
+    "NondeterministicAlgorithm",
+    "all_labellings",
+    "run_with_labelling",
+    "decide_nondeterministic",
+]
+
+#: A labelling: one BitString per node, indexed by node id.
+Labelling = tuple[BitString, ...]
+
+
+def all_labellings(n: int, max_bits: int) -> Iterable[Labelling]:
+    """Every labelling assigning each node a label of exactly
+    ``max_bits`` bits (fixed-width labels lose no generality up to
+    padding, and keep the search space regular).  There are
+    ``2^(n * max_bits)`` of them — miniature use only.
+    """
+    per_node = [
+        BitString(v, max_bits) for v in range(1 << max_bits)
+    ]
+    return itertools.product(per_node, repeat=n)
+
+
+@dataclass(frozen=True)
+class NondeterministicAlgorithm:
+    """A nondeterministic algorithm: a verifier program plus its
+    declared running time and labelling size (both as functions of n)."""
+
+    name: str
+    #: Node program; reads ``node.aux["label"]`` (a BitString).
+    program: NodeProgram
+    #: Declared labelling size S(n) in bits.
+    label_size: Callable[[int], int]
+    #: Declared running time T(n) in rounds (used by the normal form).
+    running_time: Callable[[int], int]
+
+
+def run_with_labelling(
+    algo: NondeterministicAlgorithm,
+    graph: CliqueGraph,
+    labelling: Sequence[BitString],
+    *,
+    aux_extra: Any = None,
+    bandwidth_multiplier: int = 1,
+    record_transcripts: bool = False,
+):
+    """One deterministic run of the verifier under a fixed labelling.
+
+    Returns the engine :class:`RunResult`; acceptance is
+    ``all(outputs) == 1``.
+    """
+    n = graph.n
+    for v, label in enumerate(labelling):
+        if len(label) > algo.label_size(n):
+            raise ValueError(
+                f"label of node {v} has {len(label)} bits, exceeding the "
+                f"declared labelling size {algo.label_size(n)}"
+            )
+
+    def aux(v: int) -> dict:
+        d = {"label": labelling[v]}
+        if aux_extra is not None:
+            d["extra"] = aux_extra
+        return d
+
+    clique = CongestedClique(
+        n,
+        bandwidth_multiplier=bandwidth_multiplier,
+        record_transcripts=record_transcripts,
+    )
+    return clique.run(algo.program, graph, aux=aux)
+
+
+def accepts(result) -> bool:
+    return all(out == 1 for out in result.outputs.values())
+
+
+def decide_nondeterministic(
+    algo: NondeterministicAlgorithm,
+    graph: CliqueGraph,
+    *,
+    label_bits: int | None = None,
+    bandwidth_multiplier: int = 1,
+) -> tuple[bool, Labelling | None]:
+    """Exhaustive evaluation of ``exists z : A(G, z) = 1``.
+
+    Searches all labellings of exactly ``label_bits`` bits per node
+    (default: the algorithm's declared size) — exponential, for miniature
+    instances.  Returns ``(accepted, witnessing labelling or None)``.
+    """
+    n = graph.n
+    bits = label_bits if label_bits is not None else algo.label_size(n)
+    for labelling in all_labellings(n, bits):
+        result = run_with_labelling(
+            algo,
+            graph,
+            labelling,
+            bandwidth_multiplier=bandwidth_multiplier,
+        )
+        if accepts(result):
+            return True, labelling
+    return False, None

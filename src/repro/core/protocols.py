@@ -1,0 +1,305 @@
+"""Non-uniform (n, b, L, t)-protocols — Section 3, "Counting arguments".
+
+A protocol has ``n`` nodes, per-link bandwidth ``b`` bits/round, ``L``
+private input bits per node, and ``t`` rounds; it computes a function
+``f : {0,1}^(nL) -> {0,1}``.  The paper's lower bounds (Theorems 2, 4, 8)
+rest on Lemma 1: there are so few protocols that most functions have
+none.  The proofs are non-constructive at scale, but — exactly as the
+decider in Theorem 2 step (2) prescribes — the hard function can be found
+by *exhaustive enumeration* when the parameter space is small.  This
+module implements that enumeration for one-round protocols:
+
+* in a one-round protocol, node ``v``'s message to ``u`` depends only on
+  ``x_v``; afterwards ``v``'s *view* is ``(x_v, (m_{u->v}(x_u))_u)``,
+* a function ``f`` is computable with agreed outputs iff it is constant
+  on each block of the join (transitive closure) of the per-node view
+  partitions,
+* a function is computable with *accept = all output 1* semantics
+  (needed for nondeterministic protocols) iff its yes-set is exactly the
+  intersection of its per-node block saturations.
+
+Enumerable miniatures: ``(n=2, b=1, L=2, t=1)`` (256 message combos,
+65536 candidate functions) and ``(n=3, b=1, L=1, t=1)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "enumerate_message_schemes",
+    "views_for_scheme",
+    "computable_functions",
+    "acceptance_computable",
+    "first_hard_function",
+    "nondet_computable_functions",
+    "function_from_index",
+    "index_of_function",
+    "two_round_protocol_computes",
+]
+
+
+# ---------------------------------------------------------------------------
+# function <-> index encoding
+#
+# The paper selects "a first function under the lexicographical ordering
+# when interpreting functions {0,1}^(nL) -> {0,1} as bit vectors of length
+# 2^(nL)".  We fix the convention: input x = (x_1..x_n) has index
+# int(x_1 || x_2 || ... || x_n) (node-major, MSB-first), and the bit
+# vector (f(0), f(1), ..)'s first entry is the most significant bit of the
+# function index, so ascending index = lexicographic order on bit vectors.
+
+
+def function_from_index(idx: int, num_inputs: int) -> tuple[int, ...]:
+    """Truth table (length ``num_inputs``) of the function with the given
+    lexicographic index."""
+    return tuple(
+        (idx >> (num_inputs - 1 - i)) & 1 for i in range(num_inputs)
+    )
+
+
+def index_of_function(table: Sequence[int]) -> int:
+    """Lexicographic index of a truth table (inverse of
+    :func:`function_from_index`)."""
+    idx = 0
+    for bit in table:
+        idx = (idx << 1) | bit
+    return idx
+
+
+# ---------------------------------------------------------------------------
+# one-round protocol enumeration
+
+
+def enumerate_message_schemes(n: int, L: int, b: int) -> Iterator[dict]:
+    """All assignments of one-round message functions.
+
+    A scheme maps each ordered pair ``(v, u)`` to a function
+    ``{0,1}^L -> {0,1}^b`` represented as a tuple of 2^L message values.
+    The total count is ``(2^b)^(2^L)`` per ordered pair — guard your
+    parameters (this is exhaustive enumeration, the point of the
+    miniature).
+    """
+    num_inputs = 1 << L
+    per_pair = [
+        tuple(combo)
+        for combo in itertools.product(range(1 << b), repeat=num_inputs)
+    ]
+    pairs = [(v, u) for v in range(n) for u in range(n) if u != v]
+    for assignment in itertools.product(per_pair, repeat=len(pairs)):
+        yield dict(zip(pairs, assignment))
+
+
+def views_for_scheme(n: int, L: int, scheme: dict) -> list[list[tuple]]:
+    """For each node ``v``, the view of every global input.
+
+    Global inputs are indexed node-major (see module docstring); the view
+    of node ``v`` on input ``x`` is ``(x_v, messages received)``.
+    Returns ``views[v][x_index]``.
+    """
+    num_local = 1 << L
+    inputs = list(itertools.product(range(num_local), repeat=n))
+    views: list[list[tuple]] = []
+    for v in range(n):
+        v_views = []
+        for x in inputs:
+            received = tuple(
+                scheme[(u, v)][x[u]] for u in range(n) if u != v
+            )
+            v_views.append((x[v], received))
+        views.append(v_views)
+    return views
+
+
+def _join_partition(n_inputs: int, views: list[list[tuple]]) -> list[int]:
+    """Blocks of the join of the per-node view partitions (union-find):
+    two global inputs are equivalent if connected by same-view steps."""
+    parent = list(range(n_inputs))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for v_views in views:
+        groups: dict[tuple, int] = {}
+        for idx, view in enumerate(v_views):
+            if view in groups:
+                ra, rb = find(groups[view]), find(idx)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+            else:
+                groups[view] = idx
+    return [find(i) for i in range(n_inputs)]
+
+
+def computable_functions(n: int, L: int, b: int) -> set[int]:
+    """Indices of all functions computable by some one-round
+    ``(n, b, L, 1)``-protocol with agreed outputs."""
+    num_inputs = 1 << (n * L)
+    computable: set[int] = set()
+    for scheme in enumerate_message_schemes(n, L, b):
+        views = views_for_scheme(n, L, scheme)
+        roots = _join_partition(num_inputs, views)
+        blocks: dict[int, list[int]] = {}
+        for idx, r in enumerate(roots):
+            blocks.setdefault(r, []).append(idx)
+        block_list = list(blocks.values())
+        # All functions constant per block.
+        for choice in itertools.product((0, 1), repeat=len(block_list)):
+            table = [0] * num_inputs
+            for bit, members in zip(choice, block_list):
+                if bit:
+                    for m in members:
+                        table[m] = 1
+            computable.add(index_of_function(table))
+    return computable
+
+
+def first_hard_function(n: int, L: int, b: int) -> tuple[int, ...] | None:
+    """The lexicographically-first function with no one-round agreed-
+    output ``(n, b, L, 1)``-protocol — the f_n of the Theorem 2 proof at
+    miniature scale.  ``None`` if every function is computable."""
+    num_inputs = 1 << (n * L)
+    computable = computable_functions(n, L, b)
+    for idx in range(1 << num_inputs):
+        if idx not in computable:
+            return function_from_index(idx, num_inputs)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# acceptance semantics (for nondeterministic protocols)
+
+
+def acceptance_computable(
+    yes_set: frozenset[int], views: list[list[tuple]], n_inputs: int
+) -> bool:
+    """Is there a per-node output choice with ``accept = all output 1``
+    whose acceptance set is exactly ``yes_set``?
+
+    Node ``v`` must output 1 on every input in the yes-set, hence on every
+    input sharing a view with one; acceptance holds exactly on the
+    intersection of these per-node saturations, so the function is
+    computable iff that intersection adds nothing.
+    """
+    if not yes_set:
+        return True  # reject everything: any node outputs constant 0
+    intersection = None
+    for v_views in views:
+        yes_views = {v_views[i] for i in yes_set}
+        saturation = {
+            i for i in range(n_inputs) if v_views[i] in yes_views
+        }
+        intersection = (
+            saturation if intersection is None else intersection & saturation
+        )
+    return intersection == set(yes_set)
+
+
+def nondet_computable_functions(n: int, L: int, M: int, b: int) -> set[int]:
+    """Indices of functions ``f : {0,1}^(nL) -> {0,1}`` that have a
+    one-round nondeterministic ``(n, b, M+L, 1)``-protocol (Theorem 4's
+    notion): ``f(x) = 1`` iff some guess ``z in {0,1}^(nM)`` makes the
+    deterministic protocol accept ``(z_1 x_1, .., z_n x_n)``.
+    """
+    ext_L = M + L
+    n_ext_inputs = 1 << (n * ext_L)
+    n_inputs = 1 << (n * L)
+    guesses = list(itertools.product(range(1 << M), repeat=n))
+    xs = list(itertools.product(range(1 << L), repeat=n))
+
+    def ext_index(z: tuple[int, ...], x: tuple[int, ...]) -> int:
+        idx = 0
+        for zv, xv in zip(z, x):
+            idx = (idx << ext_L) | (zv << L) | xv
+        return idx
+
+    computable: set[int] = set()
+    for scheme in enumerate_message_schemes(n, ext_L, b):
+        views = views_for_scheme(n, ext_L, scheme)
+        for f_idx in range(1 << n_inputs):
+            if f_idx in computable:
+                continue
+            table = function_from_index(f_idx, n_inputs)
+            yes_xs = [x for i, x in enumerate(xs) if table[i]]
+            no_xs = [x for i, x in enumerate(xs) if not table[i]]
+            # choose an accepting guess for each yes-instance; the
+            # acceptance set is then the saturation of those points and
+            # must avoid every no-instance column.
+            forbidden = {
+                ext_index(z, x) for z in guesses for x in no_xs
+            }
+            found = False
+            for assignment in itertools.product(guesses, repeat=len(yes_xs)):
+                required = frozenset(
+                    ext_index(z, x) for z, x in zip(assignment, yes_xs)
+                )
+                # saturate per node, intersect
+                acc = None
+                for v_views in views:
+                    req_views = {v_views[i] for i in required}
+                    sat = {
+                        i
+                        for i in range(n_ext_inputs)
+                        if v_views[i] in req_views
+                    }
+                    acc = sat if acc is None else acc & sat
+                acc = acc or set()
+                if acc & forbidden:
+                    continue
+                found = True
+                break
+            if found:
+                computable.add(f_idx)
+    return computable
+
+
+# ---------------------------------------------------------------------------
+# constructive upper bound: two rounds suffice when L <= 2b
+
+
+def two_round_protocol_computes(
+    f_table: Sequence[int], n: int, L: int, b: int
+) -> bool:
+    """Verify constructively that the trivial two-round protocol (each
+    node streams its input bits, ``ceil(L / b)`` rounds) computes ``f``
+    when ``ceil(L / b) <= 2``: after the rounds every node knows the full
+    input and outputs ``f``.  Returns whether the protocol's outputs
+    match ``f`` on every input (it always does — this executes the
+    protocol rather than trusting the argument).
+    """
+    import math
+
+    rounds = math.ceil(L / b)
+    if rounds > 2:
+        return False
+    inputs = list(itertools.product(range(1 << L), repeat=n))
+    for i, x in enumerate(inputs):
+        for v in range(n):
+            # Simulate the streaming: u sends b bits of x_u per round
+            # (MSB-first); v reassembles every other node's input.
+            learned = []
+            for u in range(n):
+                if u == v:
+                    learned.append(x[v])
+                    continue
+                acc = 0
+                got = 0
+                for r in range(rounds):
+                    width = min(b, L - r * b)
+                    chunk = (x[u] >> (L - r * b - width)) & ((1 << width) - 1)
+                    acc = (acc << width) | chunk
+                    got += width
+                assert got == L
+                learned.append(acc)
+            if tuple(learned) != x:
+                return False
+            # Output rule: evaluate f on the reconstructed input.
+            recon_index = inputs.index(tuple(learned))
+            if f_table[recon_index] != f_table[i]:
+                return False
+    return True

@@ -1,0 +1,159 @@
+"""Randomised congested clique — the Section 8 extension.
+
+The paper's conclusions sketch the randomised landscape: the counting
+arguments extend to randomised protocols, and "Theorem 4 implies that
+there are problems that cannot be solved in O(S(n)) rounds with
+one-sided Monte Carlo algorithms, but can be solved in O(T(n)) rounds
+deterministically ... as the Monte Carlo algorithm can be converted to a
+nondeterministic algorithm."
+
+This module makes that conversion executable:
+
+* a :class:`MonteCarloAlgorithm` is a node program reading per-node
+  private random bits from ``node.aux["random"]``,
+* :func:`run_with_randomness` runs one trial from a seed;
+  :func:`estimate_acceptance` estimates the acceptance probability,
+* :func:`monte_carlo_to_nondeterministic` reinterprets the random bits
+  as a nondeterministic certificate — exactly the paper's remark: for a
+  *one-sided* algorithm (no-instances never accept), "some random string
+  accepts" holds iff the instance is a yes-instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..clique.bits import BitString
+from ..clique.graph import CliqueGraph
+from ..clique.network import CongestedClique, NodeProgram, RunResult
+from .nondeterminism import NondeterministicAlgorithm
+
+__all__ = [
+    "MonteCarloAlgorithm",
+    "run_with_randomness",
+    "estimate_acceptance",
+    "monte_carlo_to_nondeterministic",
+]
+
+
+@dataclass(frozen=True)
+class MonteCarloAlgorithm:
+    """A randomised algorithm with declared randomness budget.
+
+    ``program`` reads ``node.aux["random"]`` (a BitString of
+    ``randomness(n)`` private bits); ``one_sided=True`` asserts that
+    no-instances are rejected under *every* random string (the class the
+    Section 8 conversion applies to).
+    """
+
+    name: str
+    program: NodeProgram
+    randomness: Callable[[int], int]
+    running_time: Callable[[int], int]
+    one_sided: bool = True
+
+
+def _random_labels(
+    algo: MonteCarloAlgorithm, n: int, seed: int
+) -> list[BitString]:
+    rng = np.random.default_rng(seed)
+    bits = algo.randomness(n)
+    return [
+        BitString(int(rng.integers(0, 1 << bits)) if bits else 0, bits)
+        for _ in range(n)
+    ]
+
+
+def run_with_randomness(
+    algo: MonteCarloAlgorithm,
+    graph: CliqueGraph,
+    seed: int,
+    *,
+    bandwidth_multiplier: int = 1,
+) -> RunResult:
+    """One trial: draw each node's private random bits from ``seed``."""
+    labels = _random_labels(algo, graph.n, seed)
+
+    def aux(v: int) -> dict:
+        return {"random": labels[v]}
+
+    clique = CongestedClique(graph.n, bandwidth_multiplier=bandwidth_multiplier)
+    return clique.run(algo.program, graph, aux=aux)
+
+
+def estimate_acceptance(
+    algo: MonteCarloAlgorithm,
+    graph: CliqueGraph,
+    trials: int,
+    *,
+    seed: int = 0,
+    bandwidth_multiplier: int = 1,
+) -> float:
+    """Fraction of trials on which all nodes accept."""
+    hits = 0
+    for t in range(trials):
+        result = run_with_randomness(
+            algo,
+            graph,
+            seed + t,
+            bandwidth_multiplier=bandwidth_multiplier,
+        )
+        if all(o == 1 for o in result.outputs.values()):
+            hits += 1
+    return hits / trials
+
+
+def monte_carlo_to_nondeterministic(
+    algo: MonteCarloAlgorithm,
+) -> NondeterministicAlgorithm:
+    """The Section 8 conversion: certificates = random strings.
+
+    For a one-sided Monte Carlo algorithm, ``exists z : A(G, z) = 1``
+    holds exactly on yes-instances (soundness from one-sidedness,
+    completeness from the positive acceptance probability), so the same
+    program read as a nondeterministic verifier decides the language
+    with the same running time and labelling size R(n).
+    """
+    if not algo.one_sided:
+        raise ValueError(
+            "only one-sided Monte Carlo algorithms convert soundly "
+            "(two-sided error breaks the 'exists z' direction)"
+        )
+
+    def program(node):
+        aux = dict(node.aux)
+        aux["random"] = aux.pop("label")
+        inner = algo.program(
+            _aux_view(node, aux)
+        )
+        result = yield from _delegate(inner)
+        return result
+
+    return NondeterministicAlgorithm(
+        name=f"{algo.name}-as-nondeterministic",
+        program=program,
+        label_size=algo.randomness,
+        running_time=algo.running_time,
+    )
+
+
+class _aux_view:
+    """A node proxy overriding only ``aux`` (labels renamed to random)."""
+
+    __slots__ = ("_node", "aux")
+
+    def __init__(self, node, aux):
+        self._node = node
+        self.aux = aux
+
+    def __getattr__(self, name):
+        return getattr(self._node, name)
+
+
+def _delegate(gen):
+    """``yield from`` for a generator built on a proxied node."""
+    result = yield from gen
+    return result

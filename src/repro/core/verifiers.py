@@ -1,0 +1,285 @@
+"""NCLIQUE(1) verifiers for the natural problems of Section 6.1.
+
+The paper: "NCLIQUE(1) contains most natural decision problems that have
+been studied in the congested clique, as well as many NP-complete
+problems such as k-colouring and Hamiltonian path."  Each factory here
+returns a constant-round verifier (a
+:class:`~repro.core.nondeterminism.NondeterministicAlgorithm`) together
+with a centralised *prover* mapping yes-instances to accepting
+labellings — so NCLIQUE(1) membership of each problem is witnessed
+executably: the prover's labelling is accepted, and (for miniatures)
+exhaustive search confirms no labelling is accepted on no-instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..clique.bits import BitReader, BitString, BitWriter, uint_width
+from ..clique.graph import CliqueGraph
+from ..clique.node import Node
+from ..clique.primitives import all_broadcast
+from ..problems import catalog
+from .nondeterminism import Labelling, NondeterministicAlgorithm
+
+__all__ = [
+    "VerifiedProblem",
+    "k_colouring_verifier",
+    "hamiltonian_path_verifier",
+    "triangle_verifier",
+    "k_independent_set_verifier",
+    "k_dominating_set_verifier",
+    "k_vertex_cover_verifier",
+]
+
+
+class VerifiedProblem:
+    """Bundle: decision problem + NCLIQUE(1) verifier + prover."""
+
+    def __init__(self, problem, algorithm, prover):
+        self.problem = problem
+        self.algorithm = algorithm
+        #: graph -> accepting Labelling, or None for no-instances.
+        self.prover: Callable[[CliqueGraph], Labelling | None] = prover
+
+    def __repr__(self):
+        return f"VerifiedProblem({self.problem.name!r})"
+
+
+def _colour_width(k: int) -> int:
+    return uint_width(max(1, k - 1))
+
+
+def k_colouring_verifier(k: int) -> VerifiedProblem:
+    """Label = own colour; one broadcast round; check properness."""
+    cw = _colour_width(k)
+
+    def program(node: Node):
+        label: BitString = node.aux["label"]
+        if len(label) != cw:
+            # Labels are fixed-width; malformed -> reject, but keep the
+            # protocol in lockstep by broadcasting a dummy colour.
+            yield from all_broadcast(node, BitString.zeros(cw))
+            return 0
+        colours = yield from all_broadcast(node, label)
+        mine = label.value
+        if mine >= k:
+            return 0
+        row = node.input
+        for u in range(node.n):
+            if u != node.id and row[u] and colours[u].value == mine:
+                return 0
+        return 1
+
+    def prover(graph: CliqueGraph) -> Labelling | None:
+        colouring = catalog.k_colouring_problem(k).certifier(graph)
+        if colouring is None:
+            return None
+        return tuple(BitString(c, cw) for c in colouring)
+
+    return VerifiedProblem(
+        catalog.k_colouring_problem(k),
+        NondeterministicAlgorithm(
+            name=f"{k}-colouring-verifier",
+            program=program,
+            label_size=lambda n: cw,
+            running_time=lambda n: max(1, -(-cw // max(1, (n - 1).bit_length()))),
+        ),
+        prover,
+    )
+
+
+def hamiltonian_path_verifier() -> VerifiedProblem:
+    """Label = position on the path; check permutation + adjacency."""
+
+    def program(node: Node):
+        n = node.n
+        pw = uint_width(max(1, n - 1))
+        label: BitString = node.aux["label"]
+        if len(label) != pw:
+            yield from all_broadcast(node, BitString.zeros(pw))
+            return 0
+        positions = yield from all_broadcast(node, label)
+        pos = [p.value for p in positions]
+        if sorted(pos) != list(range(n)):
+            return 0
+        row = node.input
+        mine = pos[node.id]
+        if mine < n - 1:
+            successor = pos.index(mine + 1)
+            if not row[successor]:
+                return 0
+        return 1
+
+    def prover(graph: CliqueGraph) -> Labelling | None:
+        path = catalog.hamiltonian_path_problem().certifier(graph)
+        if path is None:
+            return None
+        n = graph.n
+        pw = uint_width(max(1, n - 1))
+        pos = [0] * n
+        for i, v in enumerate(path):
+            pos[v] = i
+        return tuple(BitString(p, pw) for p in pos)
+
+    return VerifiedProblem(
+        catalog.hamiltonian_path_problem(),
+        NondeterministicAlgorithm(
+            name="hamiltonian-path-verifier",
+            program=program,
+            label_size=lambda n: uint_width(max(1, n - 1)),
+            running_time=lambda n: 1,
+        ),
+        prover,
+    )
+
+
+def triangle_verifier() -> VerifiedProblem:
+    """Label = the claimed triangle (three node ids, same at every
+    node); members check their edges, everyone checks label agreement."""
+
+    def program(node: Node):
+        n = node.n
+        vw = uint_width(max(1, n - 1))
+        label: BitString = node.aux["label"]
+        if len(label) != 3 * vw:
+            yield from all_broadcast(node, BitString.zeros(3 * vw))
+            return 0
+        labels = yield from all_broadcast(node, label)
+        if any(lab != label for lab in labels):
+            return 0
+        r = BitReader(label)
+        a, b, c = (r.read_uint(vw) for _ in range(3))
+        if len({a, b, c}) != 3:
+            return 0
+        row = node.input
+        me = node.id
+        for x, y in ((a, b), (a, c), (b, c)):
+            if me == x and not row[y]:
+                return 0
+            if me == y and not row[x]:
+                return 0
+        return 1
+
+    def prover(graph: CliqueGraph) -> Labelling | None:
+        tri = catalog.triangle_problem().certifier(graph)
+        if tri is None:
+            return None
+        vw = uint_width(max(1, graph.n - 1))
+        w = BitWriter()
+        for v in tri:
+            w.write_uint(v, vw)
+        label = w.finish()
+        return tuple(label for _ in range(graph.n))
+
+    return VerifiedProblem(
+        catalog.triangle_problem(),
+        NondeterministicAlgorithm(
+            name="triangle-verifier",
+            program=program,
+            label_size=lambda n: 3 * uint_width(max(1, n - 1)),
+            running_time=lambda n: 3,
+        ),
+        prover,
+    )
+
+
+def _membership_verifier(
+    name: str,
+    problem_factory,
+    k: int,
+    check,  # check(node, row, members) -> bool, local test
+    exact_count: bool,
+):
+    """Shared shape for the set problems: label = 1 membership bit."""
+
+    def program(node: Node):
+        label: BitString = node.aux["label"]
+        if len(label) != 1:
+            yield from all_broadcast(node, BitString.zeros(1))
+            return 0
+        bits = yield from all_broadcast(node, label)
+        members = {v for v in range(node.n) if bits[v].value == 1}
+        if exact_count and len(members) != k:
+            return 0
+        if not exact_count and len(members) > k:
+            return 0
+        row = node.input
+        return int(check(node, row, members))
+
+    def make_prover(problem):
+        def prover(graph: CliqueGraph) -> Labelling | None:
+            witness = problem.certifier(graph)
+            if witness is None:
+                return None
+            member = set(witness)
+            return tuple(
+                BitString(1 if v in member else 0, 1) for v in range(graph.n)
+            )
+
+        return prover
+
+    problem = problem_factory(k)
+    return VerifiedProblem(
+        problem,
+        NondeterministicAlgorithm(
+            name=name,
+            program=program,
+            label_size=lambda n: 1,
+            running_time=lambda n: 1,
+        ),
+        make_prover(problem),
+    )
+
+
+def k_independent_set_verifier(k: int) -> VerifiedProblem:
+    """Label = 1 membership bit; members check independence locally."""
+
+    def check(node, row, members):
+        if node.id in members:
+            return not any(
+                row[u] for u in members if u != node.id
+            )
+        return True
+
+    return _membership_verifier(
+        f"{k}-IS-verifier",
+        catalog.k_independent_set_problem,
+        k,
+        check,
+        exact_count=True,
+    )
+
+
+def k_dominating_set_verifier(k: int) -> VerifiedProblem:
+    """Label = 1 membership bit; everyone checks it is dominated."""
+
+    def check(node, row, members):
+        return node.id in members or any(row[u] for u in members)
+
+    return _membership_verifier(
+        f"{k}-DS-verifier",
+        catalog.k_dominating_set_problem,
+        k,
+        check,
+        exact_count=True,
+    )
+
+
+def k_vertex_cover_verifier(k: int) -> VerifiedProblem:
+    """Label = 1 membership bit; non-members check their edges covered."""
+
+    def check(node, row, members):
+        if node.id in members:
+            return True
+        return not any(
+            row[u] and u not in members for u in range(node.n)
+        )
+
+    return _membership_verifier(
+        f"{k}-VC-verifier",
+        catalog.k_vertex_cover_problem,
+        k,
+        check,
+        exact_count=False,
+    )

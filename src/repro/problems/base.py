@@ -1,0 +1,54 @@
+"""Decision problems on graphs.
+
+Per Section 3 of the paper, a *decision problem* ``L`` is a family of
+graphs; ``G`` is a yes-instance iff ``G in L``.  Problems need not be
+closed under isomorphism (they may refer to node identifiers), but must
+be centrally computable — here, a Python predicate.
+
+A :class:`DecisionProblem` bundles the predicate with a name and an
+optional *certificate finder* used by the nondeterministic machinery
+(``NCLIQUE``): for a yes-instance it produces a per-node labelling that a
+distributed verifier can check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..clique.graph import CliqueGraph
+
+__all__ = ["DecisionProblem", "complement"]
+
+
+@dataclass(frozen=True)
+class DecisionProblem:
+    """A decision problem: a (computable) family of graphs."""
+
+    name: str
+    #: Centralised membership predicate.
+    predicate: Callable[[CliqueGraph], bool]
+    #: Optional human description.
+    description: str = ""
+    #: Optional certificate finder: ``G -> per-node labels`` for
+    #: yes-instances, ``None`` for no-instances.
+    certifier: Callable[[CliqueGraph], Any] | None = None
+
+    def contains(self, graph: CliqueGraph) -> bool:
+        """Whether ``graph`` is a yes-instance."""
+        return bool(self.predicate(graph))
+
+    def __contains__(self, graph: CliqueGraph) -> bool:
+        return self.contains(graph)
+
+    def __repr__(self) -> str:
+        return f"DecisionProblem({self.name!r})"
+
+
+def complement(problem: DecisionProblem) -> DecisionProblem:
+    """The complement problem (paper Section 3): all graphs not in L."""
+    return DecisionProblem(
+        name=f"co-{problem.name}",
+        predicate=lambda g, _p=problem.predicate: not _p(g),
+        description=f"complement of {problem.name}",
+    )

@@ -1,0 +1,221 @@
+"""Catalog of concrete decision problems from the paper.
+
+Section 6.1 lists k-colouring and Hamiltonian path as NP-complete
+problems in NCLIQUE(1); Section 7 studies k-IS, k-DS, k-VC, triangle /
+k-cycle / subgraph detection.  Each factory returns a
+:class:`~repro.problems.base.DecisionProblem` whose predicate is a
+centralised reference solver and whose certifier produces the natural
+per-node witness labelling used by nondeterministic verifiers.
+"""
+
+from __future__ import annotations
+
+from ..clique.graph import CliqueGraph
+from . import reference as ref
+from .base import DecisionProblem
+
+__all__ = [
+    "k_colouring_problem",
+    "hamiltonian_path_problem",
+    "triangle_problem",
+    "k_independent_set_problem",
+    "k_dominating_set_problem",
+    "k_vertex_cover_problem",
+    "k_cycle_problem",
+    "connectivity_problem",
+    "diameter_at_most_problem",
+    "parity_of_edges_problem",
+]
+
+
+def _find_colouring(graph: CliqueGraph, k: int) -> list[int] | None:
+    n = graph.n
+    colours = [-1] * n
+
+    def backtrack(v: int) -> bool:
+        if v == n:
+            return True
+        used = {colours[u] for u in range(v) if graph.has_edge(u, v)}
+        for c in range(k):
+            if c not in used:
+                colours[v] = c
+                if backtrack(v + 1):
+                    return True
+                colours[v] = -1
+        return False
+
+    return list(colours) if backtrack(0) else None
+
+
+def k_colouring_problem(k: int) -> DecisionProblem:
+    """Is the graph properly k-colourable?  (NP-complete for k >= 3.)"""
+    return DecisionProblem(
+        name=f"{k}-colouring",
+        predicate=lambda g: ref.is_k_colourable(g, k),
+        description=f"graphs with chromatic number at most {k}",
+        certifier=lambda g: _find_colouring(g, k),
+    )
+
+
+def _find_hamiltonian_path(graph: CliqueGraph) -> list[int] | None:
+    n = graph.n
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    def dfs(v: int, visited: list[int]) -> list[int] | None:
+        if len(visited) == n:
+            return visited
+        for u in range(n):
+            if u not in visited and graph.has_edge(v, u):
+                got = dfs(u, visited + [u])
+                if got is not None:
+                    return got
+        return None
+
+    for start in range(n):
+        got = dfs(start, [start])
+        if got is not None:
+            return got
+    return None
+
+
+def hamiltonian_path_problem() -> DecisionProblem:
+    """Does the graph contain a Hamiltonian path?  (NP-complete.)"""
+    return DecisionProblem(
+        name="hamiltonian-path",
+        predicate=ref.has_hamiltonian_path,
+        description="graphs containing a Hamiltonian path",
+        certifier=_find_hamiltonian_path,
+    )
+
+
+def _find_triangle(graph: CliqueGraph) -> tuple[int, int, int] | None:
+    n = graph.n
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v):
+                continue
+            for w in range(v + 1, n):
+                if graph.has_edge(u, w) and graph.has_edge(v, w):
+                    return (u, v, w)
+    return None
+
+
+def triangle_problem() -> DecisionProblem:
+    """Does the graph contain a triangle?"""
+    return DecisionProblem(
+        name="triangle",
+        predicate=ref.has_triangle,
+        description="graphs containing a triangle",
+        certifier=_find_triangle,
+    )
+
+
+def _find_set(graph: CliqueGraph, k: int, check) -> tuple[int, ...] | None:
+    import itertools
+
+    for s in itertools.combinations(range(graph.n), k):
+        if check(graph, s):
+            return s
+    return None
+
+
+def k_independent_set_problem(k: int) -> DecisionProblem:
+    """Is there an independent set of size k?"""
+    return DecisionProblem(
+        name=f"{k}-independent-set",
+        predicate=lambda g: ref.has_independent_set(g, k),
+        description=f"graphs with an independent set of size {k}",
+        certifier=lambda g: _find_set(g, k, ref.is_independent_set),
+    )
+
+
+def k_dominating_set_problem(k: int) -> DecisionProblem:
+    """Is there a dominating set of size k?"""
+    return DecisionProblem(
+        name=f"{k}-dominating-set",
+        predicate=lambda g: ref.has_dominating_set(g, k),
+        description=f"graphs with a dominating set of size {k}",
+        certifier=lambda g: _find_set(g, k, ref.is_dominating_set),
+    )
+
+
+def k_vertex_cover_problem(k: int) -> DecisionProblem:
+    """Is there a vertex cover of size at most k?"""
+    return DecisionProblem(
+        name=f"{k}-vertex-cover",
+        predicate=lambda g: ref.has_vertex_cover(g, k),
+        description=f"graphs with a vertex cover of size {k}",
+        certifier=lambda g: _find_set(g, k, ref.is_vertex_cover),
+    )
+
+
+def _find_k_cycle(graph: CliqueGraph, k: int) -> list[int] | None:
+    n = graph.n
+    for start in range(n):
+        def dfs(v: int, path: list[int]) -> list[int] | None:
+            if len(path) == k:
+                return path if graph.has_edge(v, start) else None
+            for u in range(start, n):
+                if u not in path and graph.has_edge(v, u):
+                    got = dfs(u, path + [u])
+                    if got is not None:
+                        return got
+            return None
+
+        got = dfs(start, [start])
+        if got is not None:
+            return got
+    return None
+
+
+def k_cycle_problem(k: int) -> DecisionProblem:
+    """Is there a simple cycle of length exactly k?"""
+    return DecisionProblem(
+        name=f"{k}-cycle",
+        predicate=lambda g: ref.has_k_cycle(g, k),
+        description=f"graphs containing a simple {k}-cycle",
+        certifier=lambda g: _find_k_cycle(g, k),
+    )
+
+
+def connectivity_problem() -> DecisionProblem:
+    """Is the graph connected?"""
+
+    def connected(g: CliqueGraph) -> bool:
+        if g.n == 0:
+            return True
+        reach = ref.transitive_closure(g.adjacency)
+        return bool(reach[0].all())
+
+    return DecisionProblem(
+        name="connectivity",
+        predicate=connected,
+        description="connected graphs",
+    )
+
+
+def diameter_at_most_problem(d: int) -> DecisionProblem:
+    """Is every pairwise distance at most d?"""
+
+    def small_diameter(g: CliqueGraph) -> bool:
+        dist = ref.apsp_matrix(g)
+        return bool((dist <= d).all())
+
+    return DecisionProblem(
+        name=f"diameter<={d}",
+        predicate=small_diameter,
+        description=f"graphs of diameter at most {d}",
+    )
+
+
+def parity_of_edges_problem() -> DecisionProblem:
+    """A simple global-parity problem (not isomorphism-closed-friendly but
+    easy to decide): does the graph have an odd number of edges?"""
+    return DecisionProblem(
+        name="odd-edge-count",
+        predicate=lambda g: g.num_edges() % 2 == 1,
+        description="graphs with an odd number of edges",
+    )

@@ -1,0 +1,174 @@
+"""Seeded graph workload generators.
+
+All generators take an explicit seed (or ``numpy.random.Generator``) so
+experiments are reproducible.  Planted-instance generators return both
+the graph and the planted witness.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..clique.graph import CliqueGraph
+
+__all__ = [
+    "rng_from",
+    "random_graph",
+    "random_weighted_graph",
+    "random_directed_graph",
+    "planted_independent_set",
+    "planted_dominating_set",
+    "planted_vertex_cover",
+    "planted_colouring",
+    "planted_hamiltonian_path",
+    "planted_k_cycle",
+    "all_graphs",
+    "random_bits",
+]
+
+
+def rng_from(seed) -> np.random.Generator:
+    """Coerce a seed (or an existing Generator) to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_graph(n: int, p: float, seed=0) -> CliqueGraph:
+    """Erdős–Rényi G(n, p), undirected, unweighted."""
+    rng = rng_from(seed)
+    upper = rng.random((n, n)) < p
+    adj = np.triu(upper, 1)
+    adj = adj | adj.T
+    return CliqueGraph(adj)
+
+
+def random_weighted_graph(
+    n: int, p: float, max_weight: int = 100, seed=0
+) -> CliqueGraph:
+    """G(n, p) with uniform integer weights in [1, max_weight]."""
+    rng = rng_from(seed)
+    base = random_graph(n, p, rng)
+    weights = rng.integers(1, max_weight + 1, size=(n, n))
+    weights = np.triu(weights, 1)
+    weights = weights + weights.T
+    from ..clique.graph import INF
+
+    adj = np.where(base.adjacency, weights, INF).astype(np.int64)
+    np.fill_diagonal(adj, 0)
+    return CliqueGraph(adj, weighted=True)
+
+
+def random_directed_graph(n: int, p: float, seed=0) -> CliqueGraph:
+    """Directed G(n, p): each arc present independently."""
+    rng = rng_from(seed)
+    adj = rng.random((n, n)) < p
+    np.fill_diagonal(adj, False)
+    return CliqueGraph(adj, directed=True)
+
+
+def planted_independent_set(
+    n: int, k: int, p: float = 0.5, seed=0
+) -> tuple[CliqueGraph, list[int]]:
+    """G(n,p) with a planted independent set of size k (edges inside the
+    planted set removed)."""
+    rng = rng_from(seed)
+    g = random_graph(n, p, rng)
+    planted = sorted(rng.choice(n, size=k, replace=False).tolist())
+    adj = g.adjacency.copy()
+    for u, v in itertools.combinations(planted, 2):
+        adj[u, v] = adj[v, u] = False
+    return CliqueGraph(adj), planted
+
+
+def planted_dominating_set(
+    n: int, k: int, p: float = 0.2, seed=0
+) -> tuple[CliqueGraph, list[int]]:
+    """G(n,p) plus edges guaranteeing a planted dominating set of size k:
+    every node outside the set is attached to a random planted node."""
+    rng = rng_from(seed)
+    g = random_graph(n, p, rng)
+    planted = sorted(rng.choice(n, size=k, replace=False).tolist())
+    adj = g.adjacency.copy()
+    for v in range(n):
+        if v in planted:
+            continue
+        u = planted[int(rng.integers(len(planted)))]
+        adj[u, v] = adj[v, u] = True
+    return CliqueGraph(adj), planted
+
+
+def planted_vertex_cover(
+    n: int, k: int, p: float = 0.5, seed=0
+) -> tuple[CliqueGraph, list[int]]:
+    """A graph whose edges all touch a planted set of k nodes (so a vertex
+    cover of size k exists); edge density p among the candidate pairs."""
+    rng = rng_from(seed)
+    cover = sorted(rng.choice(n, size=k, replace=False).tolist())
+    cover_set = set(cover)
+    adj = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u in cover_set or v in cover_set) and rng.random() < p:
+                adj[u, v] = adj[v, u] = True
+    return CliqueGraph(adj), cover
+
+
+def planted_colouring(
+    n: int, k: int, p: float = 0.5, seed=0
+) -> tuple[CliqueGraph, list[int]]:
+    """A k-colourable graph: nodes get random colours, edges only between
+    colour classes with probability p.  Returns (graph, colours)."""
+    rng = rng_from(seed)
+    colours = rng.integers(0, k, size=n).tolist()
+    adj = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if colours[u] != colours[v] and rng.random() < p:
+                adj[u, v] = adj[v, u] = True
+    return CliqueGraph(adj), colours
+
+
+def planted_hamiltonian_path(
+    n: int, p: float = 0.2, seed=0
+) -> tuple[CliqueGraph, list[int]]:
+    """G(n,p) plus a random Hamiltonian path.  Returns (graph, path)."""
+    rng = rng_from(seed)
+    g = random_graph(n, p, rng)
+    order = rng.permutation(n).tolist()
+    adj = g.adjacency.copy()
+    for a, b in zip(order, order[1:]):
+        adj[a, b] = adj[b, a] = True
+    return CliqueGraph(adj), order
+
+
+def planted_k_cycle(
+    n: int, k: int, p: float = 0.1, seed=0
+) -> tuple[CliqueGraph, list[int]]:
+    """G(n,p) plus a planted simple cycle on k random nodes."""
+    rng = rng_from(seed)
+    g = random_graph(n, p, rng)
+    cyc = rng.choice(n, size=k, replace=False).tolist()
+    adj = g.adjacency.copy()
+    for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+        adj[a, b] = adj[b, a] = True
+    return CliqueGraph(adj), cyc
+
+
+def all_graphs(n: int):
+    """Iterate over all 2^(n(n-1)/2) undirected graphs on n nodes.
+
+    Only sensible for n <= 5; used by exhaustive miniature experiments.
+    """
+    pairs = list(itertools.combinations(range(n), 2))
+    for mask in range(1 << len(pairs)):
+        edges = [pairs[i] for i in range(len(pairs)) if mask & (1 << i)]
+        yield CliqueGraph.from_edges(n, edges)
+
+
+def random_bits(count: int, seed=0) -> list[int]:
+    """A seeded list of ``count`` uniform bits."""
+    rng = rng_from(seed)
+    return rng.integers(0, 2, size=count).tolist()

@@ -1,0 +1,298 @@
+"""Centralised reference solvers (ground truth for tests and benches).
+
+These are straightforward exact algorithms — brute force or via
+networkx/scipy — used to validate the distributed implementations.  They
+are intentionally simple rather than fast; inputs in tests are small.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+import numpy as np
+
+from ..clique.graph import INF, CliqueGraph
+
+__all__ = [
+    "is_independent_set",
+    "is_dominating_set",
+    "is_vertex_cover",
+    "has_independent_set",
+    "has_dominating_set",
+    "has_vertex_cover",
+    "max_independent_set_size",
+    "min_vertex_cover_size",
+    "min_dominating_set_size",
+    "is_k_colourable",
+    "has_hamiltonian_path",
+    "has_triangle",
+    "has_k_cycle",
+    "has_subgraph",
+    "count_triangles",
+    "apsp_matrix",
+    "sssp_vector",
+    "boolean_matmul",
+    "minplus_matmul",
+    "ring_matmul",
+    "transitive_closure",
+    "has_k_path",
+]
+
+
+# ---------------------------------------------------------------------------
+# set-property checks
+
+
+def is_independent_set(graph: CliqueGraph, nodes: Iterable[int]) -> bool:
+    nodes = list(nodes)
+    return all(
+        not graph.has_edge(u, v) for u, v in itertools.combinations(nodes, 2)
+    )
+
+
+def is_dominating_set(graph: CliqueGraph, nodes: Iterable[int]) -> bool:
+    dom = set(nodes)
+    for v in range(graph.n):
+        if v in dom:
+            continue
+        if not any(graph.has_edge(v, u) for u in dom):
+            return False
+    return True
+
+
+def is_vertex_cover(graph: CliqueGraph, nodes: Iterable[int]) -> bool:
+    cover = set(nodes)
+    return all(u in cover or v in cover for u, v in graph.edges())
+
+
+# ---------------------------------------------------------------------------
+# brute-force existence / optimisation
+
+
+def _subsets_of_size(n: int, k: int):
+    return itertools.combinations(range(n), k)
+
+
+def has_independent_set(graph: CliqueGraph, k: int) -> bool:
+    if k == 0:
+        return True
+    return any(
+        is_independent_set(graph, s) for s in _subsets_of_size(graph.n, k)
+    )
+
+
+def has_dominating_set(graph: CliqueGraph, k: int) -> bool:
+    if k >= graph.n:
+        return True
+    return any(
+        is_dominating_set(graph, s) for s in _subsets_of_size(graph.n, k)
+    )
+
+
+def has_vertex_cover(graph: CliqueGraph, k: int) -> bool:
+    if k >= graph.n:
+        return True
+    return any(is_vertex_cover(graph, s) for s in _subsets_of_size(graph.n, k))
+
+
+def max_independent_set_size(graph: CliqueGraph) -> int:
+    for k in range(graph.n, -1, -1):
+        if has_independent_set(graph, k):
+            return k
+    return 0
+
+
+def min_vertex_cover_size(graph: CliqueGraph) -> int:
+    for k in range(graph.n + 1):
+        if has_vertex_cover(graph, k):
+            return k
+    return graph.n
+
+
+def min_dominating_set_size(graph: CliqueGraph) -> int:
+    if graph.n == 0:
+        return 0
+    for k in range(1, graph.n + 1):
+        if has_dominating_set(graph, k):
+            return k
+    return graph.n
+
+
+def is_k_colourable(graph: CliqueGraph, k: int) -> bool:
+    n = graph.n
+    if k >= n:
+        return True
+    adj = graph.adjacency
+    colours = [-1] * n
+    # order nodes by decreasing degree for faster backtracking
+    order = sorted(range(n), key=graph.degree, reverse=True)
+
+    def backtrack(i: int) -> bool:
+        if i == n:
+            return True
+        v = order[i]
+        used = {
+            colours[u]
+            for u in range(n)
+            if colours[u] >= 0 and graph.has_edge(u, v)
+        }
+        for c in range(k):
+            if c not in used:
+                colours[v] = c
+                if backtrack(i + 1):
+                    return True
+                colours[v] = -1
+            # symmetry breaking: a fresh colour class is interchangeable
+            if c not in {colours[u] for u in order[:i]}:
+                break
+        return False
+
+    return backtrack(0)
+
+
+def has_hamiltonian_path(graph: CliqueGraph) -> bool:
+    n = graph.n
+    if n <= 1:
+        return True
+    # Held-Karp style DP over subsets.
+    adj = graph.adjacency
+    reach = [dict() for _ in range(n)]
+    full = (1 << n) - 1
+    # dp[mask][v] = path visiting exactly mask, ending at v
+    dp = [[False] * n for _ in range(1 << n)]
+    for v in range(n):
+        dp[1 << v][v] = True
+    for mask in range(1 << n):
+        for v in range(n):
+            if not dp[mask][v]:
+                continue
+            for u in range(n):
+                if mask & (1 << u):
+                    continue
+                if graph.has_edge(v, u):
+                    dp[mask | (1 << u)][u] = True
+    return any(dp[full][v] for v in range(n))
+
+
+# ---------------------------------------------------------------------------
+# subgraph detection
+
+
+def has_triangle(graph: CliqueGraph) -> bool:
+    a = graph.adjacency.astype(np.int64)
+    return bool(np.trace(a @ a @ a) > 0)
+
+
+def count_triangles(graph: CliqueGraph) -> int:
+    a = graph.adjacency.astype(np.int64)
+    return int(np.trace(a @ a @ a) // 6)
+
+
+def has_k_cycle(graph: CliqueGraph, k: int) -> bool:
+    """Is there a simple cycle of length exactly k?"""
+    if k < 3:
+        raise ValueError("cycles have length >= 3")
+    n = graph.n
+    for start in range(n):
+        # DFS for simple paths of length k-1 returning to start,
+        # restricted to nodes >= start to avoid duplicates.
+        def dfs(v: int, depth: int, visited: set[int]) -> bool:
+            if depth == k - 1:
+                return graph.has_edge(v, start)
+            for u in range(start, n):
+                if u not in visited and graph.has_edge(v, u):
+                    visited.add(u)
+                    if dfs(u, depth + 1, visited):
+                        return True
+                    visited.remove(u)
+            return False
+
+        if dfs(start, 0, {start}):
+            return True
+    return False
+
+
+def has_k_path(graph: CliqueGraph, k: int) -> bool:
+    """Is there a simple path on exactly k vertices?"""
+    if k <= 1:
+        return graph.n >= k
+    n = graph.n
+
+    def dfs(v: int, depth: int, visited: set[int]) -> bool:
+        if depth == k:
+            return True
+        for u in range(n):
+            if u not in visited and graph.has_edge(v, u):
+                visited.add(u)
+                if dfs(u, depth + 1, visited):
+                    return True
+                visited.remove(u)
+        return False
+
+    return any(dfs(v, 1, {v}) for v in range(n))
+
+
+def has_subgraph(graph: CliqueGraph, pattern: CliqueGraph) -> bool:
+    """Does ``graph`` contain ``pattern`` as a (not necessarily induced)
+    subgraph?  Brute force over injective vertex maps."""
+    k = pattern.n
+    pattern_edges = list(pattern.edges())
+    for mapping in itertools.permutations(range(graph.n), k):
+        if all(graph.has_edge(mapping[u], mapping[v]) for u, v in pattern_edges):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# matrices / distances
+
+
+def boolean_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a.astype(bool) @ b.astype(bool)).astype(bool)
+
+
+def ring_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) @ b.astype(np.int64)
+
+
+def minplus_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(min, +) product with INF as the additive identity."""
+    a = a.astype(np.int64)
+    b = b.astype(np.int64)
+    n, m = a.shape[0], b.shape[1]
+    out = np.full((n, m), INF, dtype=np.int64)
+    for i in range(n):
+        sums = a[i][:, None] + b  # (k, m); INF+x may overflow-safely below INF*2
+        np.minimum(out[i], sums.min(axis=0), out=out[i])
+    np.minimum(out, INF, out=out)
+    return out
+
+
+def transitive_closure(a: np.ndarray) -> np.ndarray:
+    """Reflexive-transitive closure of a boolean adjacency matrix."""
+    n = a.shape[0]
+    reach = a.astype(bool) | np.eye(n, dtype=bool)
+    prev = None
+    while prev is None or not np.array_equal(reach, prev):
+        prev = reach
+        reach = boolean_matmul(reach, reach) | reach
+    return reach
+
+
+def apsp_matrix(graph: CliqueGraph) -> np.ndarray:
+    """All-pairs shortest path distances; INF when unreachable."""
+    n = graph.n
+    if graph.weighted:
+        dist = graph.adjacency.astype(np.int64).copy()
+    else:
+        dist = np.where(graph.adjacency, 1, INF).astype(np.int64)
+    np.fill_diagonal(dist, 0)
+    for k in range(n):
+        dist = np.minimum(dist, dist[:, k][:, None] + dist[k, :][None, :])
+        np.minimum(dist, INF, out=dist)
+    return dist
+
+
+def sssp_vector(graph: CliqueGraph, source: int) -> np.ndarray:
+    return apsp_matrix(graph)[source]

@@ -1,0 +1,55 @@
+"""Executable reductions — the arrows of Figure 1 with constructions."""
+
+from .base import Reduction, simulation_overhead
+from .bmm_to_apsp import (
+    BmmInstance,
+    approximate_apsp,
+    apsp_to_product,
+    bmm_to_apsp_instance,
+    bmm_to_apsp_reduction,
+)
+from .col_to_is import (
+    ColToIsInstance,
+    col_to_is_instance,
+    col_to_is_reduction,
+    colouring_to_is_witness,
+    is_witness_to_colouring,
+)
+from .is_to_ds import (
+    IsToDsInstance,
+    ds_witness_to_is,
+    is_to_ds_instance,
+    is_to_ds_reduction,
+    is_witness_to_ds,
+)
+from .matmul_reductions import (
+    apsp_via_minplus_mm,
+    boolean_mm_via_ring_mm,
+    matmul_reductions,
+    transitive_closure_via_boolean_mm,
+    triangle_via_boolean_mm,
+)
+
+__all__ = [
+    "BmmInstance",
+    "ColToIsInstance",
+    "IsToDsInstance",
+    "Reduction",
+    "approximate_apsp",
+    "apsp_to_product",
+    "apsp_via_minplus_mm",
+    "bmm_to_apsp_instance",
+    "bmm_to_apsp_reduction",
+    "boolean_mm_via_ring_mm",
+    "col_to_is_instance",
+    "col_to_is_reduction",
+    "colouring_to_is_witness",
+    "ds_witness_to_is",
+    "is_to_ds_instance",
+    "is_to_ds_reduction",
+    "is_witness_to_ds",
+    "matmul_reductions",
+    "simulation_overhead",
+    "transitive_closure_via_boolean_mm",
+    "triangle_via_boolean_mm",
+]

@@ -1,0 +1,55 @@
+"""Reduction framework for the fine-grained landscape (Section 7).
+
+The congested clique requires extremely fine-grained reductions: only
+``n^o(1)`` blow-up is affordable, and a reduction that multiplies the
+node count by ``c`` and makes each original node simulate ``s`` new nodes
+turns an ``O(n^d)`` algorithm into an ``O(s^2 (cn)^d)`` one (each
+simulated round needs ``s^2`` real rounds to carry the messages of ``s``
+nodes over one node's links).  :func:`simulation_overhead` captures the
+paper's accounting (e.g. Theorem 10's ``O(k^(2d+4) n^d)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Reduction", "simulation_overhead"]
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """An instance transformation with solution mapping.
+
+    ``transform`` maps an instance of the source problem to an instance
+    of the target problem; ``map_back`` recovers a source solution from a
+    target solution (its second argument is the ``info`` returned by
+    ``transform``).
+    """
+
+    name: str
+    source: str
+    target: str
+    transform: Callable[..., tuple[Any, Any]]
+    map_back: Callable[[Any, Any], Any]
+    #: human-readable overhead statement, e.g. "O(k^(2d+4)) factor"
+    overhead: str = ""
+    paper_source: str = ""
+
+    def __repr__(self) -> str:
+        return f"Reduction({self.source} <= {self.target})"
+
+
+def simulation_overhead(
+    nodes_factor: float, per_node_simulated: int, delta: float
+) -> float:
+    """Round-count factor incurred by simulating the target instance.
+
+    With ``N' = nodes_factor * n`` nodes and each real node simulating
+    ``per_node_simulated`` virtual nodes, an ``O(N'^delta)`` algorithm
+    costs ``per_node_simulated^2 * nodes_factor^delta`` times ``n^delta``
+    real rounds — Theorem 10 instantiates this with
+    ``nodes_factor = k^2 + k + 2`` and ``per_node_simulated = O(k^2)``,
+    giving the ``O(k^(2 delta + 4))`` factor.
+    """
+    return (per_node_simulated**2) * (nodes_factor**delta)

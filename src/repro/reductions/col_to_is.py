@@ -1,0 +1,107 @@
+"""k-colouring reduces to maximum independent set (Section 7, [46]).
+
+Replace each vertex ``v`` by ``k`` copies ``v_1..v_k`` forming a clique,
+and connect ``v_c`` to ``u_c`` (same colour-slot) whenever ``{v, u}`` is
+an edge of ``G``.  The new graph has an independent set of size ``n``
+iff ``G`` is k-colourable — and a maximum independent set of size ``n``
+reads back as a proper colouring (copy index = colour).  The blow-up is
+a factor ``k``, constant for constant ``k``, so
+``delta(k-COL) <= delta(MaxIS)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clique.graph import CliqueGraph
+from .base import Reduction
+
+__all__ = [
+    "ColToIsInstance",
+    "col_to_is_instance",
+    "is_witness_to_colouring",
+    "colouring_to_is_witness",
+    "col_to_is_reduction",
+]
+
+
+@dataclass(frozen=True)
+class ColToIsInstance:
+    n: int
+    k: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n * self.k
+
+    def copy_node(self, v: int, colour: int) -> int:
+        """G' node id of copy ``colour`` of vertex ``v``."""
+        return v * self.k + colour
+
+    def decode(self, node: int) -> tuple[int, int]:
+        """Inverse of :meth:`copy_node`: (vertex, colour)."""
+        return node // self.k, node % self.k
+
+
+def col_to_is_instance(
+    graph: CliqueGraph, k: int
+) -> tuple[CliqueGraph, ColToIsInstance]:
+    """Build the k-fold blow-up graph G' (vertex gadgets + colour-slot
+    edges)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    n = graph.n
+    info = ColToIsInstance(n=n, k=k)
+    N = info.num_nodes
+    adj = np.zeros((N, N), dtype=bool)
+    for v in range(n):
+        # vertex gadget: the k copies form a clique
+        for c in range(k):
+            for d in range(c + 1, k):
+                a, b = info.copy_node(v, c), info.copy_node(v, d)
+                adj[a, b] = adj[b, a] = True
+    for v, u in graph.edges():
+        for c in range(k):
+            a, b = info.copy_node(v, c), info.copy_node(u, c)
+            adj[a, b] = adj[b, a] = True
+    return CliqueGraph(adj), info
+
+
+def is_witness_to_colouring(
+    witness, info: ColToIsInstance
+) -> list[int] | None:
+    """An independent set of size n in G' picks exactly one copy per
+    vertex; the copy indices form a proper colouring of G."""
+    if len(witness) != info.n:
+        return None
+    colours = [-1] * info.n
+    for node in witness:
+        v, c = info.decode(node)
+        if colours[v] != -1:
+            return None  # two copies of the same vertex cannot happen
+        colours[v] = c
+    if any(c == -1 for c in colours):
+        return None
+    return colours
+
+
+def colouring_to_is_witness(
+    colours, info: ColToIsInstance
+) -> tuple[int, ...]:
+    """Map a proper colouring to the size-n independent set of G'."""
+    return tuple(info.copy_node(v, c) for v, c in enumerate(colours))
+
+
+def col_to_is_reduction(k: int) -> Reduction:
+    """The blow-up reduction as a Reduction object."""
+    return Reduction(
+        name=f"{k}-COL <= MaxIS",
+        source=f"{k}-colouring",
+        target="max-independent-set",
+        transform=lambda g: col_to_is_instance(g, k),
+        map_back=is_witness_to_colouring,
+        overhead=f"node blow-up factor {k} (constant)",
+        paper_source="Section 7 / Luby [46]",
+    )

@@ -1,0 +1,183 @@
+"""Theorem 10: k-independent-set reduces to k-dominating-set.
+
+The construction (Section 7.2, illustrated by the paper's Figure 2):
+
+* ``k`` cliques ``K_1..K_k``, each a copy of ``V``,
+* for each pair ``i < j`` a *compatibility gadget*: an independent set
+  ``I_{i,j}`` (another copy of ``V``) with
+  - ``v_i`` in ``K_i`` adjacent to ``u_{i,j}`` for all ``u != v``, and
+  - ``v_j`` in ``K_j`` adjacent to ``u_{i,j}`` for all ``u`` that are
+    neither ``v`` nor neighbours of ``v`` in ``G``,
+* two *special nodes* ``x_i, y_i`` attached to each clique ``K_i``.
+
+Then ``G`` has an independent set of size ``k`` iff the new graph ``G'``
+(on at most ``(k^2+k+2) n`` nodes) has a dominating set of size ``k``,
+and a dominating set of ``G'`` reads back as an independent set of ``G``.
+
+The module also runs the whole pipeline on the simulator: build ``G'``,
+run the Theorem 9 k-DS algorithm on it, and map the witness back —
+executable evidence for ``delta(k-IS) <= delta(k-DS)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clique.graph import CliqueGraph
+from .base import Reduction
+
+__all__ = [
+    "IsToDsInstance",
+    "is_to_ds_instance",
+    "ds_witness_to_is",
+    "is_witness_to_ds",
+    "is_to_ds_reduction",
+]
+
+
+@dataclass(frozen=True)
+class IsToDsInstance:
+    """Index bookkeeping for the constructed graph G'.
+
+    Node layout (all 0-based, n = |V(G)|):
+
+    * clique ``K_i`` node for original ``v``:    ``i * n + v``
+    * gadget ``I_{i,j}`` node for original ``v``: ``clique_end + pair_index(i,j) * n + v``
+    * specials ``x_i`` / ``y_i``:                 ``gadget_end + 2i`` / ``+ 2i + 1``
+    """
+
+    n: int
+    k: int
+    num_nodes: int
+
+    def clique_node(self, i: int, v: int) -> int:
+        """G' node id of copy ``v`` in clique ``K_i``."""
+        return i * self.n + v
+
+    def _pair_index(self, i: int, j: int) -> int:
+        if not 0 <= i < j < self.k:
+            raise ValueError(f"need 0 <= i < j < k, got ({i},{j})")
+        # pairs in lexicographic order
+        return sum(self.k - 1 - a for a in range(i)) + (j - i - 1)
+
+    def gadget_node(self, i: int, j: int, v: int) -> int:
+        """G' node id of copy ``v`` in the gadget ``I_{i,j}``."""
+        return self.k * self.n + self._pair_index(i, j) * self.n + v
+
+    def special_node(self, i: int, which: int) -> int:
+        """G' node id of ``x_i`` (which=0) or ``y_i`` (which=1)."""
+        base = self.k * self.n + (self.k * (self.k - 1) // 2) * self.n
+        return base + 2 * i + which
+
+    def decode(self, node: int) -> tuple[str, tuple]:
+        """Classify a G' node: ('clique', (i, v)) / ('gadget', (i, j, v))
+        / ('special', (i, which))."""
+        n, k = self.n, self.k
+        if node < k * n:
+            return "clique", (node // n, node % n)
+        node -= k * n
+        num_pairs = k * (k - 1) // 2
+        if node < num_pairs * n:
+            p, v = node // n, node % n
+            # invert pair index
+            i = 0
+            while p >= k - 1 - i:
+                p -= k - 1 - i
+                i += 1
+            return "gadget", (i, i + 1 + p, v)
+        node -= num_pairs * n
+        return "special", (node // 2, node % 2)
+
+
+def is_to_ds_instance(graph: CliqueGraph, k: int) -> tuple[CliqueGraph, IsToDsInstance]:
+    """Build G' from G (Figure 2's construction)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    n = graph.n
+    info = IsToDsInstance(
+        n=n,
+        k=k,
+        num_nodes=k * n + (k * (k - 1) // 2) * n + 2 * k,
+    )
+    N = info.num_nodes
+    adj = np.zeros((N, N), dtype=bool)
+
+    def connect(a: int, b: int) -> None:
+        adj[a, b] = adj[b, a] = True
+
+    # cliques K_i
+    for i in range(k):
+        for v in range(n):
+            for u in range(v + 1, n):
+                connect(info.clique_node(i, v), info.clique_node(i, u))
+
+    # compatibility gadgets
+    for i in range(k):
+        for j in range(i + 1, k):
+            for v in range(n):
+                vi = info.clique_node(i, v)
+                vj = info.clique_node(j, v)
+                for u in range(n):
+                    if u == v:
+                        continue
+                    uij = info.gadget_node(i, j, u)
+                    # K_i side: v_i adjacent to u_{i,j} for all u != v
+                    connect(vi, uij)
+                    # K_j side: v_j adjacent to u_{i,j} for u not in
+                    # N_G(v) (and u != v)
+                    if not graph.has_edge(v, u):
+                        connect(vj, uij)
+
+    # special nodes x_i, y_i attached to K_i
+    for i in range(k):
+        for which in (0, 1):
+            s = info.special_node(i, which)
+            for v in range(n):
+                connect(s, info.clique_node(i, v))
+
+    return CliqueGraph(adj), info
+
+
+def is_witness_to_ds(
+    witness: tuple[int, ...], info: IsToDsInstance
+) -> tuple[int, ...]:
+    """Map an independent set ``{v_1..v_k}`` of G to the dominating set
+    ``{v_i in K_i}`` of G' (the forward direction of the proof)."""
+    if len(witness) != info.k:
+        raise ValueError(f"need a {info.k}-tuple")
+    return tuple(
+        info.clique_node(i, v) for i, v in enumerate(witness)
+    )
+
+
+def ds_witness_to_is(
+    witness: tuple[int, ...], info: IsToDsInstance
+) -> tuple[int, ...]:
+    """Map a size-k dominating set of G' back to an independent set of G
+    (the reverse direction: exactly one member per clique, each naming an
+    original node)."""
+    originals = []
+    for node in witness:
+        kind, data = info.decode(node)
+        if kind != "clique":
+            raise ValueError(
+                f"a size-{info.k} dominating set of G' must sit inside the "
+                f"cliques; got {kind} node {node}"
+            )
+        originals.append(data[1])
+    return tuple(sorted(originals))
+
+
+def is_to_ds_reduction(k: int) -> Reduction:
+    """Theorem 10 as a Reduction object."""
+    return Reduction(
+        name=f"{k}-IS <= {k}-DS",
+        source=f"{k}-independent-set",
+        target=f"{k}-dominating-set",
+        transform=lambda g: is_to_ds_instance(g, k),
+        map_back=ds_witness_to_is,
+        overhead="O(k^(2 delta + 4)) round factor, (k^2+k+2) n nodes",
+        paper_source="Theorem 10 / Figure 2",
+    )

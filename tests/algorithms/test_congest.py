@@ -1,0 +1,138 @@
+"""Tests for the CONGEST topology restriction and its algorithms."""
+
+import math
+
+import pytest
+
+from repro.algorithms.broadcast import gather_graph
+from repro.algorithms.congest import UNREACHED, congest_bfs, congest_flood_max
+from repro.clique.bits import BitString
+from repro.clique.errors import CliqueError, ProtocolViolation
+from repro.clique.graph import CliqueGraph
+from repro.clique.network import CongestedClique
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def path_graph(n):
+    return CliqueGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestTopologyEnforcement:
+    def test_non_neighbour_send_rejected(self):
+        g = path_graph(4)
+
+        def prog(node):
+            if node.id == 0:
+                node.send(3, BitString(1, 1))
+            yield
+
+        with pytest.raises(ProtocolViolation):
+            CongestedClique(4, topology=g).run(prog, g)
+
+    def test_neighbour_send_allowed(self):
+        g = path_graph(3)
+
+        def prog(node):
+            if node.id == 0:
+                node.send(1, BitString(1, 1))
+            yield
+            return len(node.inbox)
+
+        result = CongestedClique(3, topology=g).run(prog, g)
+        assert result.outputs[1] == 1
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(CliqueError):
+            CongestedClique(4, topology=path_graph(3))
+
+    def test_clique_topology_equals_no_topology(self):
+        """CONGEST on K_n is exactly the congested clique (Section 3)."""
+        g = gen.random_graph(8, 0.4, 1)
+
+        def prog(node):
+            adj = yield from gather_graph(node)
+            return adj.tobytes()
+
+        unrestricted = CongestedClique(8).run(prog, g)
+        on_clique = CongestedClique(
+            8, topology=CliqueGraph.complete(8)
+        ).run(prog, g)
+        assert unrestricted.outputs == on_clique.outputs
+        assert unrestricted.rounds == on_clique.rounds
+
+
+class TestCongestBfs:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_distances_match_reference(self, seed):
+        g = gen.random_graph(10, 0.25, seed)
+
+        def prog(node):
+            return (yield from congest_bfs(node))
+
+        result = CongestedClique(10, topology=g).run(prog, g, aux=0)
+        want = ref.sssp_vector(g, 0)
+        from repro.clique.graph import INF
+
+        for v in range(10):
+            expected = int(want[v]) if want[v] < INF else UNREACHED
+            assert result.outputs[v] == expected
+
+    def test_bottleneck_contrast(self):
+        """The paper's motivation, measured: on a path (one big
+        bottleneck-free... rather, max-diameter) topology, CONGEST BFS
+        needs Theta(n) rounds while the clique gathers everything in
+        ceil(n/B) rounds."""
+        n = 24
+        g = path_graph(n)
+
+        def congest_prog(node):
+            return (yield from congest_bfs(node))
+
+        congest_result = CongestedClique(n, topology=g).run(
+            congest_prog, g, aux=0
+        )
+        # wave arrival at the far end = n - 1 rounds of latency
+        assert congest_result.outputs[n - 1] == n - 1
+
+        def clique_prog(node):
+            adj = yield from gather_graph(node)
+            return int(ref.sssp_vector(CliqueGraph(adj), 0)[node.id])
+
+        clique_result = CongestedClique(n).run(clique_prog, g)
+        assert clique_result.outputs[n - 1] == n - 1  # same answer
+        b = max(1, (n - 1).bit_length())
+        assert clique_result.rounds == math.ceil(n / b)
+        assert clique_result.rounds < congest_result.outputs[n - 1]
+
+
+class TestFloodMax:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_connected_learns_max(self, seed):
+        g = gen.random_graph(9, 0.35, seed)
+        gx = g.to_networkx()
+        import networkx as nx
+
+        if not nx.is_connected(gx):
+            g = path_graph(9)
+
+        def prog(node):
+            return (yield from congest_flood_max(node))
+
+        values = {v: (v * 37) % 101 for v in range(9)}
+        result = CongestedClique(
+            9, topology=g, bandwidth_multiplier=2
+        ).run(prog, g, aux=lambda v: values[v])
+        assert result.common_output() == max(values.values())
+
+    def test_disconnected_learns_component_max(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+
+        def prog(node):
+            return (yield from congest_flood_max(node))
+
+        result = CongestedClique(
+            4, topology=g, bandwidth_multiplier=2
+        ).run(prog, g, aux=lambda v: v + 10)
+        assert result.outputs[0] == 11
+        assert result.outputs[3] == 13

@@ -1,0 +1,153 @@
+"""Tests for Theorem 9 (k-dominating set) and Theorem 11 (k-vertex cover)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dominating_set import k_dominating_set, local_dominating_check
+from repro.algorithms.vertex_cover import k_vertex_cover, kernel_vertex_cover
+from repro.clique.algorithm import run_algorithm
+from repro.clique.graph import CliqueGraph
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def run_kds(g, k, scheme="lenzen"):
+    def prog(node):
+        return (yield from k_dominating_set(node, k, scheme=scheme))
+
+    return run_algorithm(prog, g, bandwidth_multiplier=2)
+
+
+def run_kvc(g, k):
+    def prog(node):
+        return (yield from k_vertex_cover(node, k))
+
+    return run_algorithm(prog, g, bandwidth_multiplier=2)
+
+
+class TestLocalDominatingCheck:
+    def test_finds_planted(self):
+        g = CliqueGraph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        rows = np.stack([g.row(v) for v in range(5)])
+        got = local_dominating_check(list(range(5)), rows, 5, 1)
+        assert got == (0,)
+
+    def test_none_when_impossible(self):
+        g = CliqueGraph.empty(4)
+        rows = np.stack([g.row(v) for v in range(4)])
+        assert local_dominating_check([0, 1], rows[:2], 4, 2) is None
+
+
+class TestKDominatingSet:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_reference(self, seed, k):
+        g = gen.random_graph(10, 0.35, seed)
+        found, witness = run_kds(g, k).common_output()
+        assert found == ref.has_dominating_set(g, k)
+        if found:
+            assert ref.is_dominating_set(g, witness)
+            assert len(witness) == k
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted(self, seed):
+        g, planted = gen.planted_dominating_set(14, 2, 0.1, seed)
+        found, witness = run_kds(g, 2).common_output()
+        assert found
+        assert ref.is_dominating_set(g, witness)
+
+    def test_star(self):
+        g = CliqueGraph.from_edges(8, [(0, i) for i in range(1, 8)])
+        found, witness = run_kds(g, 1).common_output()
+        assert found and witness == (0,)
+
+    def test_empty_graph_negative(self):
+        g = CliqueGraph.empty(6)
+        found, _ = run_kds(g, 2).common_output()
+        assert not found
+
+    @pytest.mark.parametrize("scheme", ["direct", "relay", "lenzen"])
+    def test_schemes_agree(self, scheme):
+        g = gen.random_graph(9, 0.3, 4)
+        found, _ = run_kds(g, 2, scheme).common_output()
+        assert found == ref.has_dominating_set(g, 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property(self, seed):
+        g = gen.random_graph(8, 0.4, seed)
+        found, witness = run_kds(g, 2).common_output()
+        assert found == ref.has_dominating_set(g, 2)
+        if found:
+            assert ref.is_dominating_set(g, witness)
+
+
+class TestKernelVertexCover:
+    def test_simple(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        cover = kernel_vertex_cover(edges, 2)
+        assert cover is not None
+        assert ref.is_vertex_cover(
+            CliqueGraph.from_edges(4, edges), cover
+        )
+
+    def test_budget_too_small(self):
+        edges = [(0, 1), (2, 3), (4, 5)]
+        assert kernel_vertex_cover(edges, 2) is None
+
+    def test_empty(self):
+        assert kernel_vertex_cover([], 0) == []
+
+
+class TestKVertexCover:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_reference(self, seed, k):
+        g = gen.random_graph(9, 0.25, seed)
+        found, witness = run_kvc(g, k).common_output()
+        assert found == ref.has_vertex_cover(g, k)
+        if found:
+            assert ref.is_vertex_cover(g, witness)
+            assert len(witness) <= k
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted(self, seed):
+        g, planted = gen.planted_vertex_cover(16, 3, 0.6, seed)
+        found, witness = run_kvc(g, 3).common_output()
+        assert found
+        assert ref.is_vertex_cover(g, witness)
+
+    def test_high_degree_forced(self):
+        """A star's centre has degree n-1 >= k+1 and must join the cover."""
+        g = CliqueGraph.from_edges(8, [(0, i) for i in range(1, 8)])
+        found, witness = run_kvc(g, 2).common_output()
+        assert found and 0 in witness
+
+    def test_too_many_high_degree(self):
+        g = CliqueGraph.complete(8)
+        found, _ = run_kvc(g, 2).common_output()
+        assert not found
+
+    def test_edgeless(self):
+        found, witness = run_kvc(CliqueGraph.empty(5), 2).common_output()
+        assert found and witness == ()
+
+    def test_rounds_independent_of_n(self):
+        """Theorem 11's point: rounds depend on k, not n."""
+        k = 3
+        rounds = []
+        for n in (16, 64):
+            g, _ = gen.planted_vertex_cover(n, k, 0.5, 1)
+            rounds.append(run_kvc(g, k).rounds)
+        assert rounds[1] <= rounds[0] + 2  # near-identical despite 4x n
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property(self, seed):
+        g = gen.random_graph(8, 0.3, seed)
+        found, witness = run_kvc(g, 3).common_output()
+        assert found == ref.has_vertex_cover(g, 3)
+        if found:
+            assert ref.is_vertex_cover(g, witness)

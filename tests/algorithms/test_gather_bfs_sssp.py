@@ -1,0 +1,179 @@
+"""Tests for gathering, BFS, and Bellman-Ford SSSP."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import UNREACHED, bfs_distances, bfs_tree
+from repro.algorithms.broadcast import (
+    decide_by_gathering,
+    gather_graph,
+    gather_weighted_graph,
+)
+from repro.algorithms.sssp import bellman_ford_sssp, dist_width_for
+from repro.clique.algorithm import run_algorithm
+from repro.clique.graph import INF, CliqueGraph
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+class TestGatherGraph:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_everyone_learns_adjacency(self, seed):
+        g = gen.random_graph(9, 0.4, seed)
+
+        def prog(node):
+            adj = yield from gather_graph(node)
+            return adj.tobytes()
+
+        result = run_algorithm(prog, g)
+        assert result.common_output() == g.adjacency.tobytes()
+
+    def test_round_count(self):
+        n = 16  # B = 4
+        g = gen.random_graph(n, 0.5, 1)
+
+        def prog(node):
+            yield from gather_graph(node)
+            return None
+
+        assert run_algorithm(prog, g).rounds == math.ceil(n / 4)
+
+    def test_decide_by_gathering(self):
+        from repro.problems import triangle_problem
+
+        prob = triangle_problem()
+        prog = decide_by_gathering(prob.predicate)
+        yes = CliqueGraph.complete(6)
+        no = CliqueGraph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert run_algorithm(prog, yes).common_output() == 1
+        assert run_algorithm(prog, no).common_output() == 0
+
+
+class TestGatherWeighted:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_weighted_gather(self, seed):
+        g = gen.random_weighted_graph(8, 0.5, 15, seed)
+
+        def prog(node):
+            adj = yield from gather_weighted_graph(node, 6)
+            return adj.tobytes()
+
+        result = run_algorithm(prog, g)
+        want = g.adjacency.copy()
+        assert result.common_output() == want.tobytes()
+
+    def test_overflow_weight_rejected(self):
+        g = CliqueGraph.from_weighted_edges(3, [(0, 1, 100)])
+
+        def prog(node):
+            adj = yield from gather_weighted_graph(node, 4)
+            return adj
+
+        with pytest.raises(ValueError):
+            run_algorithm(prog, g)
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distances_match_reference(self, seed):
+        g = gen.random_graph(10, 0.25, seed)
+
+        def prog(node):
+            d = yield from bfs_distances(node)
+            return d.tolist()
+
+        result = run_algorithm(prog, g, aux=0)
+        want = [
+            d if d < INF else UNREACHED for d in ref.sssp_vector(g, 0).tolist()
+        ]
+        assert result.common_output() == want
+
+    def test_rounds_scale_with_eccentricity(self):
+        path = CliqueGraph.from_edges(12, [(i, i + 1) for i in range(11)])
+
+        def prog(node):
+            yield from bfs_distances(node)
+            return None
+
+        r_far = run_algorithm(prog, path, aux=0).rounds  # ecc 11
+        r_mid = run_algorithm(prog, path, aux=5).rounds  # ecc 6
+        assert r_far > r_mid
+
+    def test_disconnected(self):
+        g = CliqueGraph.from_edges(5, [(0, 1)])
+
+        def prog(node):
+            d = yield from bfs_distances(node)
+            return d.tolist()
+
+        result = run_algorithm(prog, g, aux=0)
+        assert result.common_output() == [0, 1, UNREACHED, UNREACHED, UNREACHED]
+
+    def test_bfs_tree_parents(self):
+        g = gen.random_graph(9, 0.35, 7)
+
+        def prog(node):
+            dist, parent = yield from bfs_tree(node)
+            return dist.tolist(), parent.tolist()
+
+        dist, parent = run_algorithm(prog, g, aux=2).common_output()
+        for v in range(9):
+            if v == 2:
+                assert parent[v] == -1 and dist[v] == 0
+            elif dist[v] == UNREACHED:
+                assert parent[v] == -1
+            else:
+                p = parent[v]
+                assert g.has_edge(p, v)
+                assert dist[p] == dist[v] - 1
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed):
+        g = gen.random_weighted_graph(9, 0.4, 12, seed)
+
+        def prog(node):
+            d = yield from bellman_ford_sssp(node)
+            return d.tolist()
+
+        result = run_algorithm(
+            prog, g, aux=lambda v: {"source": 0, "max_weight": 12}
+        )
+        want = ref.sssp_vector(g, 0).tolist()
+        assert result.common_output() == [min(d, INF) for d in want]
+
+    def test_unreachable_is_inf(self):
+        g = CliqueGraph.from_weighted_edges(4, [(0, 1, 3)])
+
+        def prog(node):
+            d = yield from bellman_ford_sssp(node)
+            return d.tolist()
+
+        result = run_algorithm(
+            prog, g, aux=lambda v: {"source": 0, "max_weight": 3}
+        )
+        out = result.common_output()
+        assert out[0] == 0 and out[1] == 3
+        assert out[2] >= INF and out[3] >= INF
+
+    def test_dist_width(self):
+        assert dist_width_for(10, 100) >= 10
+
+
+class TestSSSPAuxSpec:
+    def test_dict_aux_is_per_node_mapping(self):
+        """Guard: a raw dict aux is interpreted per-node; algorithms that
+        need a shared dict must pass a callable or scalar-like object."""
+        g = CliqueGraph.from_weighted_edges(3, [(0, 1, 2), (1, 2, 2)])
+
+        def prog(node):
+            d = yield from bellman_ford_sssp(node)
+            return d.tolist()
+
+        result = run_algorithm(
+            prog, g, aux=lambda v: {"source": 0, "max_weight": 2}
+        )
+        assert result.common_output() == [0, 2, 4]

@@ -1,0 +1,151 @@
+"""Tests for distributed matrix multiplication and APSP."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.apsp import apsp_minplus, transitive_closure_distributed
+from repro.algorithms.matmul import BOOLEAN, MINPLUS, RING, run_matmul
+from repro.clique.algorithm import run_algorithm
+from repro.clique.graph import INF, CliqueGraph
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def rand_matrix(n, hi, seed):
+    return gen.rng_from(seed).integers(0, hi, (n, n)).astype(np.int64)
+
+
+class TestRingMM:
+    @pytest.mark.parametrize("n", [2, 4, 8, 9, 16, 27])
+    def test_matches_numpy(self, n):
+        a = rand_matrix(n, 10, n)
+        b = rand_matrix(n, 10, n + 1)
+        c, _ = run_matmul(a, b, RING)
+        assert np.array_equal(c, a @ b)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            run_matmul(np.zeros((2, 3)), np.zeros((3, 2)), RING)
+
+    @pytest.mark.parametrize("scheme", ["direct", "relay", "lenzen"])
+    def test_all_schemes(self, scheme):
+        n = 8
+        a = rand_matrix(n, 8, 3)
+        b = rand_matrix(n, 8, 4)
+        c, _ = run_matmul(a, b, RING, scheme=scheme)
+        assert np.array_equal(c, a @ b)
+
+    def test_identity(self):
+        n = 9
+        a = rand_matrix(n, 10, 5)
+        c, _ = run_matmul(a, np.eye(n, dtype=np.int64), RING, max_entry=10)
+        assert np.array_equal(c, a)
+
+
+class TestBooleanMM:
+    @pytest.mark.parametrize("n", [3, 8, 13])
+    def test_matches_reference(self, n):
+        a = rand_matrix(n, 2, n).astype(bool)
+        b = rand_matrix(n, 2, n + 7).astype(bool)
+        c, _ = run_matmul(a, b, BOOLEAN)
+        assert np.array_equal(c.astype(bool), ref.boolean_matmul(a, b))
+
+
+class TestMinplusMM:
+    @pytest.mark.parametrize("n", [3, 8, 13])
+    def test_matches_reference(self, n):
+        rng = gen.rng_from(n)
+        a = rng.integers(0, 30, (n, n)).astype(np.int64)
+        b = rng.integers(0, 30, (n, n)).astype(np.int64)
+        # sprinkle INFs
+        a[rng.random((n, n)) < 0.2] = INF
+        b[rng.random((n, n)) < 0.2] = INF
+        c, _ = run_matmul(a, b, MINPLUS, max_entry=30)
+        want = ref.minplus_matmul(a, b)
+        assert np.array_equal(np.minimum(c, INF), np.minimum(want, INF))
+
+    def test_inf_rows(self):
+        n = 4
+        a = np.full((n, n), INF, dtype=np.int64)
+        b = np.full((n, n), INF, dtype=np.int64)
+        c, _ = run_matmul(a, b, MINPLUS, max_entry=1)
+        assert (c >= INF).all()
+
+
+class TestRoundScaling:
+    def test_rounds_grow_sublinearly(self):
+        """Cube-partitioned MM should scale roughly like n^(1/3), i.e.
+        much slower than linearly in n."""
+        rounds = {}
+        for n in (8, 64):
+            a = rand_matrix(n, 4, n)
+            _, result = run_matmul(a, a, RING)
+            rounds[n] = result.rounds
+        # 8x more nodes must cost far less than 8x more rounds.
+        assert rounds[64] < 4 * rounds[8]
+
+
+class TestAPSP:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_weighted_apsp(self, seed):
+        g = gen.random_weighted_graph(9, 0.4, 10, seed)
+
+        def prog(node):
+            row = yield from apsp_minplus(node)
+            return row.tolist()
+
+        result = run_algorithm(
+            prog,
+            g,
+            aux=lambda v: {"max_weight": 10},
+            bandwidth_multiplier=2,
+        )
+        want = ref.apsp_matrix(g)
+        for i in range(9):
+            got = np.minimum(np.array(result.outputs[i]), INF)
+            assert np.array_equal(got, np.minimum(want[i], INF))
+
+    def test_unweighted_apsp_via_unit_weights(self):
+        g0 = gen.random_graph(8, 0.3, 2)
+        adj = np.where(g0.adjacency, 1, INF).astype(np.int64)
+        np.fill_diagonal(adj, 0)
+        g = CliqueGraph(adj, weighted=True)
+
+        def prog(node):
+            row = yield from apsp_minplus(node)
+            return row.tolist()
+
+        result = run_algorithm(
+            prog, g, aux=lambda v: {"max_weight": 1}, bandwidth_multiplier=2
+        )
+        want = ref.apsp_matrix(g0)
+        for i in range(8):
+            got = np.minimum(np.array(result.outputs[i]), INF)
+            assert np.array_equal(got, np.minimum(want[i], INF))
+
+
+class TestTransitiveClosure:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_undirected(self, seed):
+        g = gen.random_graph(9, 0.2, seed)
+
+        def prog(node):
+            row = yield from transitive_closure_distributed(node)
+            return row.tolist()
+
+        result = run_algorithm(prog, g, bandwidth_multiplier=2)
+        want = ref.transitive_closure(g.adjacency)
+        for i in range(9):
+            assert result.outputs[i] == want[i].tolist()
+
+    def test_directed(self):
+        g = CliqueGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)], directed=True)
+
+        def prog(node):
+            row = yield from transitive_closure_distributed(node)
+            return row.tolist()
+
+        result = run_algorithm(prog, g, bandwidth_multiplier=2)
+        want = ref.transitive_closure(g.adjacency)
+        for i in range(5):
+            assert result.outputs[i] == want[i].tolist()

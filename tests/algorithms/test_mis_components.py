@@ -1,0 +1,114 @@
+"""Tests for Luby's MIS and connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import connected_components, luby_mis
+from repro.clique.algorithm import run_algorithm
+from repro.clique.bits import BitString
+from repro.clique.graph import CliqueGraph
+from repro.core.labelling_problems import maximal_independent_set_problem
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def run_mis(g, seed):
+    def prog(node):
+        return (yield from luby_mis(node, seed=seed))
+
+    return run_algorithm(prog, g, bandwidth_multiplier=2)
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_output_is_maximal_independent(self, seed):
+        g = gen.random_graph(12, 0.35, seed)
+        mis = run_mis(g, seed).common_output()
+        assert ref.is_independent_set(g, mis)
+        # maximality: every node outside has a neighbour inside
+        for v in range(12):
+            if v not in mis:
+                assert any(g.has_edge(v, u) for u in mis)
+
+    def test_verified_by_labelling_verifier(self):
+        """Luby's output passes the Section 8 NCLIQUE(1)-labelling
+        verifier for maximal independent set."""
+        g = gen.random_graph(10, 0.4, 2)
+        mis = run_mis(g, 7).common_output()
+        problem = maximal_independent_set_problem()
+        labelling = [
+            BitString(1 if v in mis else 0, 1) for v in range(10)
+        ]
+        assert problem.verify(g, labelling)
+
+    def test_empty_graph_takes_everything(self):
+        g = CliqueGraph.empty(6)
+        assert run_mis(g, 1).common_output() == frozenset(range(6))
+
+    def test_complete_graph_takes_one(self):
+        g = CliqueGraph.complete(6)
+        assert len(run_mis(g, 1).common_output()) == 1
+
+    def test_rounds_scale_gently(self):
+        rounds = {}
+        for n in (8, 64):
+            g = gen.random_graph(n, 0.3, 5)
+            rounds[n] = run_mis(g, 3).rounds
+        assert rounds[64] <= 4 * rounds[8] + 8  # ~log n phases
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property(self, seed):
+        g = gen.random_graph(9, 0.4, seed)
+        mis = run_mis(g, seed).common_output()
+        assert ref.is_independent_set(g, mis)
+        for v in range(9):
+            assert v in mis or any(g.has_edge(v, u) for u in mis)
+
+
+class TestConnectedComponents:
+    def run_cc(self, g):
+        def prog(node):
+            return (yield from connected_components(node))
+
+        return run_algorithm(prog, g, bandwidth_multiplier=2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = gen.random_graph(12, 0.12, seed)
+        comp, forest = self.run_cc(g).common_output()
+        gx = g.to_networkx()
+        for part in nx.connected_components(gx):
+            rep = min(part)
+            for v in part:
+                assert comp[v] == rep
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forest_is_spanning_forest(self, seed):
+        g = gen.random_graph(11, 0.15, seed)
+        comp, forest = self.run_cc(g).common_output()
+        fx = nx.Graph(list(forest))
+        fx.add_nodes_from(range(11))
+        assert not list(nx.cycle_basis(fx))
+        # forest connects exactly the components of g
+        gx = g.to_networkx()
+        assert (
+            nx.number_connected_components(fx)
+            == nx.number_connected_components(gx)
+        )
+        for u, v in forest:
+            assert g.has_edge(u, v)
+
+    def test_empty_graph(self):
+        comp, forest = self.run_cc(CliqueGraph.empty(5)).common_output()
+        assert list(comp) == list(range(5))
+        assert forest == frozenset()
+
+    def test_connected_graph_single_component(self):
+        g = CliqueGraph.complete(7)
+        comp, forest = self.run_cc(g).common_output()
+        assert set(comp) == {0}
+        assert len(forest) == 6

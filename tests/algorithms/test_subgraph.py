@@ -1,0 +1,166 @@
+"""Tests for Dolev et al. subgraph detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.subgraph import (
+    detect_pattern,
+    k_clique_detection,
+    k_cycle_detection,
+    k_independent_set_detection,
+    triangle_detection,
+)
+from repro.clique.algorithm import run_algorithm
+from repro.clique.graph import CliqueGraph
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def run_triangle(g, scheme="lenzen"):
+    def prog(node):
+        return (yield from triangle_detection(node, scheme=scheme))
+
+    return run_algorithm(prog, g, bandwidth_multiplier=2)
+
+
+class TestTriangle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed):
+        g = gen.random_graph(12, 0.25, seed)
+        found, witness = run_triangle(g).common_output()
+        assert found == ref.has_triangle(g)
+        if found:
+            a, b, c = witness
+            assert g.has_edge(a, b) and g.has_edge(b, c) and g.has_edge(a, c)
+
+    def test_dense_positive(self):
+        found, witness = run_triangle(CliqueGraph.complete(10)).common_output()
+        assert found
+
+    def test_bipartite_negative(self):
+        g = CliqueGraph.from_edges(
+            8, [(i, j) for i in range(4) for j in range(4, 8)]
+        )
+        found, _ = run_triangle(g).common_output()
+        assert not found
+
+    @pytest.mark.parametrize("scheme", ["direct", "relay", "lenzen"])
+    def test_schemes_agree(self, scheme):
+        g = gen.random_graph(10, 0.3, 5)
+        found, _ = run_triangle(g, scheme).common_output()
+        assert found == ref.has_triangle(g)
+
+
+class TestGenericPattern:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k_clique(self, seed):
+        g = gen.random_graph(12, 0.5, seed)
+
+        def prog(node):
+            return (yield from k_clique_detection(node, 3))
+
+        found, witness = run_algorithm(
+            prog, g, bandwidth_multiplier=2
+        ).common_output()
+        assert found == ref.has_triangle(g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k_cycle_4(self, seed):
+        g = gen.random_graph(11, 0.25, seed)
+
+        def prog(node):
+            return (yield from k_cycle_detection(node, 4))
+
+        found, witness = run_algorithm(
+            prog, g, bandwidth_multiplier=2
+        ).common_output()
+        assert found == ref.has_k_cycle(g, 4)
+        if found:
+            for a, b in zip(witness, witness[1:] + witness[:1]):
+                assert g.has_edge(a, b)
+            assert len(set(witness)) == 4
+
+    def test_induced_path_vs_subgraph_path(self):
+        """P3 as subgraph exists in a triangle, but not induced."""
+        tri = CliqueGraph.complete(3)
+        p3 = CliqueGraph.from_edges(3, [(0, 1), (1, 2)])
+
+        def prog_sub(node):
+            return (yield from detect_pattern(node, p3, induced=False))
+
+        def prog_ind(node):
+            return (yield from detect_pattern(node, p3, induced=True))
+
+        assert run_algorithm(prog_sub, tri, bandwidth_multiplier=2).common_output()[0]
+        assert not run_algorithm(prog_ind, tri, bandwidth_multiplier=2).common_output()[0]
+
+
+class TestKIndependentSet:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed):
+        g = gen.random_graph(10, 0.6, seed)
+
+        def prog(node):
+            return (yield from k_independent_set_detection(node, 3))
+
+        found, witness = run_algorithm(
+            prog, g, bandwidth_multiplier=2
+        ).common_output()
+        assert found == ref.has_independent_set(g, 3)
+        if found:
+            assert ref.is_independent_set(g, witness)
+            assert len(set(witness)) == 3
+
+    def test_planted(self):
+        g, planted = gen.planted_independent_set(16, 4, 0.8, 3)
+
+        def prog(node):
+            return (yield from k_independent_set_detection(node, 4))
+
+        found, witness = run_algorithm(
+            prog, g, bandwidth_multiplier=2
+        ).common_output()
+        assert found
+        assert ref.is_independent_set(g, witness)
+
+    def test_complete_graph_negative(self):
+        g = CliqueGraph.complete(9)
+
+        def prog(node):
+            return (yield from k_independent_set_detection(node, 2))
+
+        found, _ = run_algorithm(prog, g, bandwidth_multiplier=2).common_output()
+        assert not found
+
+
+class TestRoundScaling:
+    def test_triangle_sublinear(self):
+        """Triangle detection should cost far fewer rounds than gathering
+        at larger n (the n^(1/3) vs n/log n separation)."""
+        import math
+
+        from repro.algorithms.broadcast import gather_graph
+
+        n = 64
+        g = gen.random_graph(n, 0.05, 9)
+
+        def tri_prog(node):
+            return (yield from triangle_detection(node))
+
+        def gather_prog(node):
+            yield from gather_graph(node)
+            return None
+
+        tri_rounds = run_algorithm(tri_prog, g, bandwidth_multiplier=2).rounds
+        gather_rounds = run_algorithm(
+            gather_prog, g, bandwidth_multiplier=2
+        ).rounds
+        assert tri_rounds < 3 * gather_rounds  # loose sanity bound
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_property_random(self, seed):
+        g = gen.random_graph(9, 0.3, seed)
+        found, witness = run_triangle(g).common_output()
+        assert found == ref.has_triangle(g)

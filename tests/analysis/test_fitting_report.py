@@ -1,0 +1,63 @@
+"""Tests for exponent fitting and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_exponent
+from repro.analysis.report import format_table
+
+
+class TestFitExponent:
+    def test_exact_power_law(self):
+        ns = [8, 16, 32, 64, 128]
+        rounds = [int(4 * n**0.5) for n in ns]
+        fit = fit_exponent(ns, rounds)
+        assert fit.slope == pytest.approx(0.5, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_linear(self):
+        ns = [10, 20, 40, 80]
+        fit = fit_exponent(ns, [3 * n for n in ns])
+        assert fit.slope == pytest.approx(1.0, abs=0.01)
+
+    def test_constant(self):
+        fit = fit_exponent([8, 16, 32], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == 1.0
+
+    def test_prediction(self):
+        ns = [8, 16, 32]
+        fit = fit_exponent(ns, [2 * n for n in ns])
+        assert fit.predicted(64) == pytest.approx(128, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponent([8], [3])
+        with pytest.raises(ValueError):
+            fit_exponent([8, 16], [0, 3])
+        with pytest.raises(ValueError):
+            fit_exponent([1, 16], [2, 3])
+        with pytest.raises(ValueError):
+            fit_exponent([8, 16, 32], [1, 2])
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"n": 8, "rounds": 3.14159, "ok": True}]
+        out = format_table(rows, title="T")
+        assert "T" in out
+        assert "3.142" in out
+        assert "yes" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_column_selection_and_missing(self):
+        rows = [{"a": 1}, {"a": 2, "b": 5}]
+        out = format_table(rows, columns=["a", "b"])
+        assert "-" in out  # missing value placeholder
+
+    def test_alignment(self):
+        rows = [{"name": "x", "v": 1}, {"name": "longer", "v": 22}]
+        lines = format_table(rows).splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines same width

@@ -1,0 +1,127 @@
+"""Tests for the broadcast congested clique variant.
+
+The paper's related work (Section 2) singles out the broadcast variant —
+each node sends the *same* message to everyone each round — as the one
+version of the model where lower bounds are known [19].  The engine
+enforces the restriction; interestingly, all of our all_broadcast-based
+algorithms (k-VC, the NCLIQUE(1) verifiers, MaxIS by gathering) run in
+it unchanged, while the routing-based ones genuinely need unicast.
+"""
+
+import pytest
+
+from repro.algorithms import k_vertex_cover, max_independent_set
+from repro.algorithms.dominating_set import k_dominating_set
+from repro.clique.bits import BitString
+from repro.clique.errors import ProtocolViolation
+from repro.clique.graph import CliqueGraph
+from repro.clique.network import CongestedClique
+from repro.core.nondeterminism import run_with_labelling
+from repro.core.verifiers import k_independent_set_verifier
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def run_bcast(program, graph, **kwargs):
+    clique = CongestedClique(graph.n, broadcast_only=True, **kwargs)
+    return clique.run(program, graph)
+
+
+class TestEnforcement:
+    def test_unicast_rejected(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(1, BitString(1, 1))
+            yield
+
+        with pytest.raises(ProtocolViolation):
+            run_bcast(prog, CliqueGraph.empty(3))
+
+    def test_distinct_payloads_rejected(self):
+        def prog(node):
+            for d in range(node.n):
+                if d != node.id:
+                    node.send(d, BitString(d % 2, 1))
+            yield
+
+        with pytest.raises(ProtocolViolation):
+            run_bcast(prog, CliqueGraph.empty(3))
+
+    def test_uniform_broadcast_allowed(self):
+        def prog(node):
+            node.send_to_all(BitString(node.id % 2, 1))
+            yield
+            return sorted(node.inbox)
+
+        result = run_bcast(prog, CliqueGraph.empty(4))
+        assert result.outputs[0] == [1, 2, 3]
+
+    def test_silence_allowed(self):
+        def prog(node):
+            if node.id == 0:
+                node.send_to_all(BitString(1, 1))
+            yield
+            return len(node.inbox)
+
+        result = run_bcast(prog, CliqueGraph.empty(4))
+        assert result.outputs[1] == 1
+
+    def test_bulk_channel_rejected(self):
+        def prog(node):
+            if node.id == 0:
+                node._bulk_send(1, BitString(1, 1))
+            yield
+
+        with pytest.raises(ProtocolViolation):
+            run_bcast(prog, CliqueGraph.empty(3))
+
+
+class TestBroadcastAlgorithms:
+    """Algorithms built purely on all_broadcast run unchanged in the
+    broadcast congested clique."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_k_vertex_cover(self, seed):
+        g = gen.random_graph(9, 0.3, seed)
+
+        def prog(node):
+            return (yield from k_vertex_cover(node, 3))
+
+        result = run_bcast(prog, g, bandwidth_multiplier=2)
+        found, witness = result.common_output()
+        assert found == ref.has_vertex_cover(g, 3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_max_is_by_gathering(self, seed):
+        g = gen.random_graph(8, 0.4, seed)
+
+        def prog(node):
+            return (yield from max_independent_set(node))
+
+        mis = run_bcast(prog, g).common_output()
+        assert len(mis) == ref.max_independent_set_size(g)
+
+    def test_nclique1_verifier_is_broadcast(self):
+        """NCLIQUE(1) membership verifiers broadcast-only too."""
+        vp = k_independent_set_verifier(2)
+        g, _ = gen.planted_independent_set(8, 2, 0.5, 1)
+        labelling = vp.prover(g)
+        n = g.n
+
+        def aux(v):
+            return {"label": labelling[v]}
+
+        clique = CongestedClique(n, broadcast_only=True)
+        result = clique.run(vp.algorithm.program, g, aux=aux)
+        assert all(o == 1 for o in result.outputs.values())
+
+    def test_routing_needs_unicast(self):
+        """Theorem 9's algorithm routes distinct flows — genuinely not a
+        broadcast algorithm."""
+        g = gen.random_graph(9, 0.3, 1)
+
+        def prog(node):
+            return (yield from k_dominating_set(node, 2, scheme="direct"))
+
+        with pytest.raises(ProtocolViolation):
+            run_bcast(prog, g, bandwidth_multiplier=2)

@@ -1,0 +1,141 @@
+"""Model-invariant and failure-injection tests for the engine.
+
+Property-based checks that the simulator conserves and accounts for
+every bit: sent == received totals, per-node counters, bandwidth
+ceilings, and that randomly-behaving programs cannot smuggle oversized
+or duplicate messages past the checks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.bits import BitString
+from repro.clique.errors import BandwidthExceeded, DuplicateMessage
+from repro.clique.network import CongestedClique
+from repro.problems import generators as gen
+
+
+def random_chatter_program(plan):
+    """A program driven by a per-node plan: list of rounds, each a list
+    of (dst, width) sends."""
+
+    def program(node):
+        my_plan = plan[node.id]
+        received = 0
+        for round_sends in my_plan:
+            for dst, width in round_sends:
+                if dst != node.id:
+                    node.send(dst, BitString.zeros(width))
+            yield
+            received += sum(len(m) for m in node.inbox.values())
+        return received
+
+    return program
+
+
+@st.composite
+def chatter_plans(draw):
+    n = draw(st.integers(2, 6))
+    bandwidth = max(1, (n - 1).bit_length())
+    rounds = draw(st.integers(1, 4))
+    plan = []
+    for v in range(n):
+        rounds_plan = []
+        for _ in range(rounds):
+            dsts = draw(
+                st.lists(
+                    st.integers(0, n - 1).filter(lambda d, v=v: d != v),
+                    unique=True,
+                    max_size=n - 1,
+                )
+            )
+            rounds_plan.append(
+                [(d, draw(st.integers(1, bandwidth))) for d in dsts]
+            )
+        plan.append(rounds_plan)
+    return n, plan
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(chatter_plans())
+    def test_sent_equals_received(self, n_plan):
+        n, plan = n_plan
+        result = CongestedClique(n).run(random_chatter_program(plan))
+        assert sum(result.sent_bits) == sum(result.received_bits)
+        assert sum(result.sent_bits) == result.total_message_bits
+        # outputs report exactly what was delivered
+        assert sum(result.outputs.values()) == result.total_message_bits
+
+    @settings(max_examples=40, deadline=None)
+    @given(chatter_plans())
+    def test_per_node_totals_match_plan(self, n_plan):
+        n, plan = n_plan
+        result = CongestedClique(n).run(random_chatter_program(plan))
+        for v in range(n):
+            planned = sum(w for rnd in plan[v] for _, w in rnd)
+            assert result.sent_bits[v] == planned
+
+    @settings(max_examples=30, deadline=None)
+    @given(chatter_plans())
+    def test_round_count_is_plan_depth(self, n_plan):
+        n, plan = n_plan
+        result = CongestedClique(n).run(random_chatter_program(plan))
+        assert result.rounds == len(plan[0])
+
+
+class TestFailureInjection:
+    def test_oversized_message_rejected_regardless_of_round(self):
+        def program(node):
+            yield
+            yield
+            if node.id == 0:
+                node.send(1, BitString.zeros(node.bandwidth + 1))
+            yield
+
+        with pytest.raises(BandwidthExceeded):
+            CongestedClique(3).run(program)
+
+    def test_duplicate_in_late_round_rejected(self):
+        def program(node):
+            yield
+            if node.id == 2:
+                node.send(0, BitString(1, 1))
+                node.send(0, BitString(0, 1))
+            yield
+
+        with pytest.raises(DuplicateMessage):
+            CongestedClique(3).run(program)
+
+    def test_exception_in_program_propagates(self):
+        def program(node):
+            yield
+            if node.id == 1:
+                raise RuntimeError("node crashed")
+            yield
+
+        with pytest.raises(RuntimeError, match="node crashed"):
+            CongestedClique(3).run(program)
+
+    def test_counters_survive_into_result(self):
+        def program(node):
+            node.count("custom", node.id * 10)
+            node.count("custom", 1)
+            yield
+            return None
+
+        result = CongestedClique(3).run(program)
+        assert result.counters[2]["custom"] == 21
+        assert result.max_counter("custom") == 21
+        assert result.max_counter("missing") == 0
+
+    def test_max_node_load(self):
+        def program(node):
+            if node.id == 0:
+                node.send_to_all(BitString.zeros(2))
+            yield
+            return None
+
+        result = CongestedClique(4).run(program)
+        assert result.max_node_load() == 6  # node 0 sent 3 x 2 bits

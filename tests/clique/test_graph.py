@@ -1,0 +1,201 @@
+"""Tests for input graphs and the private-input-bit convention."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.clique.errors import CliqueError
+from repro.clique.graph import (
+    INF,
+    CliqueGraph,
+    edge_owner,
+    private_bit_layout,
+)
+
+
+def path_graph(n):
+    return CliqueGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestConstruction:
+    def test_empty_and_complete(self):
+        e = CliqueGraph.empty(4)
+        assert e.num_edges() == 0
+        c = CliqueGraph.complete(4)
+        assert c.num_edges() == 6
+
+    def test_from_edges(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 2)
+        assert g.num_edges() == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CliqueError):
+            CliqueGraph.from_edges(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CliqueError):
+            CliqueGraph.from_edges(3, [(0, 3)])
+
+    def test_asymmetric_undirected_rejected(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True
+        with pytest.raises(CliqueError):
+            CliqueGraph(adj)
+
+    def test_directed(self):
+        g = CliqueGraph.from_edges(3, [(0, 1)], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_weighted(self):
+        g = CliqueGraph.from_weighted_edges(3, [(0, 1, 7)])
+        assert g.weight(0, 1) == 7
+        assert g.weight(1, 0) == 7
+        assert not g.has_edge(0, 2)
+        assert g.weight(0, 2) == INF
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CliqueError):
+            CliqueGraph.from_weighted_edges(3, [(0, 1, -1)])
+
+    def test_adjacency_readonly(self):
+        g = CliqueGraph.complete(3)
+        with pytest.raises(ValueError):
+            g.adjacency[0, 1] = False
+
+
+class TestViews:
+    def test_local_view_undirected(self):
+        g = path_graph(4)
+        assert list(g.local_view(1)) == [True, False, True, False]
+
+    def test_local_view_directed(self):
+        g = CliqueGraph.from_edges(3, [(0, 1), (2, 0)], directed=True)
+        view = g.local_view(0)
+        assert view.shape == (2, 3)
+        assert list(view[0]) == [False, True, False]  # out-row
+        assert list(view[1]) == [False, False, True]  # in-col
+
+    def test_degree(self):
+        g = path_graph(4)
+        assert [g.degree(v) for v in range(4)] == [1, 2, 2, 1]
+
+    def test_degree_weighted(self):
+        g = CliqueGraph.from_weighted_edges(4, [(0, 1, 5), (0, 2, 3)])
+        assert g.degree(0) == 2
+        assert g.degree(3) == 0
+
+    def test_edges_listing(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3), (1, 3)])
+        assert sorted(g.edges()) == [(0, 1), (1, 3), (2, 3)]
+
+
+class TestNetworkxInterop:
+    def test_roundtrip_unweighted(self):
+        g0 = nx.erdos_renyi_graph(10, 0.4, seed=1)
+        g = CliqueGraph.from_networkx(g0)
+        back = g.to_networkx()
+        assert set(back.edges()) == set(g0.edges())
+
+    def test_roundtrip_weighted(self):
+        g0 = nx.Graph()
+        g0.add_nodes_from(range(4))
+        g0.add_edge(0, 1, weight=5)
+        g0.add_edge(2, 3, weight=2)
+        g = CliqueGraph.from_networkx(g0)
+        assert g.weighted and g.weight(0, 1) == 5
+        back = g.to_networkx()
+        assert back[0][1]["weight"] == 5
+
+    def test_bad_labels_rejected(self):
+        g0 = nx.Graph()
+        g0.add_edge("a", "b")
+        with pytest.raises(CliqueError):
+            CliqueGraph.from_networkx(g0)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = path_graph(4)
+        b = path_graph(4)
+        c = CliqueGraph.complete(4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestEdgeOwnership:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 13, 16])
+    def test_every_pair_owned_once(self, n):
+        layout = private_bit_layout(n)
+        covered = set()
+        for v, owned in enumerate(layout):
+            for u in owned:
+                pair = (min(u, v), max(u, v))
+                assert pair not in covered
+                covered.add(pair)
+        assert len(covered) == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 13, 16])
+    def test_minimum_ownership(self, n):
+        """Each node owns at least floor((n-1)/2) potential edges (paper §3)."""
+        layout = private_bit_layout(n)
+        for owned in layout:
+            assert len(owned) >= (n - 1) // 2
+
+    @pytest.mark.parametrize("n", [3, 4, 7, 8])
+    def test_owner_is_endpoint(self, n):
+        for u in range(n):
+            for v in range(n):
+                if u != v:
+                    assert edge_owner(u, v, n) in (u, v)
+
+    def test_owner_symmetric(self):
+        for n in (4, 5, 8):
+            for u in range(n):
+                for v in range(u + 1, n):
+                    assert edge_owner(u, v, n) == edge_owner(v, u, n)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CliqueError):
+            edge_owner(1, 1, 4)
+
+
+class TestPrivateInputBits:
+    def test_bits_match_adjacency(self):
+        g = CliqueGraph.from_edges(5, [(0, 1), (1, 2), (3, 4), (0, 4)])
+        layout = private_bit_layout(5)
+        for v in range(5):
+            bits = g.private_input_bits(v)
+            assert len(bits) == len(layout[v])
+            for bit, u in zip(bits, layout[v]):
+                assert bit == int(g.has_edge(v, u))
+
+    def test_directed_rejected(self):
+        g = CliqueGraph.from_edges(3, [(0, 1)], directed=True)
+        with pytest.raises(CliqueError):
+            g.private_input_bits(0)
+
+    @given(st.integers(2, 12), st.randoms(use_true_random=False))
+    def test_bits_determine_graph(self, n, rnd):
+        """The concatenation of all nodes' private bits encodes G exactly."""
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rnd.random() < 0.5
+        ]
+        g = CliqueGraph.from_edges(n, edges)
+        layout = private_bit_layout(n)
+        recovered = set()
+        for v in range(n):
+            for bit, u in zip(g.private_input_bits(v), layout[v]):
+                if bit:
+                    recovered.add((min(u, v), max(u, v)))
+        assert recovered == {(min(u, v), max(u, v)) for u, v in edges}

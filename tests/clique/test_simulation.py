@@ -1,0 +1,154 @@
+"""Tests for the virtual-clique simulation layer (Theorem 10's engine)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dominating_set import k_dominating_set
+from repro.algorithms.vertex_cover import k_vertex_cover
+from repro.clique.bits import BitString
+from repro.clique.errors import ProtocolViolation
+from repro.clique.simulation import simulate_virtual_clique
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+from repro.reductions.is_to_ds import ds_witness_to_is, is_to_ds_instance
+
+
+def echo_ids_program(node):
+    """Virtual program: everyone broadcasts its id, returns the sorted
+    set of ids seen (plus its own)."""
+    from repro.clique.bits import uint_width
+    from repro.clique.primitives import all_gather_uint
+
+    width = uint_width(max(1, node.n - 1))
+    values = yield from all_gather_uint(node, node.id, width)
+    return sorted(values)
+
+
+class TestBasicSimulation:
+    def test_identity_hosting(self):
+        """N' == n with host_of = identity reproduces plain execution."""
+        outputs, result = simulate_virtual_clique(
+            4, 4, lambda v: v, echo_ids_program, lambda v: None
+        )
+        assert outputs == {v: [0, 1, 2, 3] for v in range(4)}
+
+    def test_two_virtuals_per_host(self):
+        outputs, result = simulate_virtual_clique(
+            3, 6, lambda v: v % 3, echo_ids_program, lambda v: None
+        )
+        assert outputs == {v: list(range(6)) for v in range(6)}
+
+    def test_all_on_one_host(self):
+        """Degenerate but legal: every virtual node on host 0 — all
+        messages are intra-host (free)."""
+        outputs, result = simulate_virtual_clique(
+            3, 5, lambda v: 0, echo_ids_program, lambda v: None
+        )
+        assert outputs == {v: list(range(5)) for v in range(5)}
+
+    def test_out_of_range_host_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            simulate_virtual_clique(
+                2, 3, lambda v: 5, echo_ids_program, lambda v: None
+            )
+
+    def test_virtual_inputs_and_aux_delivered(self):
+        def program(node):
+            yield
+            return (node.input, node.aux)
+
+        outputs, _ = simulate_virtual_clique(
+            2,
+            4,
+            lambda v: v % 2,
+            program,
+            virtual_input=lambda v: v * 10,
+            virtual_aux=lambda v: f"aux{v}",
+        )
+        assert outputs[3] == (30, "aux3")
+
+    def test_overhead_grows_with_host_load(self):
+        """More virtual nodes per host => more real rounds per virtual
+        round (the s^2 factor Theorem 10 accounts for)."""
+        _, spread = simulate_virtual_clique(
+            6, 6, lambda v: v, echo_ids_program, lambda v: None
+        )
+        _, packed = simulate_virtual_clique(
+            2, 6, lambda v: v % 2, echo_ids_program, lambda v: None
+        )
+        assert packed.rounds > spread.rounds
+
+    def test_lenzen_scheme_rejected_under_virtualisation(self):
+        def program(node):
+            from repro.clique.routing import route
+
+            got = yield from route(
+                node, {(node.id + 1) % node.n: BitString(1, 1)}, "lenzen"
+            )
+            return len(got)
+
+        with pytest.raises(ProtocolViolation):
+            simulate_virtual_clique(
+                2, 4, lambda v: v % 2, program, lambda v: None,
+                bandwidth_multiplier=3,
+            )
+
+
+class TestTheorem10EndToEnd:
+    """The full Theorem 10 statement: k-IS on G solved by running the
+    k-DS algorithm on G' with G' simulated on G's own n nodes."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_k_is_via_simulated_k_ds(self, seed):
+        k = 2
+        g = gen.random_graph(5, 0.5, seed)
+        gp, info = is_to_ds_instance(g, k)
+
+        # Hosting per the paper: node v simulates its copies v_i and
+        # v_{i,j}; special nodes go to nodes 0 and 1.
+        def host_of(virtual: int) -> int:
+            kind, data = info.decode(virtual)
+            if kind == "clique":
+                return data[1]
+            if kind == "gadget":
+                return data[2]
+            return data[1]  # x_i -> node 0, y_i -> node 1
+
+        def program(node):
+            return (yield from k_dominating_set(node, k, scheme="direct"))
+
+        outputs, result = simulate_virtual_clique(
+            g.n,
+            gp.n,
+            host_of,
+            program,
+            virtual_input=lambda v: gp.local_view(v),
+            bandwidth_multiplier=2,
+            max_rounds=10**6,
+        )
+        found, witness = outputs[0]
+        assert all(outputs[v] == (found, witness) for v in range(gp.n))
+        assert found == ref.has_independent_set(g, k)
+        if found:
+            back = ds_witness_to_is(witness, info)
+            assert ref.is_independent_set(g, back)
+
+    def test_simulated_kvc_on_larger_virtual_clique(self):
+        """Another end-to-end: Theorem 11's algorithm virtualised."""
+        g, _ = gen.planted_vertex_cover(8, 2, 0.5, 3)
+
+        def program(node):
+            return (yield from k_vertex_cover(node, 2))
+
+        outputs, result = simulate_virtual_clique(
+            4,
+            8,
+            lambda v: v % 4,
+            program,
+            virtual_input=lambda v: g.local_view(v),
+            bandwidth_multiplier=2,
+        )
+        found, witness = outputs[0]
+        assert found == ref.has_vertex_cover(g, 2)
+        if found:
+            assert ref.is_vertex_cover(g, witness)

@@ -1,0 +1,90 @@
+"""Tests for distributed sorting (PSRS over route)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.errors import ProtocolViolation
+from repro.clique.network import CongestedClique
+from repro.clique.sorting import distributed_sort
+
+
+def run_sort(n, key_table, key_width, scheme="lenzen"):
+    def prog(node):
+        keys = key_table.get(node.id, [])
+        got = yield from distributed_sort(node, keys, key_width, scheme=scheme)
+        return got
+
+    clique = CongestedClique(n, bandwidth_multiplier=2)
+    return clique.run(prog)
+
+
+def check_sorted_partition(result, n, all_keys):
+    """Concatenated outputs must equal the global sorted order, split into
+    contiguous, quota-balanced slices."""
+    want = sorted(all_keys)
+    got = []
+    for v in range(n):
+        got.extend(result.outputs[v])
+    assert got == want
+    quota = -(-len(want) // n) if want else 0
+    for v in range(n):
+        assert len(result.outputs[v]) <= max(quota, 1)
+
+
+class TestDistributedSort:
+    def test_one_key_per_node(self):
+        n = 5
+        keys = {v: [(v * 7) % 13] for v in range(n)}
+        result = run_sort(n, keys, 8)
+        check_sorted_partition(result, n, [k for ks in keys.values() for k in ks])
+
+    def test_n_keys_per_node(self):
+        n = 6
+        keys = {v: [((v + 1) * (i + 3)) % 64 for i in range(n)] for v in range(n)}
+        result = run_sort(n, keys, 8)
+        check_sorted_partition(result, n, [k for ks in keys.values() for k in ks])
+
+    def test_duplicates(self):
+        n = 4
+        keys = {v: [5, 5, 5] for v in range(n)}
+        result = run_sort(n, keys, 4)
+        check_sorted_partition(result, n, [5] * 12)
+
+    def test_empty_nodes(self):
+        n = 4
+        keys = {0: [9, 1, 4]}
+        result = run_sort(n, keys, 4)
+        check_sorted_partition(result, n, [9, 1, 4])
+
+    def test_all_empty(self):
+        result = run_sort(4, {}, 4)
+        for v in range(4):
+            assert result.outputs[v] == []
+
+    def test_single_node(self):
+        result = run_sort(1, {0: [3, 1, 2]}, 4)
+        assert result.outputs[0] == [1, 2, 3]
+        assert result.rounds == 0
+
+    def test_key_overflow_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            run_sort(3, {0: [16]}, 4)
+
+    @pytest.mark.parametrize("scheme", ["direct", "relay", "lenzen"])
+    def test_schemes_agree(self, scheme):
+        n = 5
+        keys = {v: [(v * 11 + i * 3) % 31 for i in range(4)] for v in range(n)}
+        result = run_sort(n, keys, 8, scheme=scheme)
+        check_sorted_partition(result, n, [k for ks in keys.values() for k in ks])
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_random_instances(self, data):
+        n = data.draw(st.integers(2, 6))
+        keys = {
+            v: data.draw(st.lists(st.integers(0, 255), max_size=2 * n))
+            for v in range(n)
+        }
+        result = run_sort(n, keys, 8)
+        check_sorted_partition(result, n, [k for ks in keys.values() for k in ks])

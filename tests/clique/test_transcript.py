@@ -1,0 +1,101 @@
+"""Tests for communication transcripts and their serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.bits import BitString
+from repro.clique.network import CongestedClique
+from repro.clique.transcript import RoundRecord, Transcript
+
+
+def make_transcript(node, n, round_specs):
+    rounds = tuple(
+        RoundRecord(
+            sent={d: BitString.from_str(s) for d, s in sent.items()},
+            received={d: BitString.from_str(s) for d, s in recv.items()},
+        )
+        for sent, recv in round_specs
+    )
+    return Transcript(node=node, n=n, rounds=rounds)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        t = make_transcript(
+            0, 4, [({1: "101"}, {2: "01"}), ({}, {3: "1"})]
+        )
+        bits = t.encode()
+        back = Transcript.decode(0, 4, bits)
+        assert back == t
+
+    def test_roundtrip_empty(self):
+        t = Transcript(node=2, n=4, rounds=())
+        assert Transcript.decode(2, 4, t.encode()) == t
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_roundtrip_property(self, data):
+        n = data.draw(st.integers(2, 6))
+        node = data.draw(st.integers(0, n - 1))
+        num_rounds = data.draw(st.integers(0, 4))
+        specs = []
+        for _ in range(num_rounds):
+            sent = {}
+            recv = {}
+            for peer in range(n):
+                if peer == node:
+                    continue
+                if data.draw(st.booleans()):
+                    sent[peer] = data.draw(st.text(alphabet="01", min_size=1, max_size=8))
+                if data.draw(st.booleans()):
+                    recv[peer] = data.draw(st.text(alphabet="01", min_size=1, max_size=8))
+            specs.append((sent, recv))
+        t = make_transcript(node, n, specs)
+        assert Transcript.decode(node, n, t.encode()) == t
+
+
+class TestAccounting:
+    def test_total_bits(self):
+        t = make_transcript(0, 3, [({1: "101"}, {2: "01"}), ({}, {1: "1"})])
+        assert t.total_bits() == 3 + 2 + 1
+        assert t.num_rounds() == 2
+
+
+class TestConsistency:
+    def test_consistent_pair(self):
+        t0 = make_transcript(0, 2, [({1: "11"}, {1: "0"})])
+        t1 = make_transcript(1, 2, [({0: "0"}, {0: "11"})])
+        assert t0.consistent_with(t1)
+        assert t1.consistent_with(t0)
+
+    def test_inconsistent_payload(self):
+        t0 = make_transcript(0, 2, [({1: "11"}, {})])
+        t1 = make_transcript(1, 2, [({}, {0: "10"})])
+        assert not t0.consistent_with(t1)
+
+    def test_inconsistent_missing(self):
+        t0 = make_transcript(0, 2, [({1: "11"}, {})])
+        t1 = make_transcript(1, 2, [({}, {})])
+        assert not t0.consistent_with(t1)
+
+    def test_round_count_mismatch(self):
+        t0 = make_transcript(0, 2, [({}, {})])
+        t1 = make_transcript(1, 2, [])
+        assert not t0.consistent_with(t1)
+
+    def test_engine_transcripts_are_mutually_consistent(self):
+        def prog(node):
+            for r in range(2):
+                node.send((node.id + 1) % node.n, BitString(node.id % 2, 1))
+                yield
+            return None
+
+        result = CongestedClique(4, record_transcripts=True).run(prog)
+        ts = result.transcripts
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert ts[a].consistent_with(ts[b])
+        # And a corrupted transcript is caught.
+        bad = make_transcript(0, 4, [({}, {})] * 2)
+        assert not bad.consistent_with(ts[1])

@@ -1,0 +1,113 @@
+"""Tests for Lemma 1 counting and the hierarchy parameter inequalities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counting import (
+    log2_num_functions,
+    log2_num_protocols,
+    max_hard_round_budget,
+    protocols_fewer_than_functions,
+    theorem2_parameters,
+    theorem4_inequality,
+    theorem8_inequality,
+)
+from repro.core.protocols import computable_functions
+
+
+class TestLemma1:
+    def test_formula(self):
+        # 2bn + (n-1) 2^(L + bt(n-1))
+        assert log2_num_protocols(2, 1, 2, 1) == 4 + 1 * (1 << 3)
+        assert log2_num_protocols(3, 1, 1, 1) == 6 + 2 * (1 << 3)
+
+    def test_functions(self):
+        assert log2_num_functions(2, 2) == 16
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            log2_num_protocols(0, 1, 1, 1)
+
+    def test_bound_is_sound_at_miniature_scale(self):
+        """The exhaustively computed number of computable functions never
+        exceeds Lemma 1's protocol bound."""
+        for n, L in ((2, 1), (2, 2), (3, 1)):
+            exact = len(computable_functions(n, L, 1))
+            assert math.log2(exact) <= log2_num_protocols(n, 1, L, 1)
+
+    def test_gap_predicts_hardness(self):
+        """Where Lemma 1 says protocols < functions, exhaustive search
+        indeed finds uncomputable functions."""
+        n, L, b, t = 2, 2, 1, 1
+        assert protocols_fewer_than_functions(n, b, L, t)
+        exact = len(computable_functions(n, L, b))
+        assert exact < (1 << log2_num_functions(n, L).bit_length() - 1) or exact < 2 ** log2_num_functions(n, L)
+        assert exact < 2 ** log2_num_functions(n, L)
+
+    @given(st.integers(2, 64), st.integers(1, 6), st.integers(1, 12))
+    def test_monotone_in_t(self, n, b, L):
+        """More rounds, more protocols."""
+        assert log2_num_protocols(n, b, L, 1) <= log2_num_protocols(n, b, L, 2)
+
+
+class TestHardRoundBudget:
+    def test_roughly_L_over_b(self):
+        """The paper: hard functions exist while t < L/b - 1."""
+        for n in (8, 64, 256):
+            b = max(1, math.ceil(math.log2(n)))
+            L = 10 * b
+            t_max = max_hard_round_budget(n, b, L)
+            assert L // b - 3 <= t_max <= L // b
+
+    def test_no_budget_when_L_tiny(self):
+        assert max_hard_round_budget(4, 4, 1) <= 0
+
+
+class TestTheorem2Parameters:
+    @pytest.mark.parametrize("n", [64, 256, 1024, 4096])
+    def test_hard_function_exists_at_scale(self, n):
+        """For T < n/(4 log n), the (n, log n, T log n, T/2)-protocols are
+        outnumbered — Theorem 2's selection step is well-defined."""
+        log_n = math.ceil(math.log2(n))
+        T = max(2, n // (8 * log_n))
+        params = theorem2_parameters(n, T)
+        assert params.hard_function_exists
+        assert params.log2_gap > 0
+
+    def test_gap_grows_with_n(self):
+        gaps = [theorem2_parameters(n, 4).log2_gap for n in (64, 256, 1024)]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestTheorem4Inequality:
+    @pytest.mark.parametrize("n", [64, 256, 4096])
+    def test_holds_at_scale(self, n):
+        T = max(2, n // (8 * math.ceil(math.log2(n))))
+        ineq = theorem4_inequality(n, T)
+        assert ineq.holds
+
+    def test_components_match_paper(self):
+        n, T = 256, 4
+        log_n = 8
+        ineq = theorem4_inequality(n, T)
+        assert ineq.L == T * log_n
+        assert ineq.M == (T * n * log_n) // 4
+        assert ineq.rhs == 3 * n * ineq.L
+
+
+class TestTheorem8Inequality:
+    @pytest.mark.parametrize("n", [256, 4096])
+    def test_holds_for_all_levels_up_to_T(self, n):
+        T = max(2, math.isqrt(n) // 4)
+        for k in range(1, T + 1):
+            assert theorem8_inequality(n, T, k).holds
+
+    def test_eventually_fails_for_huge_k(self):
+        """The inequality is what limits the level: for k far beyond T it
+        must flip (that is why the proof caps k <= T)."""
+        n, T = 256, 4
+        ineq = theorem8_inequality(n, T, 10**6)
+        assert not ineq.holds

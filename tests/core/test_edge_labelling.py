@@ -1,0 +1,82 @@
+"""Tests for the canonical edge labelling family (Theorem 6)."""
+
+import pytest
+
+from repro.clique.graph import CliqueGraph
+from repro.core.edge_labelling import compile_verifier
+from repro.core.verifiers import (
+    k_dominating_set_verifier,
+    k_independent_set_verifier,
+    k_vertex_cover_verifier,
+)
+from repro.problems import all_graphs
+from repro.problems import generators as gen
+
+
+class TestCompiledSolvability:
+    """The Theorem 6 equivalence, checked exhaustively on miniatures:
+    the compiled edge labelling problem is solvable iff G is in L."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: k_independent_set_verifier(2),
+            lambda: k_dominating_set_verifier(2),
+            lambda: k_vertex_cover_verifier(1),
+        ],
+    )
+    def test_all_3node_graphs(self, factory):
+        vp = factory()
+        problem = compile_verifier(vp)
+        for g in all_graphs(3):
+            assert problem.solvable(g) == vp.problem.contains(g), (
+                f"{problem.name} wrong on {sorted(g.edges())}"
+            )
+
+    def test_selected_4node_graphs(self):
+        vp = k_independent_set_verifier(2)
+        problem = compile_verifier(vp)
+        yes = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+        no = CliqueGraph.complete(4)
+        assert problem.solvable(yes)
+        assert not problem.solvable(no)
+
+    def test_solution_passes_check(self):
+        """The solver's output satisfies every node's local constraint."""
+        vp = k_independent_set_verifier(2)
+        problem = compile_verifier(vp)
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        labelling = problem.solve(g)
+        assert labelling is not None
+        assert problem.check(g, labelling)
+
+    def test_corrupted_solution_fails_check(self):
+        vp = k_independent_set_verifier(2)
+        problem = compile_verifier(vp)
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        labelling = problem.solve(g)
+        # corrupt one channel half: claim node 0 sent '1' when it sent '0'
+        (edge, lab) = next(iter(labelling.items()))
+        flipped_first = tuple(
+            ("1" if m == "0" else "0") if m is not None else None
+            for m in lab[0]
+        )
+        corrupted = dict(labelling)
+        corrupted[edge] = (flipped_first, lab[1])
+        assert not problem.check(g, corrupted)
+
+    def test_labels_are_logarithmic(self):
+        """Compiled labels carry O(T log n) bits per edge: per round, at
+        most a bandwidth-sized message in each direction."""
+        vp = k_independent_set_verifier(2)
+        problem = compile_verifier(vp)
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+        labelling = problem.solve(g)
+        assert labelling is not None
+        T = vp.algorithm.running_time(4)
+        bw = max(1, 3 .bit_length())
+        for (a, b), (half_ab, half_ba) in labelling.items():
+            for half in (half_ab, half_ba):
+                assert len(half) == T
+                for msg in half:
+                    assert msg is None or len(msg) <= bw

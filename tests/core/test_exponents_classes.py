@@ -1,0 +1,134 @@
+"""Tests for the Figure 1 exponent registry and class descriptors."""
+
+import pytest
+
+from repro.core.classes import (
+    CLIQUE,
+    NCLIQUE,
+    Pi,
+    Sigma,
+    contains_structurally,
+    quantifier_prefix,
+)
+from repro.core.exponents import OMEGA, ExponentRegistry, ProblemEntry, figure1_registry
+
+
+class TestRegistryMechanics:
+    def test_duplicate_problem_rejected(self):
+        r = ExponentRegistry()
+        r.add_problem(ProblemEntry("a", "A"))
+        with pytest.raises(ValueError):
+            r.add_problem(ProblemEntry("a", "A"))
+
+    def test_unknown_edge_rejected(self):
+        r = ExponentRegistry()
+        r.add_problem(ProblemEntry("a", "A"))
+        with pytest.raises(ValueError):
+            r.add_reduction("a", "b")
+
+    def test_propagation_chain(self):
+        r = ExponentRegistry()
+        r.add_problem(ProblemEntry("x", "X"))
+        r.add_problem(ProblemEntry("y", "Y"))
+        r.add_problem(ProblemEntry("z", "Z", 0.25))
+        r.add_reduction("x", "y")
+        r.add_reduction("y", "z")
+        assert r.delta_upper("x") == 0.25
+        assert r.delta_upper("y") == 0.25
+
+    def test_default_is_gather_bound(self):
+        r = ExponentRegistry()
+        r.add_problem(ProblemEntry("x", "X"))
+        assert r.delta_upper("x") == 1.0
+
+    def test_cycle_handled(self):
+        r = ExponentRegistry()
+        r.add_problem(ProblemEntry("a", "A", 0.5))
+        r.add_problem(ProblemEntry("b", "B"))
+        r.add_reduction("a", "b")
+        r.add_reduction("b", "a")
+        assert r.delta_upper("a") == 0.5
+        assert r.delta_upper("b") == 0.5
+
+
+class TestFigure1:
+    def test_all_nodes_present(self):
+        r = figure1_registry()
+        assert len(r.problems) == 28  # Figure 1 + k-VC (Thm 11) + 3-approx spanner APSP
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            figure1_registry(k=2)
+
+    def test_headline_bounds(self):
+        """The bounds the paper quotes, out of the propagated registry."""
+        r = figure1_registry(k=3)
+        mm = 1 - 2 / OMEGA
+        assert r.delta_upper("ring-mm") == pytest.approx(mm)
+        assert r.delta_upper("boolean-mm") == pytest.approx(mm)
+        assert r.delta_upper("triangle") == pytest.approx(mm)
+        assert r.delta_upper("transitive-closure") == pytest.approx(mm)
+        assert r.delta_upper("apsp-uw-d") == pytest.approx(0.2096)
+        assert r.delta_upper("apsp-w-d") == pytest.approx(1 / 3)  # via (min,+) MM
+        assert r.delta_upper("k-ds") == pytest.approx(2 / 3)
+        assert r.delta_upper("k-is") == pytest.approx(1 / 3)
+        assert r.delta_upper("k-vc") == 0.0
+        assert r.delta_upper("sssp-w-ud-1eps") == 0.0
+
+    def test_theorem10_arrow_matters(self):
+        """k-IS inherits the k-DS bound through Theorem 10 for large k
+        (where 1-1/k beats trivial but 1-2/k is better still, the direct
+        Dolev bound should win)."""
+        r = figure1_registry(k=5)
+        assert r.delta_upper("k-is") == pytest.approx(1 - 2 / 5)
+        assert r.delta_upper("k-ds") == pytest.approx(1 - 1 / 5)
+
+    def test_approx_apsp_beats_exact(self):
+        r = figure1_registry()
+        assert r.delta_upper("apsp-w-ud-1eps") < r.delta_upper("apsp-w-ud")
+
+    def test_2eps_apsp_lower_bounded_by_bmm_conditionally(self):
+        """The Dor et al. arrow: delta(BMM) <= delta((2-eps)-APSP); in
+        the registry this flows a *bound on BMM* from any bound on the
+        approximation, and the edge is present with its source."""
+        r = figure1_registry()
+        edges = {(e.frm, e.to): e for e in r.arrows()}
+        assert ("boolean-mm", "apsp-w-ud-2eps") in edges
+        assert "Dor" in edges[("boolean-mm", "apsp-w-ud-2eps")].source
+
+    def test_table_shape(self):
+        rows = figure1_registry().table()
+        assert len(rows) == 28
+        for row in rows:
+            assert 0.0 <= row["delta_upper"] <= 1.0
+
+    def test_sssp_chain(self):
+        r = figure1_registry()
+        assert r.delta_upper("bfs-tree") <= r.delta_upper("sssp-uw-ud")
+        assert r.delta_upper("sssp-uw-ud") <= r.delta_upper("sssp-w-ud")
+        assert r.delta_upper("sssp-w-ud") <= r.delta_upper("sssp-w-d")
+
+
+class TestClassDescriptors:
+    def test_str_forms(self):
+        assert str(CLIQUE("1")) == "CLIQUE(1)"
+        assert str(NCLIQUE("T")) == "NCLIQUE(T)"
+        assert str(Sigma(2)) == "Sigma_2"
+        assert str(Pi(3, "log")) == "Pilog_3"
+
+    def test_quantifier_prefixes(self):
+        assert quantifier_prefix(Sigma(1)) == ["exists"]
+        assert quantifier_prefix(Sigma(3)) == ["exists", "forall", "exists"]
+        assert quantifier_prefix(Pi(2)) == ["forall", "exists"]
+        with pytest.raises(ValueError):
+            quantifier_prefix(CLIQUE("1"))
+
+    def test_structural_containments(self):
+        assert contains_structurally(Sigma(1), Sigma(2))
+        assert contains_structurally(Sigma(1), Pi(2))
+        assert contains_structurally(Pi(2), Sigma(3))
+        assert not contains_structurally(Sigma(2), Sigma(1))
+        assert not contains_structurally(Sigma(1), Pi(1))
+        assert contains_structurally(CLIQUE("1"), NCLIQUE("1"))
+        assert not contains_structurally(Sigma(1), Sigma(2, "log"))
+        assert contains_structurally(Sigma(2, "log"), Pi(3, "log"))

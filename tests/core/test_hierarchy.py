@@ -1,0 +1,200 @@
+"""Tests for the constant-round decision hierarchy and Theorem 7."""
+
+import itertools
+
+import pytest
+
+from repro.clique.bits import BitString
+from repro.clique.graph import CliqueGraph
+from repro.core.hierarchy import (
+    decode_graph_guess,
+    encode_graph_guess,
+    evaluate_alternation,
+    graph_encoding_bits,
+    run_k_labelling,
+    sigma2_decides,
+    sigma2_honest_guess,
+    sigma2_universal_algorithm,
+    _pair_of_slot,
+)
+from repro.problems import (
+    all_graphs,
+    connectivity_problem,
+    parity_of_edges_problem,
+    triangle_problem,
+)
+from repro.problems.base import DecisionProblem
+
+
+class TestGraphEncoding:
+    def test_bits(self):
+        assert graph_encoding_bits(4) == 6
+
+    def test_pair_of_slot(self):
+        n = 4
+        pairs = [_pair_of_slot(s, n) for s in range(6)]
+        assert pairs == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_roundtrip(self, seed):
+        from repro.problems import generators as gen
+
+        g = gen.random_graph(6, 0.5, seed)
+        assert decode_graph_guess(encode_graph_guess(g), 6) == g
+
+
+class TestEvaluateAlternation:
+    def test_exists_semantics(self):
+        """A 1-labelling program that accepts iff node 0's label is 1."""
+
+        def program(node):
+            (z,) = node.aux["labels"]
+            yield
+            return int(node.id != 0 or z.value == 1)
+
+        g = CliqueGraph.empty(2)
+        space = [
+            [BitString(a, 1), BitString(b, 1)]
+            for a in (0, 1)
+            for b in (0, 1)
+        ]
+        assert evaluate_alternation(program, g, ["exists"], [space])
+        # forall fails: the labelling with z_0 = 0 rejects
+        assert not evaluate_alternation(program, g, ["forall"], [space])
+
+    def test_exists_forall(self):
+        """exists z1 forall z2 : z1[0] >= z2[0]  — true (pick z1[0]=1)."""
+
+        def program(node):
+            z1, z2 = node.aux["labels"]
+            yield
+            if node.id != 0:
+                return 1
+            return int(z1.value >= z2.value)
+
+        g = CliqueGraph.empty(2)
+        space = [
+            [BitString(a, 1), BitString(b, 1)]
+            for a in (0, 1)
+            for b in (0, 1)
+        ]
+        assert evaluate_alternation(
+            program, g, ["exists", "forall"], [space, space]
+        )
+        # forall z1 exists z2 : z1[0] > z2[0] — false (z1[0]=0 beats none)
+        def program2(node):
+            z1, z2 = node.aux["labels"]
+            yield
+            if node.id != 0:
+                return 1
+            return int(z1.value > z2.value)
+
+        assert not evaluate_alternation(
+            program2, g, ["forall", "exists"], [space, space]
+        )
+
+    def test_mismatched_args(self):
+        with pytest.raises(ValueError):
+            evaluate_alternation(None, CliqueGraph.empty(2), ["exists"], [])
+
+
+class TestSigma2Collapse:
+    """Theorem 7: EVERY decision problem is decided by the Sigma_2
+    guess-and-probe algorithm — verified exhaustively on 3-node graphs
+    for problems of very different character."""
+
+    @pytest.mark.parametrize(
+        "problem_factory",
+        [
+            triangle_problem,
+            connectivity_problem,
+            parity_of_edges_problem,
+            # an arbitrary non-isomorphism-closed language:
+            lambda: DecisionProblem(
+                name="edge-01-present",
+                predicate=lambda g: g.has_edge(0, 1),
+            ),
+        ],
+    )
+    def test_all_3node_graphs(self, problem_factory):
+        problem = problem_factory()
+        for g in all_graphs(3):
+            want = problem.contains(g)
+            got = sigma2_decides(problem, g)
+            assert got == want, f"{problem.name} wrong on {sorted(g.edges())}"
+
+    def test_honest_guess_accepted_under_all_probes(self):
+        """Completeness direction: for a yes-instance, the honest guess
+        survives every universal probe."""
+        problem = triangle_problem()
+        g = CliqueGraph.complete(3)
+        program = sigma2_universal_algorithm(problem)
+        honest = sigma2_honest_guess(g)
+        from repro.core.hierarchy import all_index_labellings
+
+        for z2 in all_index_labellings(3):
+            assert run_k_labelling(
+                program, g, [honest, z2], bandwidth_multiplier=2
+            )
+
+    def test_wrong_guess_caught_by_some_probe(self):
+        """Soundness direction: a lying guess (claiming a triangle that
+        is not there) is rejected by at least one universal probe."""
+        problem = triangle_problem()
+        g = CliqueGraph.from_edges(3, [(0, 1), (1, 2)])  # no triangle
+        lie = encode_graph_guess(CliqueGraph.complete(3))
+        liar_labelling = [lie for _ in range(3)]
+        program = sigma2_universal_algorithm(problem)
+        from repro.core.hierarchy import all_index_labellings
+
+        rejected = [
+            not run_k_labelling(
+                program, g, [liar_labelling, z2], bandwidth_multiplier=2
+            )
+            for z2 in all_index_labellings(3)
+        ]
+        assert any(rejected)
+
+    def test_inconsistent_guesses_caught(self):
+        """Guesses that differ between nodes are caught by cross-checks."""
+        problem = parity_of_edges_problem()
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        guess_a = encode_graph_guess(g)
+        guess_b = encode_graph_guess(CliqueGraph.empty(3))
+        mixed = [guess_a, guess_b, guess_a]
+        program = sigma2_universal_algorithm(problem)
+        from repro.core.hierarchy import all_index_labellings
+
+        assert not all(
+            run_k_labelling(
+                program, g, [mixed, z2], bandwidth_multiplier=2
+            )
+            for z2 in all_index_labellings(3)
+        )
+
+    def test_rounds_constant(self):
+        """The Sigma_2 verifier runs in O(1) rounds regardless of n."""
+        from repro.clique.network import CongestedClique
+
+        problem = parity_of_edges_problem()
+        rounds = []
+        for n in (6, 18):
+            from repro.problems import generators as gen
+
+            g = gen.random_graph(n, 0.5, 1)
+            program = sigma2_universal_algorithm(problem)
+            honest = sigma2_honest_guess(g)
+            enc_bits = graph_encoding_bits(n)
+            from repro.clique.bits import uint_width
+
+            z2 = [BitString(0, uint_width(max(1, enc_bits - 1)))] * n
+
+            def aux(v):
+                return {"labels": (honest[v], z2[v])}
+
+            clique = CongestedClique(n, bandwidth_multiplier=2)
+            result = clique.run(program, g, aux=aux)
+            want = int(problem.contains(g))
+            assert set(result.outputs.values()) == {want}
+            rounds.append(result.rounds)
+        assert rounds[0] == rounds[1] <= 3

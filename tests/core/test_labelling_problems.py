@@ -1,0 +1,136 @@
+"""Tests for the NCLIQUE(1)-labelling search problems (Section 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.bits import BitString, uint_width
+from repro.clique.graph import CliqueGraph
+from repro.core.labelling_problems import (
+    colouring_search_problem,
+    maximal_independent_set_problem,
+    maximal_matching_problem,
+)
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+class TestColouringSearch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_solver_output_verifies(self, seed):
+        g, _ = gen.planted_colouring(9, 3, 0.6, seed)
+        p = colouring_search_problem(3)
+        assert p.solve_and_verify(g) is True
+
+    def test_unsolvable_returns_none(self):
+        p = colouring_search_problem(2)
+        c5 = CliqueGraph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert p.solve_and_verify(c5) is None
+
+    def test_improper_colouring_rejected(self):
+        p = colouring_search_problem(2)
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        bad = [BitString(0, 1), BitString(0, 1), BitString(1, 1)]
+        assert not p.verify(g, bad)
+
+    def test_out_of_range_colour_rejected(self):
+        p = colouring_search_problem(2)
+        g = CliqueGraph.empty(3)
+        bad = [BitString(1, 1)] * 3  # colour 1 < 2 fine; now force >= k
+        assert p.verify(g, bad)  # colour 1 is legal for k=2
+        p3 = colouring_search_problem(3)
+        g3 = CliqueGraph.empty(3)
+        too_big = [BitString(3, 2)] * 3  # colour 3 >= k=3
+        assert not p3.verify(g3, too_big)
+
+
+class TestMaximalIndependentSet:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_solution_verifies(self, seed):
+        g = gen.random_graph(10, 0.4, seed)
+        p = maximal_independent_set_problem()
+        assert p.solve_and_verify(g) is True
+
+    def test_non_independent_rejected(self):
+        p = maximal_independent_set_problem()
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        bad = [BitString(1, 1), BitString(1, 1), BitString(1, 1)]
+        assert not p.verify(g, bad)
+
+    def test_non_maximal_rejected(self):
+        p = maximal_independent_set_problem()
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        # node 2 is isolated from the set and not in it: not maximal
+        bad = [BitString(1, 1), BitString(0, 1), BitString(0, 1)]
+        assert not p.verify(g, bad)
+
+    def test_empty_set_on_empty_graph_rejected(self):
+        p = maximal_independent_set_problem()
+        g = CliqueGraph.empty(3)
+        assert not p.verify(g, [BitString(0, 1)] * 3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_greedy_always_valid(self, seed):
+        g = gen.random_graph(8, 0.5, seed)
+        p = maximal_independent_set_problem()
+        assert p.solve_and_verify(g) is True
+
+
+class TestMaximalMatching:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_solution_verifies(self, seed):
+        g = gen.random_graph(10, 0.35, seed)
+        p = maximal_matching_problem()
+        assert p.solve_and_verify(g) is True
+
+    def test_asymmetric_claim_rejected(self):
+        p = maximal_matching_problem()
+        g = CliqueGraph.from_edges(3, [(0, 1), (1, 2)])
+        pw = uint_width(3)
+        # 0 claims 1, but 1 claims 2
+        bad = [BitString(2, pw), BitString(3, pw), BitString(2, pw)]
+        assert not p.verify(g, bad)
+
+    def test_non_edge_claim_rejected(self):
+        p = maximal_matching_problem()
+        g = CliqueGraph.from_edges(3, [(0, 1)])
+        pw = uint_width(3)
+        bad = [BitString(3, pw), BitString(0, pw), BitString(1, pw)]
+        assert not p.verify(g, bad)
+
+    def test_non_maximal_rejected(self):
+        p = maximal_matching_problem()
+        g = CliqueGraph.from_edges(2, [(0, 1)])
+        pw = uint_width(2)
+        bad = [BitString(0, pw), BitString(0, pw)]  # both unmatched
+        assert not p.verify(g, bad)
+
+    def test_self_match_rejected(self):
+        p = maximal_matching_problem()
+        g = CliqueGraph.complete(2)
+        pw = uint_width(2)
+        bad = [BitString(1, pw), BitString(2, pw)]  # node 0 claims itself
+        assert not p.verify(g, bad)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_greedy_matching_valid(self, seed):
+        g = gen.random_graph(9, 0.4, seed)
+        p = maximal_matching_problem()
+        assert p.solve_and_verify(g) is True
+
+    def test_matching_is_actually_maximal(self):
+        """Cross-check the solver against networkx maximality."""
+        import networkx as nx
+
+        g = gen.random_graph(10, 0.4, 3)
+        p = maximal_matching_problem()
+        labelling = p.solver(g)
+        pw = uint_width(10)
+        matched = {
+            (v, lab.value - 1)
+            for v, lab in enumerate(labelling)
+            if lab.value > 0 and v < lab.value - 1
+        }
+        assert nx.is_maximal_matching(g.to_networkx(), matched)

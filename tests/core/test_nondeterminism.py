@@ -1,0 +1,139 @@
+"""Tests for the nondeterministic congested clique and its verifiers."""
+
+import pytest
+
+from repro.clique.bits import BitString
+from repro.clique.graph import CliqueGraph
+from repro.core.nondeterminism import (
+    all_labellings,
+    decide_nondeterministic,
+    run_with_labelling,
+)
+from repro.core.verifiers import (
+    hamiltonian_path_verifier,
+    k_colouring_verifier,
+    k_dominating_set_verifier,
+    k_independent_set_verifier,
+    k_vertex_cover_verifier,
+    triangle_verifier,
+)
+from repro.problems import all_graphs
+from repro.problems import generators as gen
+
+
+def c5():
+    return CliqueGraph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+
+
+def accepts(result):
+    return all(v == 1 for v in result.outputs.values())
+
+
+class TestAllLabellings:
+    def test_count(self):
+        assert sum(1 for _ in all_labellings(2, 2)) == 16
+        assert sum(1 for _ in all_labellings(3, 1)) == 8
+
+    def test_fixed_width(self):
+        for lab in all_labellings(2, 3):
+            assert all(len(b) == 3 for b in lab)
+
+
+class TestProverVerifierAgreement:
+    """For every catalog problem: the prover's labelling is accepted on
+    yes-instances; the prover returns None exactly on no-instances."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: k_colouring_verifier(3),
+            hamiltonian_path_verifier,
+            triangle_verifier,
+            lambda: k_independent_set_verifier(2),
+            lambda: k_dominating_set_verifier(2),
+            lambda: k_vertex_cover_verifier(2),
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, factory, seed):
+        vp = factory()
+        g = gen.random_graph(7, 0.4, seed)
+        is_yes = vp.problem.contains(g)
+        labelling = vp.prover(g)
+        assert (labelling is not None) == is_yes
+        if is_yes:
+            result = run_with_labelling(vp.algorithm, g, labelling)
+            assert accepts(result)
+
+    def test_colouring_bad_certificate_rejected(self):
+        vp = k_colouring_verifier(2)
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        # constant colouring violates properness
+        bad = tuple(BitString(0, 1) for _ in range(4))
+        assert not accepts(run_with_labelling(vp.algorithm, g, bad))
+
+    def test_triangle_inconsistent_labels_rejected(self):
+        vp = triangle_verifier()
+        g = CliqueGraph.complete(4)
+        good = vp.prover(g)
+        bad = list(good)
+        bad[2] = BitString(0, len(good[2]))  # claims triangle (0,0,0)
+        assert not accepts(run_with_labelling(vp.algorithm, g, tuple(bad)))
+
+    def test_ham_path_non_permutation_rejected(self):
+        vp = hamiltonian_path_verifier()
+        g = c5()
+        width = vp.algorithm.label_size(5)
+        bad = tuple(BitString(0, width) for _ in range(5))
+        assert not accepts(run_with_labelling(vp.algorithm, g, bad))
+
+    def test_oversized_label_rejected(self):
+        vp = k_independent_set_verifier(2)
+        g = CliqueGraph.empty(3)
+        with pytest.raises(ValueError):
+            run_with_labelling(
+                vp.algorithm, g, tuple(BitString(0, 5) for _ in range(3))
+            )
+
+
+class TestExhaustiveSoundness:
+    """The defining equivalence, checked exhaustively: exists z accepted
+    iff the graph is a yes-instance — over ALL graphs on 4 nodes."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: k_independent_set_verifier(2),
+            lambda: k_dominating_set_verifier(2),
+            lambda: k_vertex_cover_verifier(1),
+        ],
+    )
+    def test_membership_verifiers_all_4node_graphs(self, factory):
+        vp = factory()
+        for g in all_graphs(4):
+            decided, witness = decide_nondeterministic(vp.algorithm, g)
+            assert decided == vp.problem.contains(g), (
+                f"{vp.problem.name} wrong on {sorted(g.edges())}"
+            )
+            if decided:
+                assert accepts(
+                    run_with_labelling(vp.algorithm, g, witness)
+                )
+
+    def test_colouring_exhaustive_small(self):
+        vp = k_colouring_verifier(2)
+        for g in all_graphs(3):
+            decided, _ = decide_nondeterministic(vp.algorithm, g)
+            assert decided == vp.problem.contains(g)
+
+    def test_nclique_rounds_constant(self):
+        """NCLIQUE(1) verifiers run in O(1) rounds at every size."""
+        vp = k_independent_set_verifier(2)
+        rounds = []
+        for n in (8, 32):
+            g, _ = gen.planted_independent_set(n, 2, 0.5, 1)
+            labelling = vp.prover(g)
+            result = run_with_labelling(vp.algorithm, g, labelling)
+            assert accepts(result)
+            rounds.append(result.rounds)
+        assert rounds[0] == rounds[1] == 1

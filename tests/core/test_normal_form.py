@@ -1,0 +1,204 @@
+"""Tests for the Theorem 3 normal form transformation."""
+
+import pytest
+
+from repro.clique.bits import BitString
+from repro.clique.graph import CliqueGraph
+from repro.core.nondeterminism import (
+    decide_nondeterministic,
+    run_with_labelling,
+)
+from repro.core.normal_form import (
+    normal_form_label_bound,
+    simulate_node_locally,
+    to_normal_form,
+    transcript_labelling,
+)
+from repro.core.verifiers import (
+    k_colouring_verifier,
+    k_dominating_set_verifier,
+    k_independent_set_verifier,
+    triangle_verifier,
+)
+from repro.problems import all_graphs
+from repro.problems import generators as gen
+
+
+def accepts(result):
+    return all(v == 1 for v in result.outputs.values())
+
+
+class TestSimulateNodeLocally:
+    def test_matches_engine_execution(self):
+        """Local simulation of one node reproduces exactly what the
+        engine's run produced (sent messages and output)."""
+        vp = k_independent_set_verifier(2)
+        g, _ = gen.planted_independent_set(6, 2, 0.5, 1)
+        labelling = vp.prover(g)
+        result = run_with_labelling(
+            vp.algorithm, g, labelling, record_transcripts=True
+        )
+        for v in range(6):
+            t = result.transcripts[v]
+            sent, output, completed = simulate_node_locally(
+                vp.algorithm.program,
+                v,
+                6,
+                3,  # ceil(log2 6)
+                g.local_view(v),
+                {"label": labelling[v]},
+                [dict(r.received) for r in t.rounds],
+            )
+            assert completed
+            assert output == result.outputs[v]
+            for r in range(t.num_rounds()):
+                assert sent[r] == dict(t.rounds[r].sent)
+
+    def test_incomplete_sequence_detected(self):
+        def needy(node):
+            yield
+            yield
+            return 1
+
+        sent, output, completed = simulate_node_locally(
+            needy, 0, 2, 1, None, None, [{}]
+        )
+        assert not completed
+
+
+class TestTranscriptLabelling:
+    def test_accepting_run_extracted(self):
+        vp = triangle_verifier()
+        g = CliqueGraph.complete(4)
+        base = vp.prover(g)
+        labels, accepted = transcript_labelling(vp.algorithm, g, base)
+        assert accepted
+        assert len(labels) == 4
+
+    def test_label_size_within_theorem3_bound(self):
+        """|z_v| = O(T(n) n log n) — the point of Theorem 3."""
+        vp = k_colouring_verifier(3)
+        for n in (6, 12, 24):
+            g, _ = gen.planted_colouring(n, 3, 0.6, 1)
+            base = vp.prover(g)
+            labels, accepted = transcript_labelling(vp.algorithm, g, base)
+            assert accepted
+            T = vp.algorithm.running_time(n)
+            bw = max(1, (n - 1).bit_length())
+            bound = normal_form_label_bound(n, T, bw)
+            for lab in labels:
+                assert len(lab) <= bound
+
+
+class TestNormalFormEquivalence:
+    @pytest.mark.parametrize(
+        "factory,graph_gen",
+        [
+            (
+                lambda: k_independent_set_verifier(2),
+                lambda seed: gen.random_graph(6, 0.5, seed),
+            ),
+            (
+                lambda: k_dominating_set_verifier(2),
+                lambda seed: gen.random_graph(6, 0.3, seed),
+            ),
+            (
+                lambda: k_colouring_verifier(2),
+                lambda seed: gen.random_graph(5, 0.4, seed),
+            ),
+            (
+                triangle_verifier,
+                lambda seed: gen.random_graph(6, 0.35, seed),
+            ),
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_yes_instances_accepted_via_transcripts(self, factory, graph_gen, seed):
+        """B accepts the transcript labelling of an accepting run of A."""
+        vp = factory()
+        g = None
+        for probe in range(seed, seed + 50):  # deterministic yes-instance
+            candidate = graph_gen(probe)
+            if vp.problem.contains(candidate):
+                g = candidate
+                break
+        assert g is not None, "no yes-instance found in 50 probes"
+        base = vp.prover(g)
+        labels, accepted = transcript_labelling(vp.algorithm, g, base)
+        assert accepted
+        b = to_normal_form(vp.algorithm)
+        result = run_with_labelling(b, g, labels)
+        assert accepts(result)
+        assert result.rounds == vp.algorithm.running_time(g.n)
+
+    def test_no_instance_rejects_all_transcript_labels_exhaustively(self):
+        """On a miniature no-instance, *no* normal-form label is accepted
+        (exhaustive over a reduced transcript label space would be huge;
+        instead we check that transcripts of rejecting runs and corrupted
+        accepting transcripts are all rejected)."""
+        vp = k_independent_set_verifier(2)
+        g = CliqueGraph.complete(4)  # no 2-IS
+        b = to_normal_form(vp.algorithm)
+
+        # transcripts of (rejecting) runs of A under every base labelling
+        from repro.core.nondeterminism import all_labellings
+
+        for base in all_labellings(4, 1):
+            labels, accepted = transcript_labelling(vp.algorithm, g, base)
+            assert not accepted
+            result = run_with_labelling(b, g, labels)
+            assert not accepts(result)
+
+    def test_forged_transcript_rejected(self):
+        """A transcript claiming different messages than any real run is
+        caught by the replay consistency check."""
+        vp = k_independent_set_verifier(2)
+        g, _ = gen.planted_independent_set(5, 2, 0.5, 3)
+        base = vp.prover(g)
+        labels, _ = transcript_labelling(vp.algorithm, g, base)
+        b = to_normal_form(vp.algorithm)
+
+        # corrupt node 0's claimed transcript: flip a received message
+        from repro.clique.transcript import RoundRecord, Transcript
+
+        t0 = Transcript.decode(0, 5, labels[0])
+        rec0 = dict(t0.rounds[0].received)
+        src = next(iter(rec0))
+        flipped = BitString(1 - rec0[src].value, len(rec0[src]))
+        rec0[src] = flipped
+        bad = Transcript(
+            node=0,
+            n=5,
+            rounds=(RoundRecord(sent=dict(t0.rounds[0].sent), received=rec0),)
+            + t0.rounds[1:],
+        )
+        forged = (bad.encode(),) + labels[1:]
+        assert not accepts(run_with_labelling(b, g, forged))
+
+    def test_garbage_label_rejected(self):
+        vp = k_independent_set_verifier(2)
+        g, _ = gen.planted_independent_set(5, 2, 0.5, 3)
+        b = to_normal_form(vp.algorithm)
+        garbage = tuple(BitString(0, 40) for _ in range(5))
+        assert not accepts(run_with_labelling(b, g, garbage))
+
+    def test_normal_form_decides_same_language_miniature(self):
+        """Full equivalence on all 4-node graphs: B (searched over real
+        transcript candidates, i.e. transcripts of all runs of A) accepts
+        exactly the yes-instances."""
+        vp = k_vertex = k_independent_set_verifier(2)
+        b = to_normal_form(vp.algorithm)
+        from repro.core.nondeterminism import all_labellings
+
+        for g in list(all_graphs(4))[::7]:  # subsample for speed
+            is_yes = vp.problem.contains(g)
+            # B accepts some transcript label iff A accepts some label.
+            any_accepted = False
+            for base in all_labellings(4, 1):
+                labels, accepted = transcript_labelling(vp.algorithm, g, base)
+                if accepted:
+                    result = run_with_labelling(b, g, labels)
+                    if accepts(result):
+                        any_accepted = True
+                        break
+            assert any_accepted == is_yes

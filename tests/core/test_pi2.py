@@ -1,0 +1,67 @@
+"""Tests for the Pi_2 side of Theorem 7 and acceptance complementation."""
+
+import pytest
+
+from repro.clique.bits import BitString
+from repro.clique.graph import CliqueGraph
+from repro.clique.network import CongestedClique
+from repro.core.hierarchy import (
+    complement_acceptance,
+    pi2_decides,
+    run_k_labelling,
+)
+from repro.problems import (
+    all_graphs,
+    parity_of_edges_problem,
+    triangle_problem,
+)
+
+
+class TestComplementAcceptance:
+    def make_program(self, verdicts):
+        """An inner 1-labelling program with fixed per-node verdicts."""
+
+        def program(node):
+            yield
+            return verdicts[node.id]
+
+        return program
+
+    def test_all_accept_becomes_reject(self):
+        inner = self.make_program([1, 1, 1])
+        wrapped = complement_acceptance(inner)
+        g = CliqueGraph.empty(3)
+        assert not run_k_labelling(wrapped, g, [[BitString(0, 1)] * 3])
+
+    def test_one_reject_becomes_accept(self):
+        inner = self.make_program([1, 0, 1])
+        wrapped = complement_acceptance(inner)
+        g = CliqueGraph.empty(3)
+        assert run_k_labelling(wrapped, g, [[BitString(0, 1)] * 3])
+
+    def test_per_node_negation_would_be_wrong(self):
+        """The subtlety the wrapper exists for: negating outputs
+        per-node does NOT complement acceptance when verdicts are
+        mixed."""
+        verdicts = [1, 0, 1]
+        # naive per-node negation: [0, 1, 0] -> not all 1 -> reject,
+        # but the complement of "not all 1" should ACCEPT.
+        naive = self.make_program([1 - v for v in verdicts])
+        g = CliqueGraph.empty(3)
+        assert not run_k_labelling(naive, g, [[BitString(0, 1)] * 3])
+        proper = complement_acceptance(self.make_program(verdicts))
+        assert run_k_labelling(proper, g, [[BitString(0, 1)] * 3])
+
+
+class TestPi2Collapse:
+    """Theorem 7's corollary: every decision problem is in Pi_2 too."""
+
+    @pytest.mark.parametrize(
+        "problem_factory", [triangle_problem, parity_of_edges_problem]
+    )
+    def test_all_3node_graphs(self, problem_factory):
+        problem = problem_factory()
+        for g in all_graphs(3):
+            assert pi2_decides(problem, g) == problem.contains(g), sorted(
+                g.edges()
+            )

@@ -1,0 +1,159 @@
+"""Tests for the non-uniform protocol model and exhaustive enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.core.protocols import (
+    acceptance_computable,
+    computable_functions,
+    enumerate_message_schemes,
+    first_hard_function,
+    function_from_index,
+    index_of_function,
+    nondet_computable_functions,
+    two_round_protocol_computes,
+    views_for_scheme,
+)
+
+
+class TestFunctionIndexing:
+    def test_roundtrip(self):
+        for idx in range(256):
+            table = function_from_index(idx, 8)
+            assert index_of_function(table) == idx
+
+    def test_lexicographic_convention(self):
+        # index 0 is the all-zero function; the first bit of the table is
+        # the most significant bit of the index.
+        assert function_from_index(0, 4) == (0, 0, 0, 0)
+        assert function_from_index(8, 4) == (1, 0, 0, 0)
+        assert function_from_index(1, 4) == (0, 0, 0, 1)
+
+
+class TestMessageSchemes:
+    def test_count_n2_L1(self):
+        # per ordered pair: (2^b)^(2^L) = 2^2 = 4; two pairs -> 16
+        schemes = list(enumerate_message_schemes(2, 1, 1))
+        assert len(schemes) == 16
+
+    def test_count_n2_L2(self):
+        schemes = list(enumerate_message_schemes(2, 2, 1))
+        assert len(schemes) == 256
+
+    def test_views_shape(self):
+        scheme = next(enumerate_message_schemes(2, 1, 1))
+        views = views_for_scheme(2, 1, scheme)
+        assert len(views) == 2
+        assert len(views[0]) == 4  # 2^(nL) global inputs
+
+
+class TestComputableFunctions:
+    def test_n2_L1_everything_computable(self):
+        """With L = b = 1 a node can forward its whole input in one
+        round, so every function of 2 bits is computable."""
+        computable = computable_functions(2, 1, 1)
+        assert len(computable) == 16
+
+    def test_n2_L2_most_functions_hard(self):
+        """The miniature of Theorem 2's counting core: at (n=2, b=1,
+        L=2, t=1) only a small fraction of the 65536 functions have a
+        protocol."""
+        computable = computable_functions(2, 2, 1)
+        assert len(computable) < (1 << 16)
+        # sanity: constants and single-node dictators are computable
+        assert 0 in computable  # f == 0
+        assert (1 << 16) - 1 in computable  # f == 1
+
+    def test_dictator_computable(self):
+        """f(x1, x2) = first bit of x1 is a view function of node 1 and
+        is broadcastable in one bit."""
+        # input index layout: x1 (2 bits) then x2 (2 bits), MSB first
+        table = [0] * 16
+        for x1 in range(4):
+            for x2 in range(4):
+                table[(x1 << 2) | x2] = (x1 >> 1) & 1
+        computable = computable_functions(2, 2, 1)
+        assert index_of_function(table) in computable
+
+    def test_inner_product_hard(self):
+        """IP(x1, x2) = <x1, x2> mod 2 needs 2 bits of communication, so
+        it is not computable at (2, 1, 2, 1)."""
+        table = [0] * 16
+        for x1 in range(4):
+            for x2 in range(4):
+                ip = ((x1 & 1) * (x2 & 1) + ((x1 >> 1) & (x2 >> 1))) % 2
+                table[(x1 << 2) | x2] = ip
+        computable = computable_functions(2, 2, 1)
+        assert index_of_function(table) not in computable
+
+
+class TestFirstHardFunction:
+    def test_none_when_all_computable(self):
+        assert first_hard_function(2, 1, 1) is None
+
+    def test_exists_at_miniature_parameters(self):
+        f = first_hard_function(2, 2, 1)
+        assert f is not None
+        assert len(f) == 16
+        # hard functions are not constant
+        assert 0 < sum(f) < 16
+
+    def test_first_means_minimal(self):
+        f = first_hard_function(2, 2, 1)
+        idx = index_of_function(f)
+        computable = computable_functions(2, 2, 1)
+        for smaller in range(idx):
+            assert smaller in computable
+
+    def test_hard_function_solvable_in_two_rounds(self):
+        """The time hierarchy miniature: the function with no 1-round
+        protocol is computed by the trivial 2-round streaming protocol."""
+        f = first_hard_function(2, 2, 1)
+        assert two_round_protocol_computes(f, 2, 2, 1)
+
+    def test_n3_L1_all_computable(self):
+        """Sanity: with L = 1 every bit fits in one message, so there is
+        no hard function even for n = 3."""
+        assert first_hard_function(3, 1, 1) is None
+
+
+class TestAcceptanceSemantics:
+    def test_empty_yes_set(self):
+        scheme = next(enumerate_message_schemes(2, 1, 1))
+        views = views_for_scheme(2, 1, scheme)
+        assert acceptance_computable(frozenset(), views, 4)
+
+    def test_full_yes_set(self):
+        scheme = next(enumerate_message_schemes(2, 1, 1))
+        views = views_for_scheme(2, 1, scheme)
+        assert acceptance_computable(frozenset(range(4)), views, 4)
+
+    def test_and_function_acceptable(self):
+        """AND(x1, x2) is acceptance-computable without communication:
+        each node outputs its own bit."""
+        # constant-message scheme (sends 0 regardless)
+        scheme = {(0, 1): (0, 0), (1, 0): (0, 0)}
+        views = views_for_scheme(2, 1, scheme)
+        # inputs indexed x1(1bit)||x2(1bit): AND yes-set = {3}
+        assert acceptance_computable(frozenset({3}), views, 4)
+
+    def test_or_function_not_silent_acceptable(self):
+        """OR needs communication: with constant messages each node only
+        knows its own bit, and saturating {01,10,11} pulls in 00."""
+        scheme = {(0, 1): (0, 0), (1, 0): (0, 0)}
+        views = views_for_scheme(2, 1, scheme)
+        assert not acceptance_computable(frozenset({1, 2, 3}), views, 4)
+
+
+class TestNondetComputable:
+    def test_deterministic_subset(self):
+        """Everything deterministically computable is nondeterministically
+        computable (with M = 1 guess bit)."""
+        det = computable_functions(2, 1, 1)
+        nondet = nondet_computable_functions(2, 1, 1, 1)
+        assert det <= nondet
+
+    def test_all_16_functions_nondet_computable_at_L1(self):
+        nondet = nondet_computable_functions(2, 1, 1, 1)
+        assert len(nondet) == 16

@@ -1,0 +1,124 @@
+"""Tests for the randomised extension (Section 8)."""
+
+import pytest
+
+from repro.clique.bits import BitReader, BitString, uint_width
+from repro.clique.graph import CliqueGraph
+from repro.clique.primitives import all_broadcast
+from repro.core.nondeterminism import decide_nondeterministic
+from repro.core.randomness import (
+    MonteCarloAlgorithm,
+    estimate_acceptance,
+    monte_carlo_to_nondeterministic,
+    run_with_randomness,
+)
+from repro.problems import all_graphs
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def guess_triangle_mc() -> MonteCarloAlgorithm:
+    """A deliberately naive one-sided Monte Carlo triangle detector:
+    every node interprets its random bits as a guessed triangle; accept
+    iff all nodes guessed the same, real triangle.  Acceptance
+    probability is tiny but positive on yes-instances and exactly zero
+    on no-instances — ideal for exercising the Section 8 conversion."""
+
+    def program(node):
+        n = node.n
+        vw = uint_width(max(1, n - 1))
+        rand: BitString = node.aux["random"]
+        guesses = yield from all_broadcast(node, rand)
+        # node 0's broadcast string is the shared guess
+        r = BitReader(guesses[0])
+        a, b, c = (r.read_uint(vw) % n for _ in range(3))
+        if len({a, b, c}) != 3:
+            return 0
+        row = node.input
+        me = node.id
+        for x, y in ((a, b), (a, c), (b, c)):
+            if me == x and not row[y]:
+                return 0
+            if me == y and not row[x]:
+                return 0
+        return 1
+
+    return MonteCarloAlgorithm(
+        name="guess-triangle",
+        program=program,
+        randomness=lambda n: 3 * uint_width(max(1, n - 1)),
+        running_time=lambda n: 3,
+    )
+
+
+class TestMonteCarloExecution:
+    def test_one_sided_soundness(self):
+        """No-instance: zero acceptance over many trials."""
+        algo = guess_triangle_mc()
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert estimate_acceptance(algo, g, trials=40) == 0.0
+
+    def test_yes_instance_sometimes_accepts(self):
+        algo = guess_triangle_mc()
+        g = CliqueGraph.complete(3)  # every distinct triple is a triangle
+        assert estimate_acceptance(algo, g, trials=60) > 0.0
+
+    def test_trial_determinism(self):
+        algo = guess_triangle_mc()
+        g = CliqueGraph.complete(4)
+        a = run_with_randomness(algo, g, seed=5).outputs
+        b = run_with_randomness(algo, g, seed=5).outputs
+        assert a == b
+
+
+class TestConversion:
+    def test_two_sided_rejected(self):
+        algo = MonteCarloAlgorithm(
+            name="x",
+            program=lambda node: iter(()),
+            randomness=lambda n: 1,
+            running_time=lambda n: 1,
+            one_sided=False,
+        )
+        with pytest.raises(ValueError):
+            monte_carlo_to_nondeterministic(algo)
+
+    def test_converted_verifier_decides_triangle(self):
+        """The paper's remark, executed: reading the random string as a
+        certificate turns the Monte Carlo detector into an NCLIQUE
+        verifier.  Completeness: the certificate naming a real triangle
+        is accepted.  Soundness: on no-instances, a large certificate
+        sample is uniformly rejected (full soundness follows from
+        one-sidedness, which TestMonteCarloExecution checks directly)."""
+        from repro.clique.bits import BitWriter
+        from repro.core.nondeterminism import run_with_labelling
+        from repro.problems.catalog import triangle_problem
+
+        nd = monte_carlo_to_nondeterministic(guess_triangle_mc())
+        certifier = triangle_problem().certifier
+        for g in list(all_graphs(4))[::5]:
+            tri = certifier(g)
+            if tri is not None:
+                vw = uint_width(3)
+                w = BitWriter()
+                for v in tri:
+                    w.write_uint(v, vw)
+                label = w.finish()
+                result = run_with_labelling(
+                    nd, g, tuple(label for _ in range(4))
+                )
+                assert all(o == 1 for o in result.outputs.values())
+            else:
+                for seed in range(10):
+                    result = run_with_randomness(
+                        guess_triangle_mc(), g, seed
+                    )
+                    assert not all(
+                        o == 1 for o in result.outputs.values()
+                    )
+
+    def test_label_size_matches_randomness(self):
+        algo = guess_triangle_mc()
+        nd = monte_carlo_to_nondeterministic(algo)
+        assert nd.label_size(8) == algo.randomness(8)
+        assert nd.running_time(8) == algo.running_time(8)

@@ -1,0 +1,92 @@
+"""Tests for the executable time hierarchy miniature (Theorem 2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.counting import log2_num_functions
+from repro.core.protocols import computable_functions, index_of_function
+from repro.core.time_hierarchy import (
+    TimeHierarchyMiniature,
+    decider_program,
+    decider_rounds,
+    evaluate_language,
+    find_hard_function_miniature,
+    separation_table,
+    time_hierarchy_miniature,
+)
+
+
+class TestHardFunctionMiniature:
+    def test_exists(self):
+        f = find_hard_function_miniature()
+        assert len(f) == 16
+
+    def test_raises_when_none(self):
+        with pytest.raises(ValueError):
+            find_hard_function_miniature(n=2, L=1, b=1)
+
+
+class TestDecider:
+    def test_decider_computes_f(self):
+        f = find_hard_function_miniature()
+        decided = evaluate_language(f, 2, 2, bandwidth=1)
+        inputs = list(itertools.product(range(4), repeat=2))
+        for i, x in enumerate(inputs):
+            assert decided[x] == f[i]
+
+    def test_decider_round_count(self):
+        """The decider takes ceil(L/b) rounds — more than the 1-round
+        budget the hard function evades."""
+        assert decider_rounds(2, 1) == 2
+        from repro.clique.network import CongestedClique
+
+        f = find_hard_function_miniature()
+        program = decider_program(f, 2)
+        clique = CongestedClique(2, bandwidth=1)
+        result = clique.run(program, None, aux=[1, 2])
+        assert result.rounds == 2
+
+
+class TestMiniatureSeparation:
+    def test_full_audit(self):
+        """The complete Theorem 2 pipeline at (n=2, b=1, L=2):
+        CLIQUE(1 round) != CLIQUE(2 rounds), executably."""
+        audit = time_hierarchy_miniature()
+        assert isinstance(audit, TimeHierarchyMiniature)
+        assert audit.separates
+        assert not audit.one_round_computable
+        assert audit.decider_correct
+        assert audit.decider_rounds == 2
+        # counting sanity: strictly fewer computable functions than all
+        assert audit.num_computable_one_round < audit.num_functions
+
+    def test_f_is_lexicographically_first(self):
+        audit = time_hierarchy_miniature()
+        computable = computable_functions(2, 2, 1)
+        for idx in range(audit.f_index):
+            assert idx in computable
+        assert audit.f_index not in computable
+
+
+class TestSeparationTables:
+    def test_theorem2_rows(self):
+        rows = separation_table([64, 256], "theorem2")
+        assert len(rows) == 2
+        for row in rows:
+            assert row["hard_function_exists"]
+            assert row["log2_protocols"] < row["log2_functions"]
+
+    def test_theorem4_rows(self):
+        rows = separation_table([64, 256, 1024], "theorem4")
+        assert all(row["holds"] for row in rows)
+
+    def test_theorem8_rows(self):
+        rows = separation_table([256, 1024], "theorem8")
+        assert all(row["holds"] for row in rows)
+        ks = {row["k"] for row in rows}
+        assert 1 in ks and 2 in ks
+
+    def test_unknown_table(self):
+        with pytest.raises(ValueError):
+            separation_table([8], "theorem99")

@@ -1,0 +1,121 @@
+"""Tests for the decision-problem catalog and certifiers."""
+
+import pytest
+
+from repro.clique.graph import CliqueGraph
+from repro.problems import (
+    complement,
+    connectivity_problem,
+    diameter_at_most_problem,
+    hamiltonian_path_problem,
+    k_colouring_problem,
+    k_cycle_problem,
+    k_dominating_set_problem,
+    k_independent_set_problem,
+    k_vertex_cover_problem,
+    parity_of_edges_problem,
+    triangle_problem,
+)
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def c5():
+    return CliqueGraph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+
+
+class TestMembership:
+    def test_colouring(self):
+        p = k_colouring_problem(3)
+        assert p.contains(c5())
+        assert not k_colouring_problem(2).contains(c5())
+        assert c5() in p
+
+    def test_triangle(self):
+        p = triangle_problem()
+        assert CliqueGraph.complete(3) in p
+        assert c5() not in p
+
+    def test_hamiltonian(self):
+        assert c5() in hamiltonian_path_problem()
+
+    def test_sets(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert g in k_independent_set_problem(2)
+        assert g in k_vertex_cover_problem(2)
+        assert g in k_dominating_set_problem(2)
+        assert g not in k_vertex_cover_problem(1)
+
+    def test_connectivity(self):
+        assert c5() in connectivity_problem()
+        assert CliqueGraph.empty(3) not in connectivity_problem()
+
+    def test_diameter(self):
+        assert c5() in diameter_at_most_problem(2)
+        assert c5() not in diameter_at_most_problem(1)
+
+    def test_parity(self):
+        assert c5() in parity_of_edges_problem()
+        assert CliqueGraph.complete(4) not in parity_of_edges_problem()
+
+    def test_complement(self):
+        p = complement(triangle_problem())
+        assert c5() in p
+        assert CliqueGraph.complete(3) not in p
+        assert p.name == "co-triangle"
+
+
+class TestCertifiers:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_colouring_certificate_valid(self, seed):
+        g, _ = gen.planted_colouring(8, 3, 0.6, seed)
+        p = k_colouring_problem(3)
+        cert = p.certifier(g)
+        assert cert is not None
+        for u, v in g.edges():
+            assert cert[u] != cert[v]
+
+    def test_colouring_certificate_none_on_no(self):
+        p = k_colouring_problem(2)
+        assert p.certifier(c5()) is None
+
+    def test_hamiltonian_certificate(self):
+        p = hamiltonian_path_problem()
+        path = p.certifier(c5())
+        assert sorted(path) == list(range(5))
+        for a, b in zip(path, path[1:]):
+            assert c5().has_edge(a, b)
+
+    def test_triangle_certificate(self):
+        g = CliqueGraph.from_edges(5, [(1, 2), (2, 4), (1, 4)])
+        tri = triangle_problem().certifier(g)
+        assert set(tri) == {1, 2, 4}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_set_certificates(self, seed):
+        g, _ = gen.planted_independent_set(9, 3, 0.7, seed)
+        cert = k_independent_set_problem(3).certifier(g)
+        assert cert is not None and ref.is_independent_set(g, cert)
+
+        g2, _ = gen.planted_dominating_set(9, 2, 0.1, seed)
+        cert2 = k_dominating_set_problem(2).certifier(g2)
+        assert cert2 is not None and ref.is_dominating_set(g2, cert2)
+
+    def test_k_cycle_certificate(self):
+        g, _ = gen.planted_k_cycle(8, 4, 0.0, 1)
+        cyc = k_cycle_problem(4).certifier(g)
+        assert cyc is not None and len(cyc) == 4
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert g.has_edge(a, b)
+
+    def test_certifier_agrees_with_predicate(self):
+        for seed in range(5):
+            g = gen.random_graph(7, 0.4, seed)
+            for prob in (
+                triangle_problem(),
+                k_independent_set_problem(3),
+                k_colouring_problem(3),
+            ):
+                has = prob.contains(g)
+                cert = prob.certifier(g)
+                assert (cert is not None) == has

@@ -1,0 +1,104 @@
+"""Tests for seeded graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.clique.graph import CliqueGraph
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        assert gen.random_graph(10, 0.5, 7) == gen.random_graph(10, 0.5, 7)
+
+    def test_different_seed_differs(self):
+        assert gen.random_graph(10, 0.5, 7) != gen.random_graph(10, 0.5, 8)
+
+    def test_weighted_deterministic(self):
+        a = gen.random_weighted_graph(8, 0.5, 50, 3)
+        b = gen.random_weighted_graph(8, 0.5, 50, 3)
+        assert a == b
+
+
+class TestRandomGraph:
+    def test_density_extremes(self):
+        assert gen.random_graph(6, 0.0, 1).num_edges() == 0
+        assert gen.random_graph(6, 1.0, 1).num_edges() == 15
+
+    def test_undirected(self):
+        g = gen.random_graph(8, 0.5, 2)
+        assert not g.directed
+        assert np.array_equal(g.adjacency, g.adjacency.T)
+
+    def test_directed(self):
+        g = gen.random_directed_graph(8, 0.5, 2)
+        assert g.directed
+
+    def test_weighted_in_range(self):
+        g = gen.random_weighted_graph(8, 0.8, 9, 4)
+        for u, v in g.edges():
+            assert 1 <= g.weight(u, v) <= 9
+
+
+class TestPlanted:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_is(self, seed):
+        g, witness = gen.planted_independent_set(12, 4, 0.6, seed)
+        assert len(witness) == 4
+        assert ref.is_independent_set(g, witness)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_ds(self, seed):
+        g, witness = gen.planted_dominating_set(12, 3, 0.1, seed)
+        assert ref.is_dominating_set(g, witness)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_vc(self, seed):
+        g, witness = gen.planted_vertex_cover(12, 3, 0.5, seed)
+        assert ref.is_vertex_cover(g, witness)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_colouring(self, seed):
+        g, colours = gen.planted_colouring(12, 3, 0.7, seed)
+        for u, v in g.edges():
+            assert colours[u] != colours[v]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted_ham_path(self, seed):
+        g, path = gen.planted_hamiltonian_path(9, 0.1, seed)
+        assert sorted(path) == list(range(9))
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted_cycle(self, seed):
+        g, cyc = gen.planted_k_cycle(10, 5, 0.05, seed)
+        assert len(set(cyc)) == 5
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert g.has_edge(a, b)
+
+
+class TestAllGraphs:
+    def test_count(self):
+        assert sum(1 for _ in gen.all_graphs(3)) == 8
+        assert sum(1 for _ in gen.all_graphs(4)) == 64
+
+    def test_distinct(self):
+        graphs = list(gen.all_graphs(3))
+        assert len({hash(g) for g in graphs}) == 8
+
+    def test_includes_extremes(self):
+        graphs = list(gen.all_graphs(3))
+        assert CliqueGraph.empty(3) in graphs
+        assert CliqueGraph.complete(3) in graphs
+
+
+class TestRandomBits:
+    def test_length_and_range(self):
+        bits = gen.random_bits(100, 5)
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+
+    def test_deterministic(self):
+        assert gen.random_bits(50, 1) == gen.random_bits(50, 1)

@@ -1,0 +1,239 @@
+"""Tests for centralised reference solvers against networkx ground truth."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.graph import INF, CliqueGraph
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+
+
+def small_random(n, p, seed):
+    return gen.random_graph(n, p, seed)
+
+
+class TestSetChecks:
+    def test_independent_set(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2)])
+        assert ref.is_independent_set(g, [0, 2, 3])
+        assert not ref.is_independent_set(g, [0, 1])
+
+    def test_dominating_set(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert ref.is_dominating_set(g, [0])
+        assert not ref.is_dominating_set(g, [1])
+
+    def test_vertex_cover(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert ref.is_vertex_cover(g, [0, 2])
+        assert not ref.is_vertex_cover(g, [0])
+
+    def test_empty_set_cases(self):
+        e = CliqueGraph.empty(3)
+        assert ref.is_independent_set(e, [])
+        assert ref.is_vertex_cover(e, [])
+        assert not ref.is_dominating_set(e, [])  # isolated nodes undominated
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_max_is_matches_networkx_complement_clique(self, seed):
+        g = small_random(8, 0.5, seed)
+        gx = g.to_networkx()
+        want = max(
+            len(c) for c in nx.find_cliques(nx.complement(gx))
+        )
+        assert ref.max_independent_set_size(g) == want
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gallai_identity(self, seed):
+        """max IS + min VC = n (Gallai)."""
+        g = small_random(7, 0.4, seed)
+        assert (
+            ref.max_independent_set_size(g) + ref.min_vertex_cover_size(g)
+            == g.n
+        )
+
+    def test_min_dominating_set(self):
+        star = CliqueGraph.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert ref.min_dominating_set_size(star) == 1
+        path = CliqueGraph.from_edges(6, [(i, i + 1) for i in range(5)])
+        assert ref.min_dominating_set_size(path) == 2
+
+    def test_has_k_variants_monotone(self):
+        g = small_random(7, 0.5, 3)
+        mis = ref.max_independent_set_size(g)
+        assert ref.has_independent_set(g, mis)
+        assert not ref.has_independent_set(g, mis + 1)
+
+
+class TestColouring:
+    def test_bipartite(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert ref.is_k_colourable(g, 2)
+
+    def test_odd_cycle_not_2col(self):
+        g = CliqueGraph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert not ref.is_k_colourable(g, 2)
+        assert ref.is_k_colourable(g, 3)
+
+    def test_complete_needs_n(self):
+        g = CliqueGraph.complete(5)
+        assert not ref.is_k_colourable(g, 4)
+        assert ref.is_k_colourable(g, 5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_planted(self, seed):
+        g, _ = gen.planted_colouring(8, 3, 0.7, seed)
+        assert ref.is_k_colourable(g, 3)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_chromatic_lower(self, seed):
+        g = small_random(7, 0.5, seed)
+        # networkx greedy gives an upper bound on chi
+        gx = g.to_networkx()
+        greedy = max(nx.greedy_color(gx).values(), default=-1) + 1
+        assert ref.is_k_colourable(g, greedy)
+
+
+class TestHamiltonianPath:
+    def test_path_graph(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert ref.has_hamiltonian_path(g)
+
+    def test_star_has_none(self):
+        g = CliqueGraph.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert not ref.has_hamiltonian_path(g)
+
+    def test_tiny(self):
+        assert ref.has_hamiltonian_path(CliqueGraph.empty(1))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted(self, seed):
+        g, _ = gen.planted_hamiltonian_path(8, 0.1, seed)
+        assert ref.has_hamiltonian_path(g)
+
+
+class TestSubgraphs:
+    def test_triangle(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (0, 2)])
+        assert ref.has_triangle(g)
+        assert ref.count_triangles(g) == 1
+
+    def test_triangle_free(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not ref.has_triangle(g)
+
+    def test_count_triangles_k4(self):
+        assert ref.count_triangles(CliqueGraph.complete(4)) == 4
+
+    def test_k_cycle(self):
+        g = CliqueGraph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert ref.has_k_cycle(g, 5)
+        assert not ref.has_k_cycle(g, 3)
+        assert not ref.has_k_cycle(g, 4)
+
+    def test_k_cycle_bad_k(self):
+        with pytest.raises(ValueError):
+            ref.has_k_cycle(CliqueGraph.empty(3), 2)
+
+    def test_k_path(self):
+        g = CliqueGraph.from_edges(4, [(0, 1), (1, 2)])
+        assert ref.has_k_path(g, 3)
+        assert not ref.has_k_path(g, 4)
+
+    def test_has_subgraph(self):
+        g = CliqueGraph.from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        tri = CliqueGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        p4 = CliqueGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert ref.has_subgraph(g, tri)
+        assert ref.has_subgraph(g, p4)
+        k4 = CliqueGraph.complete(4)
+        assert not ref.has_subgraph(g, k4)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted_cycle(self, seed):
+        g, _ = gen.planted_k_cycle(9, 4, 0.05, seed)
+        assert ref.has_k_cycle(g, 4)
+
+
+class TestMatrices:
+    def test_boolean_matmul(self):
+        a = np.array([[1, 0], [1, 1]], dtype=bool)
+        b = np.array([[0, 1], [0, 0]], dtype=bool)
+        out = ref.boolean_matmul(a, b)
+        assert out.tolist() == [[False, True], [False, True]]
+
+    def test_minplus_identity(self):
+        n = 4
+        ident = np.full((n, n), INF, dtype=np.int64)
+        np.fill_diagonal(ident, 0)
+        a = np.array(
+            [[0, 3, INF, INF]] + [[INF] * 4] * 3, dtype=np.int64
+        )
+        out = ref.minplus_matmul(a, ident)
+        assert np.array_equal(out, a)
+
+    def test_minplus_path(self):
+        # 0 -3-> 1 -4-> 2
+        a = np.full((3, 3), INF, dtype=np.int64)
+        np.fill_diagonal(a, 0)
+        a[0, 1] = 3
+        a[1, 2] = 4
+        out = ref.minplus_matmul(a, a)
+        assert out[0, 2] == 7
+
+    def test_transitive_closure(self):
+        a = np.zeros((4, 4), dtype=bool)
+        a[0, 1] = a[1, 2] = True
+        tc = ref.transitive_closure(a)
+        assert tc[0, 2]
+        assert not tc[2, 0]
+        assert tc[3, 3]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_apsp_matches_networkx(self, seed):
+        g = gen.random_weighted_graph(8, 0.4, 20, seed)
+        dist = ref.apsp_matrix(g)
+        gx = g.to_networkx()
+        nxdist = dict(nx.all_pairs_dijkstra_path_length(gx))
+        for u in range(8):
+            for v in range(8):
+                if v in nxdist.get(u, {}):
+                    assert dist[u, v] == nxdist[u][v]
+                else:
+                    assert dist[u, v] >= INF
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_apsp_unweighted_matches_bfs(self, seed):
+        g = gen.random_graph(9, 0.3, seed)
+        dist = ref.apsp_matrix(g)
+        gx = g.to_networkx()
+        for u in range(9):
+            lengths = nx.single_source_shortest_path_length(gx, u)
+            for v in range(9):
+                if v in lengths:
+                    assert dist[u, v] == lengths[v]
+                else:
+                    assert dist[u, v] >= INF
+
+    def test_sssp_vector(self):
+        g = CliqueGraph.from_weighted_edges(3, [(0, 1, 5), (1, 2, 2)])
+        d = ref.sssp_vector(g, 0)
+        assert d.tolist() == [0, 5, 7]
+
+    @given(st.integers(2, 6), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_minplus_matches_bruteforce(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 10, (n, n)).astype(np.int64)
+        b = rng.integers(0, 10, (n, n)).astype(np.int64)
+        out = ref.minplus_matmul(a, b)
+        for i in range(n):
+            for j in range(n):
+                assert out[i, j] == min(a[i, k] + b[k, j] for k in range(n))

@@ -1,0 +1,169 @@
+"""Tests for Theorem 10 (k-IS <= k-DS, the Figure 2 gadget)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dominating_set import k_dominating_set
+from repro.clique.algorithm import run_algorithm
+from repro.clique.graph import CliqueGraph
+from repro.problems import all_graphs
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+from repro.reductions.base import simulation_overhead
+from repro.reductions.is_to_ds import (
+    ds_witness_to_is,
+    is_to_ds_instance,
+    is_to_ds_reduction,
+    is_witness_to_ds,
+)
+
+
+class TestConstruction:
+    def test_node_count(self):
+        g = gen.random_graph(5, 0.5, 1)
+        gp, info = is_to_ds_instance(g, 3)
+        assert info.num_nodes == 3 * 5 + 3 * 5 + 6
+        assert gp.n == info.num_nodes
+        assert info.num_nodes <= (3 * 3 + 3 + 2) * 5
+
+    def test_decode_roundtrip(self):
+        g = gen.random_graph(4, 0.5, 1)
+        _, info = is_to_ds_instance(g, 3)
+        for i in range(3):
+            for v in range(4):
+                assert info.decode(info.clique_node(i, v)) == ("clique", (i, v))
+        for i in range(3):
+            for j in range(i + 1, 3):
+                for v in range(4):
+                    assert info.decode(info.gadget_node(i, j, v)) == (
+                        "gadget",
+                        (i, j, v),
+                    )
+        for i in range(3):
+            for w in (0, 1):
+                assert info.decode(info.special_node(i, w)) == ("special", (i, w))
+
+    def test_cliques_are_cliques(self):
+        g = gen.random_graph(4, 0.3, 2)
+        gp, info = is_to_ds_instance(g, 2)
+        for i in range(2):
+            for v in range(4):
+                for u in range(v + 1, 4):
+                    assert gp.has_edge(
+                        info.clique_node(i, v), info.clique_node(i, u)
+                    )
+
+    def test_specials_touch_only_their_clique(self):
+        g = gen.random_graph(4, 0.3, 2)
+        gp, info = is_to_ds_instance(g, 2)
+        x0 = info.special_node(0, 0)
+        neighbours = {u for u in range(gp.n) if gp.has_edge(x0, u)}
+        expect = {info.clique_node(0, v) for v in range(4)}
+        assert neighbours == expect
+
+    def test_gadget_edge_rule(self):
+        """v_j adjacent to u_{i,j} iff u is neither v nor a G-neighbour."""
+        g = CliqueGraph.from_edges(4, [(0, 1), (2, 3)])
+        gp, info = is_to_ds_instance(g, 2)
+        v = 0
+        vj = info.clique_node(1, v)
+        for u in range(4):
+            uij = info.gadget_node(0, 1, u)
+            want = u != v and not g.has_edge(v, u)
+            assert gp.has_edge(vj, uij) == want
+        # and the K_i side: v_i adjacent to all u_{i,j} with u != v
+        vi = info.clique_node(0, v)
+        for u in range(4):
+            uij = info.gadget_node(0, 1, u)
+            assert gp.has_edge(vi, uij) == (u != v)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, k, seed):
+        g = gen.random_graph(6, 0.5, seed)
+        gp, info = is_to_ds_instance(g, k)
+        has_is = ref.has_independent_set(g, k)
+        has_ds = ref.has_dominating_set(gp, k)
+        assert has_is == has_ds
+
+    def test_exhaustive_4node_k2(self):
+        for g in all_graphs(4):
+            gp, info = is_to_ds_instance(g, 2)
+            assert ref.has_independent_set(g, 2) == ref.has_dominating_set(
+                gp, 2
+            ), sorted(g.edges())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forward_witness_dominates(self, seed):
+        g, planted = gen.planted_independent_set(7, 3, 0.6, seed)
+        gp, info = is_to_ds_instance(g, 3)
+        ds = is_witness_to_ds(tuple(planted), info)
+        assert ref.is_dominating_set(gp, ds)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_backward_witness_independent(self, seed):
+        g, planted = gen.planted_independent_set(6, 2, 0.6, seed)
+        gp, info = is_to_ds_instance(g, 2)
+        # find any size-2 dominating set of G' by brute force
+        import itertools
+
+        found = None
+        for combo in itertools.combinations(range(gp.n), 2):
+            if ref.is_dominating_set(gp, combo):
+                found = combo
+                break
+        assert found is not None
+        back = ds_witness_to_is(found, info)
+        assert ref.is_independent_set(g, back)
+        assert len(set(back)) == 2
+
+    def test_map_back_rejects_non_clique_nodes(self):
+        g = gen.random_graph(4, 0.5, 1)
+        _, info = is_to_ds_instance(g, 2)
+        with pytest.raises(ValueError):
+            ds_witness_to_is((info.gadget_node(0, 1, 0), 0), info)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_equivalence(self, seed):
+        g = gen.random_graph(5, 0.5, seed)
+        gp, _ = is_to_ds_instance(g, 2)
+        assert ref.has_independent_set(g, 2) == ref.has_dominating_set(gp, 2)
+
+
+class TestEndToEndSimulation:
+    """delta(k-IS) <= delta(k-DS) executed: build G', run the Theorem 9
+    algorithm on the simulator, map the witness back."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pipeline(self, seed):
+        k = 2
+        g = gen.random_graph(6, 0.45, seed)
+        gp, info = is_to_ds_instance(g, k)
+
+        def prog(node):
+            return (yield from k_dominating_set(node, k))
+
+        found, witness = run_algorithm(
+            prog, gp, bandwidth_multiplier=2
+        ).common_output()
+        assert found == ref.has_independent_set(g, k)
+        if found:
+            back = ds_witness_to_is(witness, info)
+            assert ref.is_independent_set(g, back)
+
+    def test_reduction_object(self):
+        red = is_to_ds_reduction(2)
+        g = gen.random_graph(5, 0.4, 7)
+        gp, info = red.transform(g)
+        assert gp.n == info.num_nodes
+
+    def test_overhead_formula(self):
+        """Theorem 10's O(k^(2 delta + 4)): nodes factor k^2-ish, each
+        node simulating O(k^2) virtual nodes."""
+        k, delta = 3, 2 / 3
+        factor = simulation_overhead(k * k + k + 2, k * k, delta)
+        assert factor <= (k ** (2 * delta + 4)) * 20  # constant slack

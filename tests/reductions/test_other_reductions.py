@@ -1,0 +1,157 @@
+"""Tests for the k-COL, Dor-Halperin-Zwick, and matmul reductions."""
+
+import numpy as np
+import pytest
+
+from repro.clique.graph import INF, CliqueGraph
+from repro.problems import all_graphs
+from repro.problems import generators as gen
+from repro.problems import reference as ref
+from repro.reductions.bmm_to_apsp import (
+    approximate_apsp,
+    apsp_to_product,
+    bmm_to_apsp_instance,
+)
+from repro.reductions.col_to_is import (
+    col_to_is_instance,
+    colouring_to_is_witness,
+    is_witness_to_colouring,
+)
+from repro.reductions.matmul_reductions import (
+    apsp_via_minplus_mm,
+    boolean_mm_via_ring_mm,
+    matmul_reductions,
+    transitive_closure_via_boolean_mm,
+    triangle_via_boolean_mm,
+)
+
+
+class TestColToIs:
+    def test_node_count(self):
+        g = gen.random_graph(5, 0.5, 1)
+        gp, info = col_to_is_instance(g, 3)
+        assert gp.n == 15
+
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence(self, k, seed):
+        g = gen.random_graph(6, 0.5, seed)
+        gp, info = col_to_is_instance(g, k)
+        colourable = ref.is_k_colourable(g, k)
+        big_is = ref.max_independent_set_size(gp) >= g.n
+        assert colourable == big_is
+
+    def test_exhaustive_small(self):
+        for g in all_graphs(4):
+            gp, _ = col_to_is_instance(g, 2)
+            assert ref.is_k_colourable(g, 2) == (
+                ref.max_independent_set_size(gp) >= 4
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_witness_roundtrip(self, seed):
+        g, colours = gen.planted_colouring(6, 3, 0.6, seed)
+        gp, info = col_to_is_instance(g, 3)
+        witness = colouring_to_is_witness(colours, info)
+        assert ref.is_independent_set(gp, witness)
+        back = is_witness_to_colouring(witness, info)
+        assert back == list(colours)
+        for u, v in g.edges():
+            assert back[u] != back[v]
+
+    def test_bad_witness_mapped_to_none(self):
+        g = gen.random_graph(4, 0.5, 1)
+        gp, info = col_to_is_instance(g, 2)
+        assert is_witness_to_colouring((0, 1), info) is None  # two copies of v=0
+        assert is_witness_to_colouring((0,), info) is None  # wrong size
+
+
+class TestBmmToApsp:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_distances_recover_product(self, seed):
+        rng = gen.rng_from(seed)
+        n = 6
+        a = rng.random((n, n)) < 0.4
+        b = rng.random((n, n)) < 0.4
+        g, info = bmm_to_apsp_instance(a, b)
+        dist = ref.apsp_matrix(g)
+        got = apsp_to_product(dist, info, eps=0.5)
+        assert np.array_equal(got, ref.boolean_matmul(a, b))
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0])
+    def test_approximate_distances_still_work(self, seed, eps):
+        """Any (2-eps)-approximation separates distance 2 from >= 4."""
+        rng = gen.rng_from(seed + 100)
+        n = 5
+        a = rng.random((n, n)) < 0.5
+        b = rng.random((n, n)) < 0.5
+        g, info = bmm_to_apsp_instance(a, b)
+        approx = approximate_apsp(g, ratio=2 - eps, seed=seed)
+        got = apsp_to_product(approx, info, eps=eps)
+        assert np.array_equal(got, ref.boolean_matmul(a, b))
+
+    def test_distance_structure(self):
+        """Product pairs at distance exactly 2; non-product at >= 4."""
+        a = np.array([[1, 0], [0, 0]], dtype=bool)
+        b = np.array([[1, 0], [0, 0]], dtype=bool)
+        g, info = bmm_to_apsp_instance(a, b)
+        dist = ref.apsp_matrix(g)
+        assert dist[info.x(0), info.z(0)] == 2
+        assert dist[info.x(1), info.z(0)] >= 4
+        assert dist[info.x(0), info.z(1)] >= 4
+
+    def test_eps_zero_rejected(self):
+        """The paper's point: the reduction breaks down at 2-approx."""
+        a = np.zeros((2, 2), dtype=bool)
+        g, info = bmm_to_apsp_instance(a, a)
+        dist = ref.apsp_matrix(g)
+        with pytest.raises(ValueError):
+            apsp_to_product(dist, info, eps=0.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            bmm_to_apsp_instance(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestMatmulReductions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangle_via_bmm(self, seed):
+        g = gen.random_graph(9, 0.3, seed)
+        has, rounds = triangle_via_boolean_mm(g)
+        assert has == ref.has_triangle(g)
+        assert rounds > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_transitive_closure_via_bmm(self, seed):
+        g = gen.random_graph(8, 0.2, seed)
+        reach, rounds = transitive_closure_via_boolean_mm(g)
+        assert np.array_equal(reach, ref.transitive_closure(g.adjacency))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_apsp_via_minplus(self, seed):
+        g = gen.random_weighted_graph(8, 0.4, 9, seed)
+        dist, rounds = apsp_via_minplus_mm(g, max_weight=9)
+        want = ref.apsp_matrix(g)
+        assert np.array_equal(
+            np.minimum(dist, INF), np.minimum(want, INF)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_boolean_via_ring(self, seed):
+        rng = gen.rng_from(seed)
+        a = (rng.random((7, 7)) < 0.4).astype(np.int64)
+        b = (rng.random((7, 7)) < 0.4).astype(np.int64)
+        c, rounds = boolean_mm_via_ring_mm(a, b)
+        assert np.array_equal(c, ref.boolean_matmul(a, b))
+
+    def test_reduction_catalog(self):
+        reds = matmul_reductions()
+        assert {r.source for r in reds} == {
+            "triangle",
+            "transitive-closure",
+            "apsp-w-d",
+            "boolean-mm",
+        }
+        for r in reds:
+            assert r.paper_source

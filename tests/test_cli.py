@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.k == 3 and not args.arrows
+
+    def test_run_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--k", "4", "--arrows"]) == 0
+        out = capsys.readouterr().out
+        assert "Ring MM" in out
+        assert "delta(k-is) <= delta(k-ds)" in out
+
+    def test_miniature(self, capsys):
+        assert main(["miniature"]) == 0
+        out = capsys.readouterr().out
+        assert "separates" in out and "yes" in out
+
+    @pytest.mark.parametrize("theorem", ["2", "4", "8"])
+    def test_counting(self, theorem, capsys):
+        assert main(["counting", "--theorem", theorem, "--sizes", "256"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "algo", ["triangle", "kvc", "kis", "bfs", "maxis", "median"]
+    )
+    def test_run_algorithms(self, algo, capsys):
+        assert main(["run", algo, "--n", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds:" in out
+
+    def test_run_kds(self, capsys):
+        assert main(["run", "kds", "--n", "10", "--k", "2"]) == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_run_mst(self, capsys):
+        assert main(["run", "mst", "--n", "10", "--p", "0.5"]) == 0
+        assert "MST edges" in capsys.readouterr().out
+
+    def test_demo_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "nope"])
+
+    def test_demo_quickstart(self, capsys):
+        assert main(["demo", "quickstart"]) == 0
+        assert "triangle detection" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Public API guard: everything advertised in __all__ must import, and
+the layering constraints hold (the substrate must not depend on the
+theory layers)."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.clique",
+    "repro.algorithms",
+    "repro.core",
+    "repro.reductions",
+    "repro.problems",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__")
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_is_sorted_and_unique(name):
+    module = importlib.import_module(name)
+    exports = list(module.__all__)
+    assert len(exports) == len(set(exports)), f"{name} has duplicate exports"
+
+
+def test_substrate_does_not_import_theory():
+    """repro.clique is the bottom layer: it must not import repro.core,
+    repro.algorithms, or repro.reductions."""
+    import repro.clique as clique_pkg
+
+    forbidden = ("repro.core", "repro.algorithms", "repro.reductions")
+    import sys
+
+    clique_modules = [
+        m for name, m in sys.modules.items()
+        if name.startswith("repro.clique") and m is not None
+    ]
+    for module in clique_modules:
+        source_imports = getattr(module, "__dict__", {})
+        for value in source_imports.values():
+            mod_name = getattr(value, "__module__", "") or ""
+            if isinstance(value, type) or callable(value):
+                assert not any(
+                    mod_name.startswith(f) for f in forbidden
+                ), f"{module.__name__} leaks {mod_name}"
+
+
+def test_version_present():
+    import repro
+
+    assert repro.__version__
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser
+
+    assert build_parser().prog == "repro"
