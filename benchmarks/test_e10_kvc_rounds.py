@@ -5,70 +5,99 @@ rounds vs k at fixed n (growing like ceil((log k + k log n) / B) = O(k)),
 plus correctness against brute force.
 """
 
-from conftest import measured_load
-
 from repro.algorithms import k_vertex_cover
-from repro.clique import run_algorithm
+from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
 from repro.problems import reference as ref
 
 
-def run_kvc(g, k):
+def kvc_planted_point(config: dict) -> RunSpec:
+    """Sweep factory: planted k-VC instance per (n, k, p, seed) point."""
+    n, k = config["n"], config["k"]
+    g, _ = gen.planted_vertex_cover(n, k, config["p"], seed=config["seed"])
+
     def prog(node):
         return (yield from k_vertex_cover(node, k))
 
-    return run_algorithm(prog, g, bandwidth_multiplier=2)
+    def post(result):
+        found, witness = result.common_output()
+        return {
+            "found": found,
+            "cover valid": ref.is_vertex_cover(g, witness) if found else None,
+        }
+
+    return RunSpec(
+        program=prog, node_input=g, bandwidth_multiplier=2, postprocess=post
+    )
+
+
+def kvc_random_point(config: dict) -> RunSpec:
+    """Sweep factory: k-VC decision vs brute force on a random graph."""
+    g = gen.random_graph(config["n"], 0.3, config["seed"])
+    k = config["k"]
+
+    def prog(node):
+        return (yield from k_vertex_cover(node, k))
+
+    def post(result):
+        found, witness = result.common_output()
+        ok = found == ref.has_vertex_cover(g, k)
+        if found and not ref.is_vertex_cover(g, witness):
+            ok = False
+        return ok
+
+    return RunSpec(
+        program=prog, node_input=g, bandwidth_multiplier=2, postprocess=post
+    )
 
 
 def n_sweep(k: int = 3) -> list[dict]:
-    rows = []
-    for n in (16, 32, 64, 128, 256):
-        g, _ = gen.planted_vertex_cover(n, k, 0.4, seed=n)
-        result = run_kvc(g, k)
-        found, witness = result.common_output()
-        rows.append(
-            {
-                "k": k,
-                "n": n,
-                "rounds": result.rounds,
-                "found": found,
-                "cover valid": ref.is_vertex_cover(g, witness)
-                if found
-                else None,
-            }
-        )
-    return rows
+    outcomes = run_sweep(
+        kvc_planted_point,
+        [{"k": k, "n": n, "p": 0.4, "seed": n} for n in (16, 32, 64, 128, 256)],
+        workers=2,
+        engine="fast",
+    )
+    return [
+        {
+            "k": k,
+            "n": o.config["n"],
+            "rounds": o.result.rounds,
+            "found": o.value["found"],
+            "cover valid": o.value["cover valid"],
+        }
+        for o in outcomes
+    ]
 
 
 def k_sweep(n: int = 64) -> list[dict]:
-    rows = []
     # k capped at 12: the local kernel solve is a 2^k bounded search
     # tree, and the planted instances get adversarial beyond that.
-    for k in (2, 4, 8, 12):
-        g, _ = gen.planted_vertex_cover(n, k, 0.35, seed=k)
-        result = run_kvc(g, k)
-        found, witness = result.common_output()
-        rows.append(
-            {
-                "n": n,
-                "k": k,
-                "rounds": result.rounds,
-                "found": found,
-            }
-        )
-    return rows
+    outcomes = run_sweep(
+        kvc_planted_point,
+        [{"k": k, "n": n, "p": 0.35, "seed": k} for k in (2, 4, 8, 12)],
+        workers=2,
+        engine="fast",
+    )
+    return [
+        {
+            "n": n,
+            "k": o.config["k"],
+            "rounds": o.result.rounds,
+            "found": o.value["found"],
+        }
+        for o in outcomes
+    ]
 
 
 def correctness() -> int:
-    wrong = 0
-    for seed in range(8):
-        g = gen.random_graph(9, 0.3, seed)
-        found, witness = run_kvc(g, 3).common_output()
-        if found != ref.has_vertex_cover(g, 3):
-            wrong += 1
-        if found and not ref.is_vertex_cover(g, witness):
-            wrong += 1
-    return wrong
+    outcomes = run_sweep(
+        kvc_random_point,
+        [{"n": 9, "k": 3, "seed": seed} for seed in range(8)],
+        workers=2,
+        engine="fast",
+    )
+    return sum(1 for o in outcomes if not o.value)
 
 
 def test_e10_kvc_rounds(benchmark, report):

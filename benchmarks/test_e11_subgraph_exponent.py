@@ -8,67 +8,86 @@ delta = slope - 1).
 
 from conftest import measured_load
 
-from repro.algorithms import (
-    k_cycle_detection,
-    k_independent_set_detection,
-    triangle_detection,
-)
+from repro.algorithms import k_independent_set_detection, triangle_detection
 from repro.analysis import fit_exponent
-from repro.clique import run_algorithm
+from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
 from repro.problems import reference as ref
 
 
-def sweep(make_prog, ns, check, p=0.2) -> list[dict]:
-    rows = []
-    for n in ns:
-        g = gen.random_graph(n, p, seed=n)
-        result = run_algorithm(make_prog(), g, bandwidth_multiplier=2)
+def triangle_point(config: dict) -> RunSpec:
+    """Sweep factory: triangle detection vs brute force on G(n, p)."""
+    n = config["n"]
+    g = gen.random_graph(n, config.get("p", 0.2), seed=n)
+
+    def prog(node):
+        return (yield from triangle_detection(node))
+
+    def post(result):
+        found, _ = result.common_output()
+        return {"found": found, "correct": found == ref.has_triangle(g)}
+
+    return RunSpec(
+        program=prog, node_input=g, bandwidth_multiplier=2, postprocess=post
+    )
+
+
+def four_is_point(config: dict) -> RunSpec:
+    """Sweep factory: planted 4-IS instance (brute-force reference is
+    infeasible at n=256; correctness = the witness is a real 4-IS)."""
+    n = config["n"]
+    g, _ = gen.planted_independent_set(n, 4, 0.55, seed=n)
+
+    def prog(node):
+        return (yield from k_independent_set_detection(node, 4))
+
+    def post(result):
         found, witness = result.common_output()
-        rows.append(
-            {
-                "n": n,
-                "rounds": result.rounds,
-                "payload load (bits)": measured_load(result),
-                "found": found,
-                "correct": found == check(g),
-            }
-        )
-    return rows
+        return {
+            "found": found,
+            "correct": bool(found)
+            and ref.is_independent_set(g, witness)
+            and len(set(witness)) == 4,
+        }
+
+    return RunSpec(
+        program=prog, node_input=g, bandwidth_multiplier=2, postprocess=post
+    )
+
+
+def _rows(outcomes) -> list[dict]:
+    return [
+        {
+            "n": o.config["n"],
+            "rounds": o.result.rounds,
+            "payload load (bits)": measured_load(o.result),
+            "found": o.value["found"],
+            "correct": o.value["correct"],
+        }
+        for o in outcomes
+    ]
 
 
 def triangle_sweep():
-    return sweep(
-        lambda: (lambda node: (yield from triangle_detection(node))),
-        [27, 64, 125, 216],
-        ref.has_triangle,
+    return _rows(
+        run_sweep(
+            triangle_point,
+            [{"n": n} for n in (27, 64, 125, 216)],
+            workers=2,
+            engine="fast",
+        )
     )
 
 
 def four_is_sweep():
-    """Planted 4-IS instances (brute-force reference is infeasible at
-    n=256; correctness = the returned witness is a real 4-IS)."""
-    rows = []
-    for n in (16, 81, 256):
-        g, _ = gen.planted_independent_set(n, 4, 0.55, seed=n)
-
-        def prog(node):
-            return (yield from k_independent_set_detection(node, 4))
-
-        result = run_algorithm(prog, g, bandwidth_multiplier=2)
-        found, witness = result.common_output()
-        rows.append(
-            {
-                "n": n,
-                "rounds": result.rounds,
-                "payload load (bits)": measured_load(result),
-                "found": found,
-                "correct": bool(found)
-                and ref.is_independent_set(g, witness)
-                and len(set(witness)) == 4,
-            }
+    return _rows(
+        run_sweep(
+            four_is_point,
+            [{"n": n} for n in (16, 81, 256)],
+            workers=2,
+            engine="fast",
         )
-    return rows
+    )
 
 
 def test_e11_subgraph_exponent(benchmark, report):

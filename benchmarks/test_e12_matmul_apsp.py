@@ -8,9 +8,16 @@ closure by Boolean squaring, verified against the reference solvers.
 
 import numpy as np
 
-from repro.algorithms.matmul import BOOLEAN, MINPLUS, RING, run_matmul
+from repro.algorithms.matmul import (
+    BOOLEAN,
+    MINPLUS,
+    RING,
+    distributed_matmul,
+    run_matmul,
+)
 from repro.analysis import fit_exponent
 from repro.clique.graph import INF
+from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
 from repro.problems import reference as ref
 from repro.algorithms.spanner import approx_apsp_via_spanner
@@ -25,23 +32,49 @@ def mm_load(result) -> int:
     )
 
 
+def ring_mm_point(config: dict) -> RunSpec:
+    """Sweep factory: cube-partitioned ring MM on random int matrices."""
+    n = config["n"]
+    rng = gen.rng_from(n)
+    a = rng.integers(0, 8, (n, n)).astype(np.int64)
+    b = rng.integers(0, 8, (n, n)).astype(np.int64)
+    rows = [(a[i].copy(), b[i].copy()) for i in range(n)]
+
+    def prog(node):
+        a_row, b_row = node.input
+        row = yield from distributed_matmul(node, a_row, b_row, RING, 8)
+        return row
+
+    def post(result):
+        c = np.stack([result.outputs[i] for i in range(n)])
+        return np.array_equal(c, a @ b)
+
+    return RunSpec(
+        program=prog,
+        node_input=rows,
+        n=n,
+        bandwidth_multiplier=2,
+        postprocess=post,
+    )
+
+
 def mm_sweep() -> list[dict]:
-    rows = []
-    for n in (27, 64, 125, 216):
-        rng = gen.rng_from(n)
-        a = rng.integers(0, 8, (n, n)).astype(np.int64)
-        b = rng.integers(0, 8, (n, n)).astype(np.int64)
-        c, result = run_matmul(a, b, RING, max_entry=8)
-        rows.append(
-            {
-                "semiring": "ring",
-                "n": n,
-                "rounds": result.rounds,
-                "payload load (bits)": mm_load(result),
-                "correct": np.array_equal(c, a @ b),
-            }
-        )
-    return rows
+    outcomes = run_sweep(
+        ring_mm_point,
+        [{"n": n} for n in (27, 64, 125, 216)],
+        workers=2,
+        engine="fast",
+    )
+    return [
+        {
+            "semiring": "ring",
+            "n": o.config["n"],
+            "rounds": o.result.rounds,
+            "payload load (bits)": mm_load(o.result),
+            "correct": o.value,
+        }
+        for o in outcomes
+    ]
 
 
 def semiring_comparison(n: int = 64) -> list[dict]:

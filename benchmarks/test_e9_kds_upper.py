@@ -10,48 +10,78 @@ from conftest import measured_load
 
 from repro.algorithms import k_dominating_set
 from repro.analysis import fit_exponent
-from repro.clique import run_algorithm
+from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
 from repro.problems import reference as ref
 
 
-def scaling(k: int, ns: list[int]) -> list[dict]:
-    rows = []
-    for n in ns:
-        g, _ = gen.planted_dominating_set(n, k, 0.1, seed=n)
+def kds_planted_point(config: dict) -> RunSpec:
+    """Sweep factory: one planted k-DS instance per (n, k) grid point."""
+    n, k = config["n"], config["k"]
+    g, _ = gen.planted_dominating_set(n, k, 0.1, seed=n)
 
-        def prog(node):
-            return (yield from k_dominating_set(node, k))
+    def prog(node):
+        return (yield from k_dominating_set(node, k))
 
-        result = run_algorithm(prog, g, bandwidth_multiplier=2)
+    def post(result):
         found, witness = result.common_output()
-        rows.append(
-            {
-                "k": k,
-                "n": n,
-                "rounds": result.rounds,
-                "payload load (bits)": measured_load(result),
-                "found": found,
-                "witness dominates": ref.is_dominating_set(g, witness)
-                if found
-                else None,
-            }
-        )
-    return rows
+        return {
+            "found": found,
+            "witness dominates": ref.is_dominating_set(g, witness)
+            if found
+            else None,
+        }
+
+    return RunSpec(
+        program=prog, node_input=g, bandwidth_multiplier=2, postprocess=post
+    )
+
+
+def kds_random_point(config: dict) -> RunSpec:
+    """Sweep factory: k-DS decision vs brute force on a random graph."""
+    g = gen.random_graph(config["n"], 0.3, config["seed"])
+    k = config["k"]
+
+    def prog(node):
+        return (yield from k_dominating_set(node, k))
+
+    def post(result):
+        found, _ = result.common_output()
+        return found == ref.has_dominating_set(g, k)
+
+    return RunSpec(
+        program=prog, node_input=g, bandwidth_multiplier=2, postprocess=post
+    )
+
+
+def scaling(k: int, ns: list[int]) -> list[dict]:
+    outcomes = run_sweep(
+        kds_planted_point,
+        [{"k": k, "n": n} for n in ns],
+        workers=2,
+        engine="fast",
+    )
+    return [
+        {
+            "k": k,
+            "n": o.config["n"],
+            "rounds": o.result.rounds,
+            "payload load (bits)": measured_load(o.result),
+            "found": o.value["found"],
+            "witness dominates": o.value["witness dominates"],
+        }
+        for o in outcomes
+    ]
 
 
 def correctness_sweep(k: int = 2) -> int:
-    wrong = 0
-    for seed in range(8):
-        g = gen.random_graph(9, 0.3, seed)
-
-        def prog(node):
-            return (yield from k_dominating_set(node, k))
-
-        found, _ = run_algorithm(prog, g, bandwidth_multiplier=2).common_output()
-        if found != ref.has_dominating_set(g, k):
-            wrong += 1
-    return wrong
+    outcomes = run_sweep(
+        kds_random_point,
+        [{"n": 9, "k": k, "seed": seed} for seed in range(8)],
+        workers=2,
+        engine="fast",
+    )
+    return sum(1 for o in outcomes if not o.value)
 
 
 def test_e9_kds_upper(benchmark, report):

@@ -6,16 +6,19 @@ benchmark history.  The exponent experiments (E9-E12) depend on being
 able to run n in the hundreds.
 """
 
+import time
+
 import numpy as np
 
 from repro.algorithms.common import decode_bool_row, encode_bool_row
 from repro.clique.bits import BitString
 from repro.clique.network import CongestedClique
 from repro.clique.routing import route
+from repro.engine import FastEngine
 from repro.problems import generators as gen
 
 
-def all_to_all_chatter(n: int, rounds: int):
+def all_to_all_chatter(n: int, rounds: int, engine=None):
     def prog(node):
         payload = BitString(node.id % 2, 1)
         for _ in range(rounds):
@@ -23,7 +26,7 @@ def all_to_all_chatter(n: int, rounds: int):
             yield
         return None
 
-    return CongestedClique(n).run(prog)
+    return CongestedClique(n).run(prog, engine=engine)
 
 
 def test_message_fanout_throughput(benchmark):
@@ -35,6 +38,63 @@ def test_message_fanout_throughput(benchmark):
     result = benchmark(work)
     assert result.rounds == rounds
     assert result.total_message_bits == n * (n - 1) * rounds
+
+
+def test_message_fanout_reference_engine(benchmark):
+    """Fan-out on the explicit reference backend (baseline for the
+    fast-engine speedup tracked in the benchmark history)."""
+    n, rounds = 64, 16
+
+    def work():
+        return all_to_all_chatter(n, rounds, engine="reference")
+
+    result = benchmark(work)
+    assert result.rounds == rounds
+    assert result.total_message_bits == n * (n - 1) * rounds
+
+
+def test_message_fanout_fast_engine(benchmark):
+    """Fan-out on the fast backend (check="bandwidth", transcripts off)."""
+    n, rounds = 64, 16
+    engine = FastEngine(check="bandwidth")
+
+    def work():
+        return all_to_all_chatter(n, rounds, engine=engine)
+
+    result = benchmark(work)
+    assert result.rounds == rounds
+    assert result.total_message_bits == n * (n - 1) * rounds
+
+
+def test_fast_engine_speedup_on_fanout():
+    """Acceptance gate: the fast engine is >= 2x faster than the
+    reference engine on the n=64, 16-round all-to-all fan-out with
+    check="bandwidth" and transcripts off (best-of-5 wall clock)."""
+    n, rounds = 64, 16
+    engine = FastEngine(check="bandwidth")
+
+    def best_of(work, reps=5):
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = work()
+            times.append(time.perf_counter() - start)
+        return min(times), result
+
+    ref_time, ref_result = best_of(lambda: all_to_all_chatter(n, rounds))
+    fast_time, fast_result = best_of(
+        lambda: all_to_all_chatter(n, rounds, engine=engine)
+    )
+    # Identical observable results ...
+    assert fast_result.rounds == ref_result.rounds
+    assert fast_result.total_message_bits == ref_result.total_message_bits
+    assert fast_result.sent_bits == ref_result.sent_bits
+    assert fast_result.received_bits == ref_result.received_bits
+    # ... at least twice as fast.
+    assert fast_time * 2 <= ref_time, (
+        f"fast engine not 2x faster: reference {ref_time*1e3:.1f}ms, "
+        f"fast {fast_time*1e3:.1f}ms"
+    )
 
 
 def test_bool_row_codec_throughput(benchmark):

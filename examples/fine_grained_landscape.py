@@ -8,15 +8,18 @@ the algorithms this library executes, with fitted exponents.
 Run:  python examples/fine_grained_landscape.py
 """
 
-from repro.algorithms import k_dominating_set, triangle_detection
 from repro.analysis import fit_exponent, print_table
-from repro.clique import run_algorithm
 from repro.core.exponents import figure1_registry
-from repro.problems import generators as gen
+from repro.engine import run_sweep
+from repro.engine.diff import catalog_factory
 
 
-def measure(make_prog, ns, seed=1):
+def measure(algorithm, ns, seed=1, **params):
     """Measure rounds and the per-node routed payload load.
+
+    Grid points run through the parallel sweep engine on the fast
+    backend (``repro.engine``); ``algorithm`` names an entry of the
+    engine's algorithm catalog.
 
     At simulator sizes, constant protocol overheads (length headers,
     round-budget agreement) dominate raw round counts, so the exponent
@@ -26,15 +29,18 @@ def measure(make_prog, ns, seed=1):
     log n bits x n^d rounds, up to log factors), so
     ``delta ~ load_slope - 1``.
     """
+    configs = [
+        {"algorithm": algorithm, "n": n, "seed": seed, "p": 0.2, **params}
+        for n in ns
+    ]
+    outcomes = run_sweep(catalog_factory, configs, workers=2, engine="fast")
     rows = []
-    for n in ns:
-        g = gen.random_graph(n, 0.2, seed)
-        result = run_algorithm(make_prog(), g, bandwidth_multiplier=2)
+    for outcome in outcomes:
         load = max(
-            result.max_counter("route_payload_in_bits"),
-            result.max_counter("route_payload_out_bits"),
+            outcome.result.max_counter("route_payload_in_bits"),
+            outcome.result.max_counter("route_payload_out_bits"),
         )
-        rows.append((n, result.rounds, load))
+        rows.append((outcome.config["n"], outcome.result.rounds, load))
     return rows
 
 
@@ -56,9 +62,7 @@ def main() -> None:
     # Empirical: triangle detection and 3-DS scaling.
     ns = [27, 64, 125, 216]
 
-    tri_rows = measure(
-        lambda: (lambda node: (yield from triangle_detection(node))), ns
-    )
+    tri_rows = measure("subgraph", ns)
     fit = fit_exponent([n for n, _, _ in tri_rows], [l for _, _, l in tri_rows])
     print_table(
         [{"n": n, "rounds": r, "max_load_bits": l} for n, r, l in tri_rows],
@@ -67,9 +71,7 @@ def main() -> None:
         f"(Dolev et al. bound 1 - 2/3 = 0.33)",
     )
 
-    kds_rows = measure(
-        lambda: (lambda node: (yield from k_dominating_set(node, 3))), ns
-    )
+    kds_rows = measure("kds", ns, k=3)
     fit = fit_exponent([n for n, _, _ in kds_rows], [l for _, _, l in kds_rows])
     print_table(
         [{"n": n, "rounds": r, "max_load_bits": l} for n, r, l in kds_rows],

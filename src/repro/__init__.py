@@ -5,8 +5,11 @@
 
 The package layers:
 
-* :mod:`repro.clique` — the congested clique simulator (round engine,
+* :mod:`repro.clique` — the congested clique simulator (round model,
   bit-exact messages, routing, sorting, collectives),
+* :mod:`repro.engine` — pluggable execution backends (validating
+  reference engine, batched fast engine), the multiprocess sweep
+  runner, the on-disk run cache and the engine differential checker,
 * :mod:`repro.algorithms` — every distributed upper bound the paper
   states or uses (Theorems 9 and 11, Dolev et al. subgraph detection,
   matrix multiplication, APSP/SSSP/BFS, MST, k-path),
@@ -33,7 +36,7 @@ Quickstart::
     found, witness = result.common_output()
 """
 
-from . import algorithms, analysis, clique, core, problems, reductions
+from . import algorithms, analysis, clique, core, engine, problems, reductions
 
 __version__ = "0.1.0"
 
@@ -42,6 +45,7 @@ __all__ = [
     "analysis",
     "clique",
     "core",
+    "engine",
     "problems",
     "reductions",
     "__version__",

@@ -6,6 +6,8 @@ Commands
 ``miniature``   run the Theorem 2 time-hierarchy miniature end to end
 ``counting``    print the Lemma 1 / Theorem 2/4/8 counting tables
 ``run``         run a distributed algorithm on a random input graph
+``sweep``       run an (algorithm, n, seed) grid through the parallel
+                sweep engine and fit round/load exponents
 ``demo``        run one of the bundled example scenarios
 """
 
@@ -68,6 +70,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--p", type=float, default=0.3)
     p_run.add_argument("--k", type=int, default=2)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default=None,
+        help="execution backend (default: reference)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run an (algorithm, n, seed) grid through the sweep engine",
+    )
+    p_sweep.add_argument(
+        "algorithm",
+        # Keep in sync with repro.engine.diff.CATALOG (guarded by a test;
+        # the catalog is imported lazily so parser construction stays cheap).
+        choices=[
+            "apsp",
+            "bfs",
+            "broadcast",
+            "kds",
+            "kis",
+            "kvc",
+            "matmul",
+            "sorting",
+            "subgraph",
+        ],
+    )
+    p_sweep.add_argument(
+        "--ns", type=int, nargs="+", default=[16, 32, 64],
+        help="clique sizes of the grid",
+    )
+    p_sweep.add_argument(
+        "--seeds", type=int, default=2, help="seeds per clique size"
+    )
+    p_sweep.add_argument("--k", type=int, default=None)
+    p_sweep.add_argument("--p", type=float, default=None)
+    p_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: auto; 1 = serial)",
+    )
+    p_sweep.add_argument(
+        "--engine", choices=["reference", "fast"], default="fast"
+    )
+    p_sweep.add_argument(
+        "--check", choices=["full", "bandwidth", "off"], default="bandwidth",
+        help="fast-engine validation level",
+    )
+    p_sweep.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="run-cache directory (reruns of the same grid are free)",
+    )
+    p_sweep.add_argument("--base-seed", type=int, default=0)
 
     p_demo = sub.add_parser("demo", help="run a bundled example scenario")
     p_demo.add_argument(
@@ -226,10 +280,107 @@ def _cmd_run(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.algorithm)
 
-    result = run_algorithm(prog, g, bandwidth_multiplier=2)
+    result = run_algorithm(prog, g, bandwidth_multiplier=2, engine=args.engine)
     print(f"graph: {g}")
     print(f"output: {result.common_output()}")
     print(f"rounds: {result.rounds}")
+    return 0
+
+
+def _measured_load(result) -> int:
+    """Max per-node routed payload bits (the exponent-bearing load)."""
+    return max(
+        result.max_counter("route_payload_in_bits"),
+        result.max_counter("route_payload_out_bits"),
+    )
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis.fitting import fit_exponent
+    from .engine import FastEngine, RunCache, run_sweep
+    from .engine.diff import CATALOG, catalog_factory
+
+    assert args.algorithm in CATALOG  # parser choices mirror the catalog
+
+    configs = []
+    for n in args.ns:
+        for s in range(args.seeds):
+            config = {"algorithm": args.algorithm, "n": n, "seed": s}
+            if args.k is not None:
+                config["k"] = args.k
+            if args.p is not None:
+                config["p"] = args.p
+            configs.append(config)
+
+    engine = (
+        FastEngine(check=args.check) if args.engine == "fast" else "reference"
+    )
+    cache = RunCache(args.cache) if args.cache else None
+    outcomes = run_sweep(
+        catalog_factory,
+        configs,
+        workers=args.workers,
+        engine=engine,
+        cache=cache,
+        base_seed=args.base_seed,
+    )
+
+    rows = [
+        {
+            "n": o.config["n"],
+            "seed": o.config["seed"],
+            "rounds": o.result.rounds,
+            "message bits": o.result.total_message_bits,
+            "payload load (bits)": _measured_load(o.result),
+            "cached": "yes" if o.from_cache else "-",
+        }
+        for o in outcomes
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"sweep: {args.algorithm} ({args.engine} engine, "
+            f"{len(configs)} grid points)",
+        )
+    )
+
+    # Fitted exponents: mean rounds (and payload load, when measured)
+    # per clique size, least-squares in log-log space.
+    fits = []
+    by_n: dict[int, list] = {}
+    for o in outcomes:
+        by_n.setdefault(o.config["n"], []).append(o)
+    ns = sorted(by_n)
+    if len(ns) >= 2:
+        mean_rounds = [
+            sum(o.result.rounds for o in by_n[n]) / len(by_n[n]) for n in ns
+        ]
+        fit = fit_exponent(ns, [max(1, round(r)) for r in mean_rounds])
+        fits.append(
+            {
+                "quantity": "rounds",
+                "exponent (fit)": round(fit.slope, 3),
+                "r^2": round(fit.r_squared, 4),
+            }
+        )
+        mean_load = [
+            sum(_measured_load(o.result) for o in by_n[n]) / len(by_n[n])
+            for n in ns
+        ]
+        if all(load > 0 for load in mean_load):
+            fit = fit_exponent(ns, [max(1, round(l)) for l in mean_load])
+            fits.append(
+                {
+                    "quantity": "payload load (implied delta ~ fit - 1)",
+                    "exponent (fit)": round(fit.slope, 3),
+                    "r^2": round(fit.r_squared, 4),
+                }
+            )
+    if fits:
+        print()
+        print(format_table(fits, title="fitted exponents (log-log)"))
+    else:
+        print("\n(need >= 2 distinct n for an exponent fit)")
     return 0
 
 
@@ -268,6 +419,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "miniature": _cmd_miniature,
         "counting": _cmd_counting,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "demo": _cmd_demo,
     }[args.command](args)
 

@@ -19,11 +19,14 @@ def run_algorithm(
     bandwidth: int | None = None,
     record_transcripts: bool = False,
     max_rounds: int | None = None,
+    engine: Any = None,
 ) -> RunResult:
     """Run ``program`` on ``graph`` in a congested clique of ``graph.n`` nodes.
 
     Each node ``v`` receives ``graph.local_view(v)`` as its input and
-    ``aux``'s per-node resolution as auxiliary input.
+    ``aux``'s per-node resolution as auxiliary input.  ``engine``
+    selects the execution backend (``None``/``"reference"``, ``"fast"``,
+    or an :class:`repro.engine.Engine` instance).
     """
     clique = CongestedClique(
         graph.n,
@@ -32,4 +35,4 @@ def run_algorithm(
         record_transcripts=record_transcripts,
         max_rounds=max_rounds,
     )
-    return clique.run(program, graph, aux=aux)
+    return clique.run(program, graph, aux=aux, engine=engine)

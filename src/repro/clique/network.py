@@ -1,18 +1,23 @@
-"""The synchronous round engine.
+"""The synchronous round model and its execution entry point.
 
-The engine advances one generator-coroutine per node in lockstep:
+A :class:`CongestedClique` owns the model parameters (``n``, bandwidth,
+round limit, model variant) and delegates execution to a pluggable
+backend from :mod:`repro.engine`:
 
 1. every live node's generator runs until its next ``yield`` (queueing
    messages via :meth:`Node.send`) or until it returns (halts with an
    output),
-2. the engine validates every queued message against the model's rules
-   (one message of at most ``B`` bits per ordered pair per round),
+2. the engine validates queued messages against the model's rules
+   (one message of at most ``B`` bits per ordered pair per round;
+   validation depth depends on the backend),
 3. messages are delivered into the recipients' inboxes and the round
    counter increments.
 
 The *time complexity* reported is exactly the number of communication
 rounds, matching the paper's Section 3 cost model.  Local computation is
-unlimited and free, as in the paper.
+unlimited and free, as in the paper.  The default backend is the
+always-validating reference engine; ``run(..., engine="fast")`` selects
+the batched performance backend.
 """
 
 from __future__ import annotations
@@ -21,11 +26,10 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Mapping, Sequence
 
-from .bits import BitString
-from .errors import CliqueError, RoundLimitExceeded
+from .errors import CliqueError
 from .graph import CliqueGraph
 from .node import Node
-from .transcript import RoundRecord, Transcript
+from .transcript import Transcript
 
 __all__ = ["CongestedClique", "RunResult", "default_bandwidth", "NodeProgram"]
 
@@ -47,10 +51,27 @@ def default_bandwidth(n: int, multiplier: int = 1) -> int:
     return multiplier * max(1, math.ceil(math.log2(n)) if n > 1 else 1)
 
 
+_numpy_module = None
+
+
+def _numpy():
+    """Lazily import numpy exactly once (module-level memoisation).
+
+    Output comparison is the only numpy dependency of this module; the
+    lazy helper keeps pure-BitString runs import-light while avoiding
+    repeated ``import numpy`` statements inside hot comparison paths.
+    """
+    global _numpy_module
+    if _numpy_module is None:
+        import numpy
+
+        _numpy_module = numpy
+    return _numpy_module
+
+
 def _outputs_equal(a: Any, b: Any) -> bool:
     """Equality that tolerates numpy arrays and containers thereof."""
-    import numpy as np
-
+    np = _numpy()
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
         return bool(np.array_equal(np.asarray(a), np.asarray(b)))
     if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
@@ -63,8 +84,6 @@ def _outputs_equal(a: Any, b: Any) -> bool:
     try:
         return bool(result)
     except (ValueError, TypeError):
-        import numpy as np
-
         return bool(np.asarray(result).all())
 
 
@@ -213,135 +232,27 @@ class CongestedClique:
         program: NodeProgram,
         node_input: Any = None,
         aux: Any = None,
+        *,
+        engine: Any = None,
     ) -> RunResult:
         """Execute ``program`` on all nodes synchronously.
 
         ``node_input`` and ``aux`` are per-node specs (see
         :func:`_resolve_per_node`); typically ``node_input`` is the input
         :class:`CliqueGraph`.
+
+        ``engine`` selects the execution backend: ``None`` (the default)
+        or ``"reference"`` for the always-validating, transcript-capable
+        reference engine, ``"fast"`` for the batched performance engine,
+        or any :class:`repro.engine.Engine` instance (e.g.
+        ``FastEngine(check="off")``).  All backends are observationally
+        equivalent on valid programs.
         """
-        n = self.n
-        inputs = _resolve_per_node(node_input, n)
-        auxes = _resolve_per_node(aux, n)
-        nodes = [
-            Node(v, n, self.bandwidth, inputs[v], auxes[v]) for v in range(n)
-        ]
-        gens: dict[int, Generator[None, None, Any]] = {}
-        outputs: dict[int, Any] = {}
-        records: list[list[RoundRecord]] = [[] for _ in range(n)]
+        # Imported lazily: repro.engine sits above the clique substrate
+        # in the layering, so the substrate must not load it at import
+        # time.
+        from ..engine import resolve_engine
 
-        for v in range(n):
-            gen = program(nodes[v])
-            if not hasattr(gen, "send"):
-                raise CliqueError(
-                    "node program must be a generator function "
-                    "(use 'yield' for round boundaries)"
-                )
-            gens[v] = gen
-
-        live = set(range(n))
-        rounds = 0
-        total_bits = 0
-        bulk_bits = 0
-        sent_bits = [0] * n
-        received_bits = [0] * n
-
-        def advance(v: int) -> None:
-            try:
-                next(gens[v])
-            except StopIteration as stop:
-                outputs[v] = stop.value
-                nodes[v]._halted = True
-                live.discard(v)
-
-        # Initial local-computation phase (before the first round).
-        for v in range(n):
-            advance(v)
-
-        while True:
-            pending = any(
-                nodes[v]._outbox or nodes[v]._bulk_outbox for v in range(n)
-            )
-            if not live and not pending:
-                break
-            if rounds >= self.max_rounds:
-                raise RoundLimitExceeded(self.max_rounds)
-
-            # Deliver: swap outboxes into inboxes.
-            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
-            sent_records: list[dict[int, BitString]] = [{} for _ in range(n)]
-            for v in range(n):
-                node = nodes[v]
-                if self.broadcast_only and node._outbox:
-                    payloads = set(node._outbox.values())
-                    if len(payloads) != 1 or len(node._outbox) != n - 1:
-                        from .errors import ProtocolViolation
-
-                        raise ProtocolViolation(
-                            f"broadcast congested clique: node {v} must "
-                            f"send one identical message to all n-1 peers "
-                            f"or stay silent (sent {len(node._outbox)} "
-                            f"messages, {len(payloads)} distinct)"
-                        )
-                if self.broadcast_only and node._bulk_outbox:
-                    from .errors import ProtocolViolation
-
-                    raise ProtocolViolation(
-                        "broadcast congested clique: the cost-model bulk "
-                        "channel is unicast; use direct message passing"
-                    )
-                for dst, payload in node._outbox.items():
-                    if self.topology is not None and not self.topology.has_edge(
-                        v, dst
-                    ):
-                        from .errors import ProtocolViolation
-
-                        raise ProtocolViolation(
-                            f"CONGEST: node {v} sent to non-neighbour {dst}"
-                        )
-                    total_bits += len(payload)
-                    sent_bits[v] += len(payload)
-                    received_bits[dst] += len(payload)
-                    inboxes[dst][v] = payload
-                    if self.record_transcripts:
-                        sent_records[v][dst] = payload
-                for dst, payload in node._bulk_outbox.items():
-                    bulk_bits += len(payload)
-                    sent_bits[v] += len(payload)
-                    received_bits[dst] += len(payload)
-                    inboxes[dst][v] = payload
-                    if self.record_transcripts:
-                        sent_records[v][dst] = payload
-                node._outbox = {}
-                node._bulk_outbox = {}
-            rounds += 1
-
-            for v in range(n):
-                nodes[v]._inbox = inboxes[v]
-                nodes[v]._round = rounds
-                if self.record_transcripts:
-                    records[v].append(
-                        RoundRecord(
-                            sent=sent_records[v], received=dict(inboxes[v])
-                        )
-                    )
-
-            for v in sorted(live):
-                advance(v)
-
-        transcripts = None
-        if self.record_transcripts:
-            transcripts = tuple(
-                Transcript(node=v, n=n, rounds=tuple(records[v]))
-                for v in range(n)
-            )
-        return RunResult(
-            outputs=outputs,
-            rounds=rounds,
-            total_message_bits=total_bits,
-            bulk_bits=bulk_bits,
-            sent_bits=tuple(sent_bits),
-            received_bits=tuple(received_bits),
-            counters=tuple(dict(nodes[v].counters) for v in range(n)),
-            transcripts=transcripts,
-        )
+        inputs = _resolve_per_node(node_input, self.n)
+        auxes = _resolve_per_node(aux, self.n)
+        return resolve_engine(engine).execute(self, program, inputs, auxes)

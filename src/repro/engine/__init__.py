@@ -1,0 +1,75 @@
+"""Pluggable execution engines for the congested clique simulator.
+
+One semantic model, multiple interchangeable execution backends:
+
+* :class:`~repro.engine.reference.ReferenceEngine` (``"reference"``) —
+  the always-validating, transcript-capable lockstep engine; the
+  semantic ground truth and the default for
+  :meth:`repro.clique.network.CongestedClique.run`.
+* :class:`~repro.engine.fast.FastEngine` (``"fast"``) — batched message
+  delivery, selectable validation (``check="full"|"bandwidth"|"off"``),
+  transcripts off by default; differentially tested against the
+  reference backend on the algorithm catalog.
+* :func:`~repro.engine.pool.run_sweep` — a multiprocess sweep runner
+  fanning ``(n, seed, params)`` grids across worker processes with
+  deterministic per-task seeding.
+* :class:`~repro.engine.cache.RunCache` — a content-addressed on-disk
+  run cache keyed by (program name, n, bandwidth, input digest, engine
+  config), so re-run sweeps and benchmark reruns are free.
+* :mod:`repro.engine.diff` — the differential checker asserting that
+  backends agree on outputs and round counts across the catalog.
+
+Quickstart::
+
+    from repro.clique import CliqueGraph, run_algorithm
+    from repro.engine import FastEngine, run_sweep
+    from repro.engine.diff import catalog_factory
+
+    result = run_algorithm(program, g, engine="fast")
+    result = run_algorithm(program, g, engine=FastEngine(check="off"))
+
+    outcomes = run_sweep(
+        catalog_factory,
+        [{"algorithm": "subgraph", "n": n, "seed": s}
+         for n in (27, 64, 125) for s in range(3)],
+        workers=4,
+    )
+"""
+
+from .base import ENGINES, Engine, register_engine, resolve_engine
+from .cache import RunCache, content_digest, default_cache_dir
+from .diff import (
+    CATALOG,
+    EngineDiff,
+    assert_engines_agree,
+    catalog_factory,
+    diff_catalog,
+    diff_engines,
+)
+from .fast import CHECK_LEVELS, FastEngine
+from .pool import RunSpec, SweepOutcome, derive_seed, run_spec, run_sweep
+from .reference import ReferenceEngine
+
+__all__ = [
+    "CATALOG",
+    "CHECK_LEVELS",
+    "ENGINES",
+    "Engine",
+    "EngineDiff",
+    "FastEngine",
+    "ReferenceEngine",
+    "RunCache",
+    "RunSpec",
+    "SweepOutcome",
+    "assert_engines_agree",
+    "catalog_factory",
+    "content_digest",
+    "default_cache_dir",
+    "derive_seed",
+    "diff_catalog",
+    "diff_engines",
+    "register_engine",
+    "resolve_engine",
+    "run_spec",
+    "run_sweep",
+]

@@ -1,0 +1,113 @@
+"""Execution-engine abstractions.
+
+The simulator separates *semantics* from *execution*: a
+:class:`~repro.clique.network.CongestedClique` owns the model parameters
+(``n``, bandwidth, round limit, model variant) while an :class:`Engine`
+owns the mechanics of advancing the node generators and delivering
+messages.  ``CongestedClique.run(..., engine=...)`` accepts an engine
+name, an :class:`Engine` instance, or ``None`` (the reference backend).
+
+Every backend must be observationally equivalent to the reference
+backend on valid programs — same ``RunResult.outputs``, same ``rounds``,
+same bit accounting.  :mod:`repro.engine.diff` enforces this across the
+algorithm catalog.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Generator, Sequence
+
+from ..clique.errors import CliqueError
+from ..clique.network import NodeProgram, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..clique.network import CongestedClique
+    from ..clique.node import Node
+
+__all__ = ["ENGINES", "Engine", "register_engine", "resolve_engine", "spawn_generators"]
+
+#: Registry of engine names to engine classes (see :func:`register_engine`).
+ENGINES: dict[str, type["Engine"]] = {}
+
+
+def register_engine(cls: type["Engine"]) -> type["Engine"]:
+    """Class decorator: register an engine class under its ``name``."""
+    if not cls.name or cls.name in ENGINES:
+        raise CliqueError(f"engine name {cls.name!r} is empty or already taken")
+    ENGINES[cls.name] = cls
+    return cls
+
+
+def resolve_engine(spec: "str | Engine | None") -> "Engine":
+    """Turn an ``engine=`` argument into an :class:`Engine` instance.
+
+    ``None`` means the reference backend; a string is looked up in
+    :data:`ENGINES` and instantiated with defaults; an :class:`Engine`
+    instance passes through unchanged.
+    """
+    if spec is None:
+        spec = "reference"
+    if isinstance(spec, Engine):
+        return spec
+    if isinstance(spec, str):
+        try:
+            cls = ENGINES[spec]
+        except KeyError:
+            raise CliqueError(
+                f"unknown engine {spec!r}; known engines: {sorted(ENGINES)}"
+            ) from None
+        return cls()
+    raise CliqueError(
+        f"engine must be a name, an Engine instance or None, got {spec!r}"
+    )
+
+
+def spawn_generators(
+    program: NodeProgram, nodes: Sequence["Node"]
+) -> dict[int, Generator[None, None, Any]]:
+    """Instantiate one generator per node, validating the program shape."""
+    gens: dict[int, Generator[None, None, Any]] = {}
+    for v, node in enumerate(nodes):
+        gen = program(node)
+        if not hasattr(gen, "send"):
+            raise CliqueError(
+                "node program must be a generator function "
+                "(use 'yield' for round boundaries)"
+            )
+        gens[v] = gen
+    return gens
+
+
+class Engine(ABC):
+    """One execution backend for congested clique node programs.
+
+    Subclasses implement :meth:`execute`; the clique object passed in
+    carries all model parameters.  Engines are cheap, stateless-between-
+    runs objects, safe to reuse and to pickle (the sweep runner ships
+    them to worker processes).
+    """
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    @abstractmethod
+    def execute(
+        self,
+        clique: "CongestedClique",
+        program: NodeProgram,
+        inputs: Sequence[Any],
+        auxes: Sequence[Any],
+    ) -> RunResult:
+        """Run ``program`` on all nodes of ``clique`` and return the result.
+
+        ``inputs`` and ``auxes`` are already resolved to one value per
+        node (see ``repro.clique.network._resolve_per_node``).
+        """
+
+    def describe(self) -> dict:
+        """JSON-able engine configuration (used in cache keys and reports)."""
+        return {"engine": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"

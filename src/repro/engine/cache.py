@@ -1,0 +1,216 @@
+"""Content-addressed on-disk run cache.
+
+Re-running a sweep or a benchmark grid should be free when nothing
+changed.  A :class:`RunCache` stores pickled run payloads under a key
+derived from everything that determines the result:
+
+* the program name (a stable, qualified identifier),
+* the clique size ``n`` and bandwidth configuration,
+* a digest of the inputs (:func:`content_digest` canonically hashes
+  graphs, numpy arrays, bit strings and plain containers),
+* the engine configuration (:meth:`repro.engine.base.Engine.describe`).
+
+Entries are sharded two-level directories of ``<sha256>.pkl`` files;
+writes are atomic (temp file + rename), so concurrent sweep workers and
+concurrent sweeps can share one cache directory.  A corrupt or
+unreadable entry behaves as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["RunCache", "content_digest", "default_cache_dir"]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every existing cache entry on format changes.
+_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk location: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-clique/runs``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-clique" / "runs"
+
+
+def _feed(h: "hashlib._Hash", obj: Any) -> None:
+    """Recursively feed a canonical, type-tagged encoding of ``obj``."""
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, bool):
+        h.update(b"\x00b1" if obj else b"\x00b0")
+    elif isinstance(obj, int):
+        h.update(b"\x00i" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"\x00f" + repr(obj).encode())
+    elif isinstance(obj, str):
+        h.update(b"\x00s" + obj.encode())
+    elif isinstance(obj, bytes):
+        h.update(b"\x00y" + obj)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"\x00l" + str(len(obj)).encode())
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, dict):
+        h.update(b"\x00d" + str(len(obj)).encode())
+        for key in sorted(obj, key=repr):
+            _feed(h, key)
+            _feed(h, obj[key])
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"\x00e" + str(len(obj)).encode())
+        for item in sorted(obj, key=repr):
+            _feed(h, item)
+    elif hasattr(obj, "adjacency") and hasattr(obj, "n"):
+        # CliqueGraph (and weighted variants): hash the full matrix.
+        h.update(b"\x00G" + str(obj.n).encode())
+        _feed(h, obj.adjacency)
+    elif hasattr(obj, "to_str") and hasattr(obj, "value"):
+        # BitString: value + exact bit length.
+        h.update(b"\x00B" + str(len(obj)).encode() + b":" + str(obj.value).encode())
+    elif type(obj).__module__ == "numpy":
+        import numpy as np
+
+        arr = np.asarray(obj)
+        h.update(
+            b"\x00a" + str(arr.shape).encode() + str(arr.dtype).encode()
+        )
+        h.update(np.ascontiguousarray(arr).tobytes())
+    else:
+        # Last resort: a stable repr.  Callables hash by qualified name.
+        name = getattr(obj, "__qualname__", None)
+        if name is not None:
+            h.update(
+                b"\x00c" + (getattr(obj, "__module__", "") + "." + name).encode()
+            )
+        else:
+            h.update(b"\x00r" + repr(obj).encode())
+
+
+def content_digest(obj: Any) -> str:
+    """SHA-256 hex digest of a canonical encoding of ``obj``.
+
+    Handles graphs, numpy arrays, bit strings, containers and scalars;
+    equal content yields equal digests across processes and runs.
+    """
+    h = hashlib.sha256()
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+class RunCache:
+    """On-disk, content-addressed store of run results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.  Created
+        lazily on first write.
+    """
+
+    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys ------------------------------------------------------------
+
+    def key_for(
+        self,
+        *,
+        program: str,
+        n: Any,
+        bandwidth: Any,
+        input_digest: str,
+        engine: Any,
+        extra: Any = None,
+    ) -> str:
+        """Cache key from the fields that determine a run's outcome."""
+        blob = json.dumps(
+            {
+                "schema": _SCHEMA_VERSION,
+                "program": program,
+                "n": n,
+                "bandwidth": bandwidth,
+                "input": input_digest,
+                "engine": engine,
+                "extra": extra,
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- storage ---------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries are treated as misses.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        return entry.get("payload")
+
+    def put(self, key: str, payload: Any) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    {"key": key, "payload": payload},
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return iter(())
+        return self.root.glob("*/*.pkl")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"RunCache(root={str(self.root)!r})"

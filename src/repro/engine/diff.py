@@ -1,0 +1,350 @@
+"""Differential checking between execution backends.
+
+The reference engine is the semantic ground truth; every other backend
+must produce identical ``RunResult.outputs`` and ``rounds`` on valid
+programs.  This module provides
+
+* :data:`CATALOG` — named spec builders covering the library's
+  algorithm families (broadcast/gather, BFS, APSP, matrix
+  multiplication, k-dominating set, k-vertex cover, subgraph detection,
+  sorting, k-independent set), each parameterised by a config dict with
+  ``n``/``seed``/problem parameters;
+* :func:`catalog_factory` — a picklable sweep factory dispatching on
+  ``config["algorithm"]`` (usable directly with
+  :func:`~repro.engine.pool.run_sweep`);
+* :func:`diff_engines` / :func:`assert_engines_agree` — run one spec on
+  several backends and compare outputs, round counts and bit totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..clique.errors import CliqueError
+from ..clique.network import RunResult, _outputs_equal
+from .base import Engine
+from .pool import RunSpec, run_spec
+
+__all__ = [
+    "CATALOG",
+    "EngineDiff",
+    "assert_engines_agree",
+    "catalog_factory",
+    "diff_catalog",
+    "diff_engines",
+]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm catalog: name -> (config -> RunSpec)
+# ---------------------------------------------------------------------------
+
+
+def _graph(config: dict, default_p: float = 0.3):
+    from ..problems import generators as gen
+
+    return gen.random_graph(
+        int(config.get("n", 9)),
+        float(config.get("p", default_p)),
+        int(config.get("seed", 0)),
+    )
+
+
+def _spec_broadcast(config: dict) -> RunSpec:
+    """Whole-graph gathering: every node learns the adjacency matrix."""
+    from ..algorithms import gather_graph
+
+    def prog(node):
+        adj = yield from gather_graph(node)
+        return adj
+
+    return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
+
+
+def _spec_bfs(config: dict) -> RunSpec:
+    """BFS distances from node 0."""
+    from ..algorithms import bfs_distances
+
+    def prog(node):
+        return (yield from bfs_distances(node))
+
+    return RunSpec(
+        program=prog,
+        node_input=_graph(config),
+        aux=int(config.get("source", 0)),
+        bandwidth_multiplier=2,
+    )
+
+
+def _spec_apsp(config: dict) -> RunSpec:
+    """APSP by repeated (min,+) squaring over the cube-partitioned MM."""
+    from ..algorithms import apsp_minplus
+    from ..problems import generators as gen
+
+    max_weight = int(config.get("max_weight", 15))
+    g = gen.random_weighted_graph(
+        int(config.get("n", 8)),
+        float(config.get("p", 0.4)),
+        max_weight,
+        int(config.get("seed", 0)),
+    )
+
+    def prog(node):
+        return (yield from apsp_minplus(node))
+
+    # Dict aux must be wrapped: a bare Mapping is resolved per-node.
+    return RunSpec(
+        program=prog,
+        node_input=g,
+        aux=lambda v: {"max_weight": max_weight},
+        bandwidth_multiplier=2,
+    )
+
+
+def _spec_matmul(config: dict) -> RunSpec:
+    """Integer matrix product; node i holds rows A[i], B[i], returns C[i]."""
+    from ..algorithms import RING, distributed_matmul
+    from ..problems import generators as gen
+
+    n = int(config.get("n", 8))
+    max_entry = int(config.get("max_entry", 8))
+    rng = gen.rng_from(int(config.get("seed", 0)))
+    a = rng.integers(0, max_entry, (n, n)).astype(np.int64)
+    b = rng.integers(0, max_entry, (n, n)).astype(np.int64)
+    rows = [(a[i].copy(), b[i].copy()) for i in range(n)]
+
+    def prog(node):
+        a_row, b_row = node.input
+        row = yield from distributed_matmul(node, a_row, b_row, RING, max_entry)
+        return row
+
+    return RunSpec(program=prog, node_input=rows, n=n, bandwidth_multiplier=2)
+
+
+def _spec_kds(config: dict) -> RunSpec:
+    """Theorem 9: k-dominating set detection."""
+    from ..algorithms import k_dominating_set
+
+    k = int(config.get("k", 2))
+
+    def prog(node):
+        return (yield from k_dominating_set(node, k))
+
+    return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
+
+
+def _spec_kvc(config: dict) -> RunSpec:
+    """Theorem 11: k-vertex cover in O(k) rounds."""
+    from ..algorithms import k_vertex_cover
+
+    k = int(config.get("k", 3))
+
+    def prog(node):
+        return (yield from k_vertex_cover(node, k))
+
+    return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
+
+
+def _spec_subgraph(config: dict) -> RunSpec:
+    """Dolev et al. subgraph detection (triangles)."""
+    from ..algorithms import triangle_detection
+
+    def prog(node):
+        return (yield from triangle_detection(node))
+
+    return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
+
+
+def _spec_kis(config: dict) -> RunSpec:
+    """k-independent-set detection (the Theorem 10 source problem)."""
+    from ..algorithms import k_independent_set_detection
+
+    k = int(config.get("k", 3))
+
+    def prog(node):
+        return (yield from k_independent_set_detection(node, k))
+
+    return RunSpec(
+        program=prog,
+        node_input=_graph(config, default_p=0.4),
+        bandwidth_multiplier=2,
+    )
+
+
+def _spec_sorting(config: dict) -> RunSpec:
+    """Distributed sorting of per-node key lists."""
+    from ..clique.sorting import distributed_sort
+    from ..problems import generators as gen
+
+    n = int(config.get("n", 8))
+    key_width = int(config.get("key_width", 10))
+    keys_per_node = int(config.get("keys_per_node", 3))
+    rng = gen.rng_from(int(config.get("seed", 0)))
+    keys = [
+        [int(x) for x in rng.integers(0, 1 << key_width, size=keys_per_node)]
+        for _ in range(n)
+    ]
+
+    def prog(node):
+        return (yield from distributed_sort(node, node.input, key_width))
+
+    return RunSpec(program=prog, node_input=keys, n=n, bandwidth_multiplier=2)
+
+
+#: Named spec builders: algorithm name -> (config -> RunSpec).
+CATALOG: dict[str, Callable[[dict], RunSpec]] = {
+    "broadcast": _spec_broadcast,
+    "bfs": _spec_bfs,
+    "apsp": _spec_apsp,
+    "matmul": _spec_matmul,
+    "kds": _spec_kds,
+    "kvc": _spec_kvc,
+    "subgraph": _spec_subgraph,
+    "kis": _spec_kis,
+    "sorting": _spec_sorting,
+}
+
+
+def catalog_factory(config: dict) -> RunSpec:
+    """Sweep factory dispatching on ``config["algorithm"]``.
+
+    Module-level and picklable, so it can be handed straight to
+    :func:`~repro.engine.pool.run_sweep` from any process.
+    """
+    name = config.get("algorithm")
+    try:
+        builder = CATALOG[name]
+    except KeyError:
+        raise CliqueError(
+            f"unknown catalog algorithm {name!r}; known: {sorted(CATALOG)}"
+        ) from None
+    return builder(config)
+
+
+# ---------------------------------------------------------------------------
+# Differential checking
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineDiff:
+    """Comparison of one run across several backends."""
+
+    label: str
+    engines: tuple[str, ...]
+    rounds: dict[str, int] = field(default_factory=dict)
+    total_message_bits: dict[str, int] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every backend agreed on outputs and round counts."""
+        return not self.mismatches
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            rounds = next(iter(self.rounds.values()), 0)
+            return f"{self.label}: {'/'.join(self.engines)} agree ({rounds} rounds)"
+        return f"{self.label}: MISMATCH — " + "; ".join(self.mismatches)
+
+
+def _engine_label(engine: "str | Engine | None") -> str:
+    if engine is None:
+        return "reference"
+    if isinstance(engine, Engine):
+        return engine.name
+    return str(engine)
+
+
+def diff_engines(
+    factory: Callable[[dict], RunSpec],
+    config: dict,
+    engines: Sequence["str | Engine"] = ("reference", "fast"),
+    label: str | None = None,
+) -> EngineDiff:
+    """Run one grid point on every backend and compare the results.
+
+    The spec is rebuilt from ``factory(config)`` for each backend so no
+    state leaks between runs.  Outputs are compared node by node with
+    the same numpy-tolerant equality ``RunResult.common_output`` uses;
+    round counts and total message/bulk bits must match exactly.
+    """
+    names = tuple(_engine_label(e) for e in engines)
+    report = EngineDiff(
+        label=label or config.get("algorithm", "program"), engines=names
+    )
+    results: dict[str, RunResult] = {}
+    for engine, name in zip(engines, names):
+        result, _ = run_spec(factory(dict(config)), engine)
+        results[name] = result
+        report.rounds[name] = result.rounds
+        report.total_message_bits[name] = result.total_message_bits
+
+    baseline_name = names[0]
+    baseline = results[baseline_name]
+    for name in names[1:]:
+        other = results[name]
+        if other.rounds != baseline.rounds:
+            report.mismatches.append(
+                f"rounds: {baseline_name}={baseline.rounds} {name}={other.rounds}"
+            )
+        if sorted(other.outputs) != sorted(baseline.outputs):
+            report.mismatches.append(
+                f"output nodes differ: {baseline_name}={sorted(baseline.outputs)} "
+                f"{name}={sorted(other.outputs)}"
+            )
+            continue
+        for v in sorted(baseline.outputs):
+            if not _outputs_equal(baseline.outputs[v], other.outputs[v]):
+                report.mismatches.append(
+                    f"node {v} output: {baseline_name}={baseline.outputs[v]!r} "
+                    f"{name}={other.outputs[v]!r}"
+                )
+        if other.total_message_bits != baseline.total_message_bits:
+            report.mismatches.append(
+                f"message bits: {baseline_name}={baseline.total_message_bits} "
+                f"{name}={other.total_message_bits}"
+            )
+        if other.bulk_bits != baseline.bulk_bits:
+            report.mismatches.append(
+                f"bulk bits: {baseline_name}={baseline.bulk_bits} "
+                f"{name}={other.bulk_bits}"
+            )
+    return report
+
+
+def assert_engines_agree(
+    factory: Callable[[dict], RunSpec],
+    config: dict,
+    engines: Sequence["str | Engine"] = ("reference", "fast"),
+    label: str | None = None,
+) -> EngineDiff:
+    """:func:`diff_engines`, raising :class:`CliqueError` on any mismatch."""
+    report = diff_engines(factory, config, engines=engines, label=label)
+    if not report.ok:
+        raise CliqueError(report.summary())
+    return report
+
+
+def diff_catalog(
+    names: Sequence[str] | None = None,
+    config: dict | None = None,
+    engines: Sequence["str | Engine"] = ("reference", "fast"),
+) -> list[EngineDiff]:
+    """Differentially check every named catalog algorithm.
+
+    ``config`` supplies shared overrides (``n``, ``seed``, ...); each
+    algorithm keeps its own defaults otherwise.
+    """
+    reports = []
+    for name in names if names is not None else sorted(CATALOG):
+        point = dict(config or {})
+        point["algorithm"] = name
+        reports.append(
+            diff_engines(catalog_factory, point, engines=engines, label=name)
+        )
+    return reports

@@ -1,0 +1,403 @@
+"""The fast execution backend.
+
+Same ``NodeProgram`` semantics as the reference engine, restructured for
+throughput:
+
+* **Batched message delivery.**  Each node queues sends into a single
+  flat outbox list per round instead of a per-pair dict; a broadcast
+  (``send_to_all``) is one list entry expanded at delivery time, and the
+  per-node sent/received bit accounting for broadcasts is computed in
+  bulk rather than per message.
+* **Optional validation.**  ``check="full"`` reproduces every model
+  check of the reference engine (addressing, duplicates, empty
+  payloads, bandwidth); ``check="bandwidth"`` (the default) keeps only
+  the per-link bit-budget enforcement — the check the paper's cost
+  model is built on; ``check="off"`` trusts the program entirely.
+* **Transcripts off by default.**  Recording is only enabled when the
+  clique (or the engine) explicitly asks for it; the hot delivery loop
+  carries no per-message recording branches otherwise.
+
+The fast engine supports the plain congested clique only; the
+broadcast-only variant and restricted CONGEST topologies need the
+per-message validation of the reference engine and raise
+:class:`~repro.clique.errors.CliqueError` here.  Observational
+equivalence with the reference backend on the algorithm catalog is
+enforced by :mod:`repro.engine.diff`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from ..clique.bits import BitString
+from ..clique.errors import (
+    BandwidthExceeded,
+    CliqueError,
+    DuplicateMessage,
+    ProtocolViolation,
+    RoundLimitExceeded,
+)
+from ..clique.network import NodeProgram, RunResult
+from ..clique.node import Node
+from ..clique.transcript import RoundRecord, Transcript
+from .base import Engine, register_engine, spawn_generators
+
+__all__ = ["CHECK_LEVELS", "FastEngine"]
+
+#: Validation levels accepted by :class:`FastEngine`.
+CHECK_LEVELS = ("full", "bandwidth", "off")
+
+#: Flat-outbox destination marker for a broadcast entry.
+_BROADCAST = -1
+
+
+class _FastNode(Node):
+    """Node with a flat outbox and validation chosen by the engine.
+
+    ``_flat_out`` holds ``(dst, payload)`` entries; ``dst == -1`` marks
+    a broadcast to all other nodes.  ``_flat_bulk`` is the privileged
+    cost-model router channel (see ``Node._bulk_send``).
+    """
+
+    __slots__ = ("_check", "_flat_out", "_flat_bulk", "_sent_to")
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        bandwidth: int,
+        node_input: Any,
+        aux: Any,
+        check: str,
+    ) -> None:
+        super().__init__(node_id, n, bandwidth, node_input, aux)
+        self._check = check
+        self._flat_out: list[tuple[int, BitString]] = []
+        self._flat_bulk: list[tuple[int, BitString]] = []
+        self._sent_to: set[int] = set()
+
+    def send(self, dst: int, payload: BitString) -> None:
+        """Queue one message for ``dst`` (validation per the check level)."""
+        check = self._check
+        if check == "bandwidth":
+            if len(payload) > self.bandwidth:
+                raise BandwidthExceeded(
+                    self.id, dst, len(payload), self.bandwidth
+                )
+        elif check == "full":
+            self._check_can_send(dst)
+            if len(payload) > self.bandwidth:
+                raise BandwidthExceeded(
+                    self.id, dst, len(payload), self.bandwidth
+                )
+            if len(payload) == 0:
+                raise ProtocolViolation(
+                    f"node {self.id} sent an empty message to {dst}; "
+                    f"omit the send instead"
+                )
+            if dst in self._sent_to:
+                raise DuplicateMessage(self.id, dst)
+            self._sent_to.add(dst)
+        self._flat_out.append((dst, payload))
+
+    def send_to_all(self, payload: BitString) -> None:
+        """Queue the same message for every other node as one flat entry."""
+        if self.n == 1:
+            return
+        check = self._check
+        if check == "bandwidth":
+            if len(payload) > self.bandwidth:
+                raise BandwidthExceeded(
+                    self.id,
+                    0 if self.id != 0 else 1,
+                    len(payload),
+                    self.bandwidth,
+                )
+        elif check == "full":
+            self._check_can_send(0 if self.id != 0 else 1)
+            if len(payload) > self.bandwidth:
+                raise BandwidthExceeded(
+                    self.id,
+                    0 if self.id != 0 else 1,
+                    len(payload),
+                    self.bandwidth,
+                )
+            if len(payload) == 0:
+                raise ProtocolViolation(
+                    f"node {self.id} sent an empty message in a broadcast; "
+                    f"omit the send instead"
+                )
+            for dst in range(self.n):
+                if dst != self.id and dst in self._sent_to:
+                    raise DuplicateMessage(self.id, dst)
+            for dst in range(self.n):
+                if dst != self.id:
+                    self._sent_to.add(dst)
+        self._flat_out.append((_BROADCAST, payload))
+
+    def _bulk_send(self, dst: int, payload: BitString) -> None:
+        """Privileged unbounded send for the cost-model router."""
+        if self._check == "full":
+            self._check_can_send(dst)
+            if dst in self._sent_to:
+                raise DuplicateMessage(self.id, dst)
+            self._sent_to.add(dst)
+        if len(payload) == 0:
+            return
+        self._flat_bulk.append((dst, payload))
+
+
+@register_engine
+class FastEngine(Engine):
+    """Performance backend with batched delivery and optional validation.
+
+    Parameters
+    ----------
+    check:
+        Validation level: ``"full"``, ``"bandwidth"`` (default) or
+        ``"off"`` (see the module docstring).
+    record_transcripts:
+        Force transcript recording even when the clique does not request
+        it.  Defaults to ``False``; recording is also enabled when the
+        clique was built with ``record_transcripts=True``.
+    shuffle_seed:
+        If given, deliver each round's messages in a pseudo-random
+        order derived from this seed.  Message delivery in the model is
+        an unordered set, so results must be invariant under this
+        permutation — the property the hypothesis tests check.
+    """
+
+    name = "fast"
+
+    def __init__(
+        self,
+        check: str = "bandwidth",
+        record_transcripts: bool = False,
+        shuffle_seed: int | None = None,
+    ) -> None:
+        if check not in CHECK_LEVELS:
+            raise CliqueError(
+                f"check must be one of {CHECK_LEVELS}, got {check!r}"
+            )
+        self.check = check
+        self.record_transcripts = record_transcripts
+        self.shuffle_seed = shuffle_seed
+
+    def describe(self) -> dict:
+        """Engine configuration (cache key component)."""
+        return {
+            "engine": self.name,
+            "check": self.check,
+            "record_transcripts": self.record_transcripts,
+            "shuffle_seed": self.shuffle_seed,
+        }
+
+    def execute(
+        self,
+        clique,
+        program: NodeProgram,
+        inputs: Sequence[Any],
+        auxes: Sequence[Any],
+    ) -> RunResult:
+        """Run ``program`` on all nodes with batched message delivery."""
+        if clique.broadcast_only or clique.topology is not None:
+            raise CliqueError(
+                "the fast engine supports the plain congested clique only; "
+                "use the reference engine for broadcast-only cliques or "
+                "CONGEST topologies"
+            )
+        n = clique.n
+        check = self.check
+        full_check = check == "full"
+        record = self.record_transcripts or clique.record_transcripts
+        rng = (
+            random.Random(self.shuffle_seed)
+            if self.shuffle_seed is not None
+            else None
+        )
+        nodes = [
+            _FastNode(v, n, clique.bandwidth, inputs[v], auxes[v], check)
+            for v in range(n)
+        ]
+        gens = spawn_generators(program, nodes)
+        outputs: dict[int, Any] = {}
+        records: list[list[RoundRecord]] = [[] for _ in range(n)]
+
+        live = set(range(n))
+        rounds = 0
+        total_bits = 0
+        bulk_bits = 0
+        sent_bits = [0] * n
+        received_bits = [0] * n
+
+        def advance(v: int) -> None:
+            try:
+                next(gens[v])
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                nodes[v]._halted = True
+                live.discard(v)
+
+        # Initial local-computation phase (before the first round).
+        for v in range(n):
+            advance(v)
+
+        while True:
+            if not live and not any(
+                node._flat_out or node._flat_bulk for node in nodes
+            ):
+                break
+            if rounds >= clique.max_rounds:
+                raise RoundLimitExceeded(clique.max_rounds)
+
+            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
+            if rng is not None or record:
+                sent_records, bits = self._deliver_explicit(
+                    nodes, inboxes, rng, record,
+                    sent_bits, received_bits,
+                )
+                total_bits += bits[0]
+                bulk_bits += bits[1]
+            else:
+                sent_records = None
+                bits = self._deliver_batched(
+                    nodes, inboxes, sent_bits, received_bits
+                )
+                total_bits += bits[0]
+                bulk_bits += bits[1]
+            if full_check:
+                for node in nodes:
+                    node._sent_to.clear()
+            rounds += 1
+
+            for v in range(n):
+                nodes[v]._inbox = inboxes[v]
+                nodes[v]._round = rounds
+                if record:
+                    records[v].append(
+                        RoundRecord(
+                            sent=sent_records[v], received=dict(inboxes[v])
+                        )
+                    )
+
+            for v in sorted(live):
+                advance(v)
+
+        transcripts = None
+        if record:
+            transcripts = tuple(
+                Transcript(node=v, n=n, rounds=tuple(records[v]))
+                for v in range(n)
+            )
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_message_bits=total_bits,
+            bulk_bits=bulk_bits,
+            sent_bits=tuple(sent_bits),
+            received_bits=tuple(received_bits),
+            counters=tuple(dict(nodes[v].counters) for v in range(n)),
+            transcripts=transcripts,
+        )
+
+    @staticmethod
+    def _deliver_batched(
+        nodes: list[_FastNode],
+        inboxes: list[dict[int, BitString]],
+        sent_bits: list[int],
+        received_bits: list[int],
+    ) -> tuple[int, int]:
+        """Hot path: drain all flat outboxes into the inboxes.
+
+        Broadcast entries are expanded with a plain slot store per
+        recipient; their received-bit accounting is applied in bulk
+        after the loop.  Returns ``(message_bits, bulk_bits)``.
+        """
+        n = len(nodes)
+        total_bits = 0
+        bulk_bits = 0
+        bcast_total = 0
+        bcast_sent = [0] * n
+        for v, node in enumerate(nodes):
+            out = node._flat_out
+            if out:
+                sent = 0
+                for dst, payload in out:
+                    plen = len(payload)
+                    if dst == _BROADCAST:
+                        for u in range(v):
+                            inboxes[u][v] = payload
+                        for u in range(v + 1, n):
+                            inboxes[u][v] = payload
+                        fanned = plen * (n - 1)
+                        sent += fanned
+                        total_bits += fanned
+                        bcast_total += plen
+                        bcast_sent[v] += plen
+                    else:
+                        inboxes[dst][v] = payload
+                        sent += plen
+                        total_bits += plen
+                        received_bits[dst] += plen
+                sent_bits[v] += sent
+                node._flat_out = []
+            bulk = node._flat_bulk
+            if bulk:
+                for dst, payload in bulk:
+                    plen = len(payload)
+                    bulk_bits += plen
+                    sent_bits[v] += plen
+                    received_bits[dst] += plen
+                    inboxes[dst][v] = payload
+                node._flat_bulk = []
+        if bcast_total:
+            for u in range(n):
+                received_bits[u] += bcast_total - bcast_sent[u]
+        return total_bits, bulk_bits
+
+    @staticmethod
+    def _deliver_explicit(
+        nodes: list[_FastNode],
+        inboxes: list[dict[int, BitString]],
+        rng: random.Random | None,
+        record: bool,
+        sent_bits: list[int],
+        received_bits: list[int],
+    ) -> tuple[list[dict[int, BitString]] | None, tuple[int, int]]:
+        """Slow path: expand every message, optionally permute delivery
+        order and record transcripts.  Returns the per-node sent records
+        (``None`` when not recording) and ``(message_bits, bulk_bits)``."""
+        n = len(nodes)
+        messages: list[tuple[int, int, BitString, bool]] = []
+        for v, node in enumerate(nodes):
+            for dst, payload in node._flat_out:
+                if dst == _BROADCAST:
+                    for u in range(n):
+                        if u != v:
+                            messages.append((v, u, payload, False))
+                else:
+                    messages.append((v, dst, payload, False))
+            for dst, payload in node._flat_bulk:
+                messages.append((v, dst, payload, True))
+            node._flat_out = []
+            node._flat_bulk = []
+        if rng is not None:
+            rng.shuffle(messages)
+        sent_records: list[dict[int, BitString]] | None = (
+            [{} for _ in range(n)] if record else None
+        )
+        total_bits = 0
+        bulk_bits = 0
+        for src, dst, payload, is_bulk in messages:
+            plen = len(payload)
+            if is_bulk:
+                bulk_bits += plen
+            else:
+                total_bits += plen
+            sent_bits[src] += plen
+            received_bits[dst] += plen
+            inboxes[dst][src] = payload
+            if sent_records is not None:
+                sent_records[src][dst] = payload
+        return sent_records, (total_bits, bulk_bits)

@@ -1,0 +1,236 @@
+"""Multiprocess sweep runner.
+
+The exponent-fitting experiments (E9–E12) and the CLI sweeps evaluate a
+node program over an ``(n, seed, params)`` grid.  :func:`run_sweep` fans
+those grid points across worker processes:
+
+* the *factory* (a picklable, module-level callable) receives one config
+  dict and returns a :class:`RunSpec` describing the run — graph
+  generation and program construction happen inside the worker, so only
+  ``(factory, config)`` crosses the process boundary;
+* every config gets a deterministic seed (:func:`derive_seed`) unless it
+  carries one already, so results are reproducible regardless of worker
+  count or scheduling;
+* an optional :class:`~repro.engine.cache.RunCache` makes re-running a
+  sweep free: hits are returned without touching the pool.
+
+Workers use the ``fork`` start method (required so factories defined in
+scripts and test modules resolve); on platforms without ``fork``, or
+when ``workers <= 1``, the sweep runs serially in-process with identical
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..clique.errors import CliqueError
+from ..clique.graph import CliqueGraph
+from ..clique.network import CongestedClique, NodeProgram, RunResult
+from .base import Engine, resolve_engine
+from .cache import RunCache, content_digest
+
+__all__ = ["RunSpec", "SweepOutcome", "derive_seed", "run_spec", "run_sweep"]
+
+
+@dataclass
+class RunSpec:
+    """Everything needed to execute one run, as returned by a factory.
+
+    ``n`` may be omitted when ``node_input`` is a
+    :class:`~repro.clique.graph.CliqueGraph` (the graph's size is used).
+    ``postprocess`` runs in the worker on the finished
+    :class:`~repro.clique.network.RunResult`; its return value lands in
+    :attr:`SweepOutcome.value` (use it to compute verdicts/witness checks
+    without shipping large intermediates back to the parent).
+    """
+
+    program: NodeProgram
+    node_input: Any = None
+    aux: Any = None
+    n: int | None = None
+    bandwidth: int | None = None
+    bandwidth_multiplier: int = 1
+    max_rounds: int | None = None
+    record_transcripts: bool = False
+    postprocess: Callable[[RunResult], Any] | None = None
+
+    def resolved_n(self) -> int:
+        """The clique size, inferred from the graph input if not given."""
+        if self.n is not None:
+            return self.n
+        if isinstance(self.node_input, CliqueGraph):
+            return self.node_input.n
+        raise CliqueError(
+            "RunSpec needs an explicit n unless node_input is a CliqueGraph"
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """One grid point's result.
+
+    ``config`` is the (seed-augmented) input config; ``value`` is the
+    spec's postprocess product, if any.
+    """
+
+    config: dict
+    result: RunResult
+    value: Any = None
+    from_cache: bool = False
+
+
+def derive_seed(base_seed: int, index: int, config: dict) -> int:
+    """Deterministic per-task seed from the sweep seed, the grid index
+    and the config content (stable across processes and Python runs)."""
+    blob = json.dumps(
+        [base_seed, index, config], sort_keys=True, default=repr
+    ).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def run_spec(
+    spec: RunSpec, engine: "str | Engine | None" = None
+) -> tuple[RunResult, Any]:
+    """Execute one :class:`RunSpec` on the given engine.
+
+    Returns ``(result, postprocess_value)``.
+    """
+    clique = CongestedClique(
+        spec.resolved_n(),
+        bandwidth=spec.bandwidth,
+        bandwidth_multiplier=spec.bandwidth_multiplier,
+        record_transcripts=spec.record_transcripts,
+        max_rounds=spec.max_rounds,
+    )
+    result = clique.run(
+        spec.program, spec.node_input, aux=spec.aux, engine=engine
+    )
+    value = spec.postprocess(result) if spec.postprocess is not None else None
+    return result, value
+
+
+def _execute_point(
+    task: tuple[Callable[[dict], RunSpec], dict, Any],
+) -> tuple[RunResult, Any]:
+    """Worker entry point: build the spec from the config and run it."""
+    factory, config, engine = task
+    return run_spec(factory(config), engine)
+
+
+def _factory_name(factory: Callable) -> str:
+    """Stable identifier of a factory for cache keys."""
+    return (
+        getattr(factory, "__module__", "?")
+        + "."
+        + getattr(factory, "__qualname__", repr(factory))
+    )
+
+
+def _point_key(
+    cache: RunCache, factory: Callable, config: dict, engine_desc: dict
+) -> str:
+    """Cache key of one grid point (config determines the inputs)."""
+    return cache.key_for(
+        program=_factory_name(factory),
+        n=config.get("n"),
+        bandwidth=config.get("bandwidth", config.get("bandwidth_multiplier")),
+        input_digest=content_digest(config),
+        engine=engine_desc,
+    )
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` if unsupported."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def run_sweep(
+    program_factory: Callable[[dict], RunSpec],
+    configs: Iterable[dict],
+    *,
+    workers: int | None = None,
+    engine: "str | Engine | None" = "fast",
+    cache: RunCache | None = None,
+    base_seed: int = 0,
+) -> list[SweepOutcome]:
+    """Run ``program_factory`` over every config, fanning across processes.
+
+    Parameters
+    ----------
+    program_factory:
+        Module-level callable ``config -> RunSpec``.  Must be picklable
+        (workers import it by qualified name under ``fork``).
+    configs:
+        The grid: one dict per run.  Each config is copied and augmented
+        with a deterministic ``"seed"`` entry when it has none.
+    workers:
+        Process count; ``None`` picks ``min(len(grid), cpu_count)``;
+        values ``<= 1`` run serially in-process.
+    engine:
+        Engine name or instance used for every point (default: fast).
+    cache:
+        Optional :class:`~repro.engine.cache.RunCache`; hits skip
+        execution entirely and are marked ``from_cache=True``.
+    base_seed:
+        Root of the deterministic per-task seed derivation.
+
+    Results are returned in grid order regardless of scheduling.
+    """
+    points: list[dict] = []
+    for index, config in enumerate(configs):
+        config = dict(config)
+        config.setdefault("seed", derive_seed(base_seed, index, config))
+        points.append(config)
+
+    engine_desc = resolve_engine(engine).describe()
+    outcomes: list[SweepOutcome | None] = [None] * len(points)
+    pending: list[tuple[int, dict]] = []
+    for index, config in enumerate(points):
+        if cache is not None:
+            hit = cache.get(_point_key(cache, program_factory, config, engine_desc))
+            if hit is not None:
+                result, value = hit
+                outcomes[index] = SweepOutcome(
+                    config=config, result=result, value=value, from_cache=True
+                )
+                continue
+        pending.append((index, config))
+
+    if workers is None:
+        workers = min(len(pending), os.cpu_count() or 1)
+    tasks = [(program_factory, config, engine) for _, config in pending]
+    results: list[tuple[RunResult, Any]]
+    context = _fork_context() if workers > 1 and len(pending) > 1 else None
+    if context is not None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=context
+            ) as pool:
+                results = list(pool.map(_execute_point, tasks))
+        except (pickle.PicklingError, AttributeError):
+            # Unpicklable factory (e.g. a closure): degrade to serial.
+            results = [_execute_point(task) for task in tasks]
+    else:
+        results = [_execute_point(task) for task in tasks]
+
+    for (index, config), (result, value) in zip(pending, results):
+        outcomes[index] = SweepOutcome(config=config, result=result, value=value)
+        if cache is not None:
+            cache.put(
+                _point_key(cache, program_factory, config, engine_desc),
+                (result, value),
+            )
+    return [outcome for outcome in outcomes if outcome is not None]

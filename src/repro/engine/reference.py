@@ -1,0 +1,166 @@
+"""The reference execution backend.
+
+This is the original lockstep generator engine, extracted verbatim from
+``repro.clique.network``: it validates every queued message against the
+model's rules at send time (one message of at most ``B`` bits per
+ordered pair per round), supports transcript recording, the broadcast
+congested clique, and restricted CONGEST topologies.  It is the
+semantic ground truth every other backend is differentially tested
+against (:mod:`repro.engine.diff`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from ..clique.bits import BitString
+from ..clique.errors import RoundLimitExceeded
+from ..clique.network import NodeProgram, RunResult
+from ..clique.node import Node
+from ..clique.transcript import RoundRecord, Transcript
+from .base import Engine, register_engine, spawn_generators
+
+__all__ = ["ReferenceEngine"]
+
+
+@register_engine
+class ReferenceEngine(Engine):
+    """Always-validating, transcript-capable lockstep backend.
+
+    The engine advances one generator-coroutine per node in lockstep:
+
+    1. every live node's generator runs until its next ``yield``
+       (queueing messages via ``Node.send``) or until it returns (halts
+       with an output),
+    2. the engine validates every queued message against the model's
+       rules and the active model variant (broadcast-only, CONGEST
+       topology),
+    3. messages are delivered into the recipients' inboxes and the round
+       counter increments.
+    """
+
+    name = "reference"
+
+    def execute(
+        self,
+        clique,
+        program: NodeProgram,
+        inputs: Sequence[Any],
+        auxes: Sequence[Any],
+    ) -> RunResult:
+        """Run ``program`` on all nodes synchronously (see class docs)."""
+        n = clique.n
+        nodes = [
+            Node(v, n, clique.bandwidth, inputs[v], auxes[v]) for v in range(n)
+        ]
+        gens = spawn_generators(program, nodes)
+        outputs: dict[int, Any] = {}
+        records: list[list[RoundRecord]] = [[] for _ in range(n)]
+
+        live = set(range(n))
+        rounds = 0
+        total_bits = 0
+        bulk_bits = 0
+        sent_bits = [0] * n
+        received_bits = [0] * n
+        record_transcripts = clique.record_transcripts
+
+        def advance(v: int) -> None:
+            try:
+                next(gens[v])
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                nodes[v]._halted = True
+                live.discard(v)
+
+        # Initial local-computation phase (before the first round).
+        for v in range(n):
+            advance(v)
+
+        while True:
+            pending = any(
+                nodes[v]._outbox or nodes[v]._bulk_outbox for v in range(n)
+            )
+            if not live and not pending:
+                break
+            if rounds >= clique.max_rounds:
+                raise RoundLimitExceeded(clique.max_rounds)
+
+            # Deliver: swap outboxes into inboxes.
+            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
+            sent_records: list[dict[int, BitString]] = [{} for _ in range(n)]
+            for v in range(n):
+                node = nodes[v]
+                if clique.broadcast_only and node._outbox:
+                    payloads = set(node._outbox.values())
+                    if len(payloads) != 1 or len(node._outbox) != n - 1:
+                        from ..clique.errors import ProtocolViolation
+
+                        raise ProtocolViolation(
+                            f"broadcast congested clique: node {v} must "
+                            f"send one identical message to all n-1 peers "
+                            f"or stay silent (sent {len(node._outbox)} "
+                            f"messages, {len(payloads)} distinct)"
+                        )
+                if clique.broadcast_only and node._bulk_outbox:
+                    from ..clique.errors import ProtocolViolation
+
+                    raise ProtocolViolation(
+                        "broadcast congested clique: the cost-model bulk "
+                        "channel is unicast; use direct message passing"
+                    )
+                for dst, payload in node._outbox.items():
+                    if clique.topology is not None and not clique.topology.has_edge(
+                        v, dst
+                    ):
+                        from ..clique.errors import ProtocolViolation
+
+                        raise ProtocolViolation(
+                            f"CONGEST: node {v} sent to non-neighbour {dst}"
+                        )
+                    total_bits += len(payload)
+                    sent_bits[v] += len(payload)
+                    received_bits[dst] += len(payload)
+                    inboxes[dst][v] = payload
+                    if record_transcripts:
+                        sent_records[v][dst] = payload
+                for dst, payload in node._bulk_outbox.items():
+                    bulk_bits += len(payload)
+                    sent_bits[v] += len(payload)
+                    received_bits[dst] += len(payload)
+                    inboxes[dst][v] = payload
+                    if record_transcripts:
+                        sent_records[v][dst] = payload
+                node._outbox = {}
+                node._bulk_outbox = {}
+            rounds += 1
+
+            for v in range(n):
+                nodes[v]._inbox = inboxes[v]
+                nodes[v]._round = rounds
+                if record_transcripts:
+                    records[v].append(
+                        RoundRecord(
+                            sent=sent_records[v], received=dict(inboxes[v])
+                        )
+                    )
+
+            for v in sorted(live):
+                advance(v)
+
+        transcripts = None
+        if record_transcripts:
+            transcripts = tuple(
+                Transcript(node=v, n=n, rounds=tuple(records[v]))
+                for v in range(n)
+            )
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_message_bits=total_bits,
+            bulk_bits=bulk_bits,
+            sent_bits=tuple(sent_bits),
+            received_bits=tuple(received_bits),
+            counters=tuple(dict(nodes[v].counters) for v in range(n)),
+            transcripts=transcripts,
+        )

@@ -1,0 +1,121 @@
+"""Tests for the content-addressed run cache and its input digests."""
+
+import numpy as np
+import pytest
+
+from repro.clique.bits import BitString
+from repro.engine import RunCache, content_digest
+from repro.problems import generators as gen
+
+
+class TestContentDigest:
+    def test_equal_content_equal_digest(self):
+        assert content_digest({"n": 4, "p": 0.3}) == content_digest(
+            {"p": 0.3, "n": 4}
+        )
+
+    def test_scalars_are_type_tagged(self):
+        assert content_digest(1) != content_digest(True)
+        assert content_digest(1) != content_digest(1.0)
+        assert content_digest("1") != content_digest(1)
+        assert content_digest(b"x") != content_digest("x")
+        assert content_digest(None) != content_digest(0)
+
+    def test_graphs_hash_by_matrix(self):
+        g1 = gen.random_graph(8, 0.3, 1)
+        g2 = gen.random_graph(8, 0.3, 1)
+        g3 = gen.random_graph(8, 0.3, 2)
+        assert content_digest(g1) == content_digest(g2)
+        assert content_digest(g1) != content_digest(g3)
+
+    def test_numpy_arrays(self):
+        a = np.arange(12).reshape(3, 4)
+        assert content_digest(a) == content_digest(a.copy())
+        assert content_digest(a) != content_digest(a.T)
+        assert content_digest(a) != content_digest(a.astype(np.float64))
+
+    def test_bitstrings(self):
+        assert content_digest(BitString(5, 4)) == content_digest(BitString(5, 4))
+        # Same value, different declared width -> different content.
+        assert content_digest(BitString(5, 4)) != content_digest(BitString(5, 8))
+
+    def test_callables_hash_by_qualified_name(self):
+        assert content_digest(gen.random_graph) == content_digest(
+            gen.random_graph
+        )
+        assert content_digest(gen.random_graph) != content_digest(gen.rng_from)
+
+
+class TestRunCache:
+    def key(self, cache, **overrides):
+        fields = {
+            "program": "tests.echo",
+            "n": 8,
+            "bandwidth": 2,
+            "input_digest": content_digest({"seed": 0}),
+            "engine": {"engine": "fast", "check": "bandwidth"},
+        }
+        fields.update(overrides)
+        return cache.key_for(**fields)
+
+    def test_roundtrip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = self.key(cache)
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"rounds": 3})
+        assert key in cache
+        assert cache.get(key) == {"rounds": 3}
+        assert len(cache) == 1
+
+    def test_key_sensitivity(self, tmp_path):
+        cache = RunCache(tmp_path)
+        base = self.key(cache)
+        assert self.key(cache, n=16) != base
+        assert self.key(cache, bandwidth=4) != base
+        assert self.key(cache, program="tests.other") != base
+        assert self.key(cache, engine={"engine": "reference"}) != base
+        assert (
+            self.key(cache, input_digest=content_digest({"seed": 1})) != base
+        )
+        assert self.key(cache, extra="v2") != base
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = self.key(cache)
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_wrong_key_inside_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        a, b = self.key(cache), self.key(cache, n=16)
+        cache.put(a, "payload")
+        # Simulate a mis-filed entry by copying a's bytes to b's slot.
+        cache._path(b).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(b).write_bytes(cache._path(a).read_bytes())
+        assert cache.get(b) is None
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        for n in (4, 8, 16):
+            cache.put(self.key(cache, n=n), n)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_missing_root_is_empty(self, tmp_path):
+        cache = RunCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        from repro.engine.cache import CACHE_DIR_ENV, default_cache_dir
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        assert RunCache().root == tmp_path / "alt"
+
+    def test_repr_names_the_root(self, tmp_path):
+        assert str(tmp_path) in repr(RunCache(tmp_path))

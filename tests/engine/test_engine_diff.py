@@ -1,0 +1,112 @@
+"""Differential tests: the fast backend must be observationally
+equivalent to the reference backend on the whole algorithm catalog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.errors import CliqueError
+from repro.engine import (
+    CATALOG,
+    FastEngine,
+    assert_engines_agree,
+    catalog_factory,
+    diff_catalog,
+    diff_engines,
+    run_spec,
+)
+from repro.clique.network import _outputs_equal
+
+
+class TestCatalogAgreement:
+    @pytest.mark.parametrize("algorithm", sorted(CATALOG))
+    def test_reference_and_fast_agree(self, algorithm):
+        report = assert_engines_agree(
+            catalog_factory, {"algorithm": algorithm, "n": 8, "seed": 3}
+        )
+        assert report.ok
+        assert report.engines == ("reference", "fast")
+        assert report.rounds["reference"] == report.rounds["fast"]
+
+    @pytest.mark.parametrize("algorithm", ["broadcast", "bfs", "kds", "subgraph"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_agreement_across_seeds(self, algorithm, seed):
+        assert_engines_agree(
+            catalog_factory, {"algorithm": algorithm, "n": 9, "seed": seed}
+        )
+
+    def test_catalog_covers_required_families(self):
+        # The acceptance criterion: at least eight distinct families.
+        assert len(CATALOG) >= 8
+        for name in (
+            "broadcast", "bfs", "apsp", "matmul",
+            "kds", "kvc", "subgraph", "sorting",
+        ):
+            assert name in CATALOG
+
+    def test_diff_catalog_all_ok(self):
+        reports = diff_catalog(config={"n": 6, "seed": 1})
+        assert len(reports) == len(CATALOG)
+        assert all(r.ok for r in reports), [r.summary() for r in reports]
+
+    def test_fast_check_levels_agree(self):
+        for check in ("full", "bandwidth", "off"):
+            assert_engines_agree(
+                catalog_factory,
+                {"algorithm": "bfs", "n": 8, "seed": 0},
+                engines=("reference", FastEngine(check=check)),
+                label=f"bfs/{check}",
+            )
+
+    def test_mismatch_is_reported(self):
+        # Same algorithm, different configs -> a rigged "engine pair"
+        # is not possible through the public API, so check the report
+        # machinery directly on unequal specs.
+        report = diff_engines(
+            catalog_factory,
+            {"algorithm": "broadcast", "n": 6, "seed": 0},
+        )
+        assert report.ok and "agree" in report.summary()
+        report.mismatches.append("rounds: reference=1 fast=2")
+        assert not report.ok and "MISMATCH" in report.summary()
+
+
+class TestShuffleInvariance:
+    """Message delivery is an unordered set: permuting the order in
+    which one round's messages land must not change any output."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_sorting_invariant_under_delivery_permutation(self, seed):
+        config = {"algorithm": "sorting", "n": 6, "seed": 4}
+        baseline, _ = run_spec(catalog_factory(dict(config)), "fast")
+        shuffled, _ = run_spec(
+            catalog_factory(dict(config)), FastEngine(shuffle_seed=seed)
+        )
+        assert shuffled.rounds == baseline.rounds
+        assert sorted(shuffled.outputs) == sorted(baseline.outputs)
+        for v in baseline.outputs:
+            assert _outputs_equal(shuffled.outputs[v], baseline.outputs[v])
+        assert shuffled.total_message_bits == baseline.total_message_bits
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_bfs_invariant_under_delivery_permutation(self, seed):
+        config = {"algorithm": "bfs", "n": 8, "seed": 2}
+        baseline, _ = run_spec(catalog_factory(dict(config)), "reference")
+        shuffled, _ = run_spec(
+            catalog_factory(dict(config)), FastEngine(shuffle_seed=seed)
+        )
+        assert shuffled.rounds == baseline.rounds
+        for v in baseline.outputs:
+            assert _outputs_equal(shuffled.outputs[v], baseline.outputs[v])
+
+
+class TestCatalogFactory:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(CliqueError, match="unknown catalog algorithm"):
+            catalog_factory({"algorithm": "nope"})
+
+    def test_specs_are_self_contained(self):
+        spec = catalog_factory({"algorithm": "broadcast", "n": 5, "seed": 0})
+        assert spec.resolved_n() == 5

@@ -1,0 +1,133 @@
+"""Tests for the multiprocess sweep runner: determinism, worker/serial
+equivalence, cache integration and factory pickling fallbacks."""
+
+import pytest
+
+from repro.clique.bits import BitString
+from repro.clique.errors import CliqueError
+from repro.engine import (
+    RunCache,
+    RunSpec,
+    derive_seed,
+    run_spec,
+    run_sweep,
+)
+
+
+def echo_factory(config: dict) -> RunSpec:
+    """Module-level (hence picklable) factory: one broadcast round where
+    every node learns the config-dependent parity bits of its peers."""
+    n = config["n"]
+    bit = config["seed"] % 2
+
+    def prog(node):
+        node.send_to_all(BitString((node.id + bit) % 2, 1))
+        yield
+        return sorted((src, msg.value) for src, msg in node.inbox.items())
+
+    def post(result):
+        return result.total_message_bits
+
+    return RunSpec(program=prog, n=n, postprocess=post)
+
+
+class TestRunSpec:
+    def test_n_inferred_from_graph(self):
+        from repro.problems import generators as gen
+
+        g = gen.random_graph(7, 0.3, 0)
+        assert RunSpec(program=None, node_input=g).resolved_n() == 7
+
+    def test_n_required_otherwise(self):
+        with pytest.raises(CliqueError, match="explicit n"):
+            RunSpec(program=None).resolved_n()
+
+    def test_run_spec_returns_postprocess_value(self):
+        result, value = run_spec(echo_factory({"n": 4, "seed": 0}), "fast")
+        assert result.rounds == 1
+        assert value == result.total_message_bits
+
+
+class TestDeterminism:
+    def test_derive_seed_is_stable(self):
+        a = derive_seed(0, 3, {"n": 16})
+        assert a == derive_seed(0, 3, {"n": 16})
+        assert a != derive_seed(0, 4, {"n": 16})
+        assert a != derive_seed(1, 3, {"n": 16})
+        assert a != derive_seed(0, 3, {"n": 32})
+
+    def test_configs_get_deterministic_seeds(self):
+        configs = [{"n": 4}, {"n": 4}, {"n": 5}]
+        first = run_sweep(echo_factory, configs, workers=1)
+        second = run_sweep(echo_factory, configs, workers=1)
+        assert [o.config for o in first] == [o.config for o in second]
+        assert all("seed" in o.config for o in first)
+        # Same n, different grid index -> different derived seed.
+        assert first[0].config["seed"] != first[1].config["seed"]
+
+    def test_explicit_seeds_are_kept(self):
+        outcomes = run_sweep(echo_factory, [{"n": 4, "seed": 99}], workers=1)
+        assert outcomes[0].config["seed"] == 99
+
+
+class TestWorkers:
+    CONFIGS = [{"n": n, "seed": s} for n in (4, 6, 8) for s in (0, 1)]
+
+    def test_parallel_equals_serial(self):
+        serial = run_sweep(echo_factory, self.CONFIGS, workers=1)
+        parallel = run_sweep(echo_factory, self.CONFIGS, workers=3)
+        assert len(serial) == len(parallel) == len(self.CONFIGS)
+        for a, b in zip(serial, parallel):
+            assert a.config == b.config
+            assert a.result.outputs == b.result.outputs
+            assert a.result.rounds == b.result.rounds
+            assert a.value == b.value
+
+    def test_unpicklable_factory_degrades_to_serial(self):
+        # A closure can't be pickled by qualified name; the sweep must
+        # still complete (serial fallback), not crash.
+        def local_factory(config):
+            return echo_factory(config)
+
+        outcomes = run_sweep(local_factory, self.CONFIGS[:3], workers=2)
+        assert len(outcomes) == 3
+        assert all(o.result.rounds == 1 for o in outcomes)
+
+    def test_engine_choice_applies(self):
+        ref = run_sweep(echo_factory, self.CONFIGS, workers=1, engine="reference")
+        fast = run_sweep(echo_factory, self.CONFIGS, workers=1, engine="fast")
+        for a, b in zip(ref, fast):
+            assert a.result.outputs == b.result.outputs
+            assert a.result.total_message_bits == b.result.total_message_bits
+
+
+class TestCacheIntegration:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        cache = RunCache(tmp_path)
+        configs = [{"n": 4, "seed": 0}, {"n": 6, "seed": 1}]
+        first = run_sweep(echo_factory, configs, workers=1, cache=cache)
+        assert all(not o.from_cache for o in first)
+        assert len(cache) == 2
+
+        second = run_sweep(echo_factory, configs, workers=1, cache=cache)
+        assert all(o.from_cache for o in second)
+        for a, b in zip(first, second):
+            assert a.result.outputs == b.result.outputs
+            assert a.value == b.value
+
+    def test_engine_config_partitions_the_cache(self, tmp_path):
+        cache = RunCache(tmp_path)
+        configs = [{"n": 4, "seed": 0}]
+        run_sweep(echo_factory, configs, workers=1, cache=cache, engine="fast")
+        run_sweep(
+            echo_factory, configs, workers=1, cache=cache, engine="reference"
+        )
+        assert len(cache) == 2  # one entry per engine config
+
+    def test_config_change_misses(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_sweep(echo_factory, [{"n": 4, "seed": 0}], workers=1, cache=cache)
+        outcomes = run_sweep(
+            echo_factory, [{"n": 4, "seed": 1}], workers=1, cache=cache
+        )
+        assert not outcomes[0].from_cache

@@ -18,6 +18,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "nonsense"])
 
+    def test_sweep_choices_match_catalog(self):
+        from repro.engine import CATALOG
+
+        action = next(
+            a
+            for a in build_parser()._subparsers._group_actions[0]
+            .choices["sweep"]
+            ._actions
+            if a.dest == "algorithm"
+        )
+        assert sorted(action.choices) == sorted(CATALOG)
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "bfs"])
+        assert args.engine == "fast" and args.check == "bandwidth"
+        assert args.cache is None and args.workers is None
+
 
 class TestCommands:
     def test_figure1(self, capsys):
@@ -51,6 +68,33 @@ class TestCommands:
     def test_run_mst(self, capsys):
         assert main(["run", "mst", "--n", "10", "--p", "0.5"]) == 0
         assert "MST edges" in capsys.readouterr().out
+
+    def test_run_with_fast_engine(self, capsys):
+        assert main(["run", "triangle", "--n", "12", "--engine", "fast"]) == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_sweep_prints_table_and_fit(self, capsys):
+        code = main(
+            ["sweep", "subgraph", "--ns", "8", "16", "--seeds", "2",
+             "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: subgraph" in out
+        assert "fitted exponents" in out
+
+    def test_sweep_single_n_skips_fit(self, capsys):
+        assert main(["sweep", "bfs", "--ns", "8", "--workers", "1"]) == 0
+        assert "need >= 2 distinct n" in capsys.readouterr().out
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        argv = ["sweep", "bfs", "--ns", "8", "--seeds", "1", "--workers", "1",
+                "--cache", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out  # the cached column on the second run
 
     def test_demo_unknown_rejected(self):
         with pytest.raises(SystemExit):

@@ -21,6 +21,13 @@ MODULES = [
     "repro.clique.simulation",
     "repro.clique.sorting",
     "repro.clique.transcript",
+    "repro.engine",
+    "repro.engine.base",
+    "repro.engine.cache",
+    "repro.engine.diff",
+    "repro.engine.fast",
+    "repro.engine.pool",
+    "repro.engine.reference",
     "repro.algorithms",
     "repro.core",
     "repro.core.counting",

@@ -9,6 +9,7 @@ import pytest
 SUBPACKAGES = [
     "repro",
     "repro.clique",
+    "repro.engine",
     "repro.algorithms",
     "repro.core",
     "repro.reductions",
