@@ -38,7 +38,12 @@ def report(capsys, request):
 
 
 def measured_load(result) -> int:
-    """Max per-node routed payload bits — the exponent-bearing load."""
+    """Max per-node routed payload bits — the exponent-bearing load,
+    read from the run's :class:`repro.obs.RunMetrics` (metrics are on by
+    default for every engine run; the raw-counter fallback only covers
+    explicit ``observer=False`` runs)."""
+    if result.metrics is not None:
+        return result.metrics.routed_payload_load()
     return max(
         result.max_counter("route_payload_in_bits"),
         result.max_counter("route_payload_out_bits"),

@@ -10,7 +10,6 @@ Two design choices the library makes are isolated here:
   into the running time — doubling B should roughly halve data rounds.
 """
 
-from conftest import measured_load
 
 from repro.algorithms import k_dominating_set, triangle_detection
 from repro.clique import run_algorithm

@@ -9,7 +9,7 @@ delta = slope - 1).
 from conftest import measured_load
 
 from repro.algorithms import k_independent_set_detection, triangle_detection
-from repro.analysis import fit_exponent
+from repro.analysis import fit_metric_exponent
 from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
 from repro.problems import reference as ref
@@ -63,6 +63,7 @@ def _rows(outcomes) -> list[dict]:
             "payload load (bits)": measured_load(o.result),
             "found": o.value["found"],
             "correct": o.value["correct"],
+            "metrics": o.result.metrics,
         }
         for o in outcomes
     ]
@@ -99,9 +100,7 @@ def test_e11_subgraph_exponent(benchmark, report):
         ("triangle (k=3)", 3, tri, "asymptotic"),
         ("4-IS (k=4)", 4, fis, "degenerate (n <= k^k)"),
     ):
-        fit = fit_exponent(
-            [r["n"] for r in rows], [r["payload load (bits)"] for r in rows]
-        )
+        fit = fit_metric_exponent([r.pop("metrics") for r in rows])
         fits.append(
             {
                 "problem": name,

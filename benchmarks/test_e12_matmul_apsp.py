@@ -7,6 +7,7 @@ closure by Boolean squaring, verified against the reference solvers.
 """
 
 import numpy as np
+from conftest import measured_load
 
 from repro.algorithms.matmul import (
     BOOLEAN,
@@ -15,7 +16,7 @@ from repro.algorithms.matmul import (
     distributed_matmul,
     run_matmul,
 )
-from repro.analysis import fit_exponent
+from repro.analysis import fit_metric_exponent
 from repro.clique.graph import INF
 from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
@@ -23,13 +24,6 @@ from repro.problems import reference as ref
 from repro.algorithms.spanner import approx_apsp_via_spanner
 from repro.clique.algorithm import run_algorithm
 from repro.reductions import apsp_via_minplus_mm, transitive_closure_via_boolean_mm
-
-
-def mm_load(result) -> int:
-    return max(
-        result.max_counter("route_payload_in_bits"),
-        result.max_counter("route_payload_out_bits"),
-    )
 
 
 def ring_mm_point(config: dict) -> RunSpec:
@@ -70,8 +64,9 @@ def mm_sweep() -> list[dict]:
             "semiring": "ring",
             "n": o.config["n"],
             "rounds": o.result.rounds,
-            "payload load (bits)": mm_load(o.result),
+            "payload load (bits)": measured_load(o.result),
             "correct": o.value,
+            "metrics": o.result.metrics,
         }
         for o in outcomes
     ]
@@ -187,9 +182,7 @@ def test_e12_matmul_apsp(benchmark, report):
     comparison = semiring_comparison()
     closure = apsp_and_tc()
 
-    fit = fit_exponent(
-        [r["n"] for r in sweep], [r["payload load (bits)"] for r in sweep]
-    )
+    fit = fit_metric_exponent([r.pop("metrics") for r in sweep])
     report(sweep, title="E12 - cube-partitioned ring MM scaling")
     report(
         [

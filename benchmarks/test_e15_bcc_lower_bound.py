@@ -11,7 +11,6 @@ This harness regenerates that reasoning executably:
   compared to measured rounds.
 """
 
-import numpy as np
 
 from repro.clique.network import CongestedClique
 from repro.core.two_party import (

@@ -5,7 +5,6 @@ and both witness maps, and runs the full pipeline (build G', run the
 Theorem 9 algorithm on the simulator, map the witness back) end to end.
 """
 
-import pytest
 
 from repro.algorithms import k_dominating_set
 from repro.clique import run_algorithm

@@ -44,7 +44,7 @@ def run_experiment() -> list[dict]:
         T = vp.algorithm.running_time(n)
         bw = max(1, (n - 1).bit_length())
         bound = normal_form_label_bound(n, T, bw)
-        max_label = max(len(l) for l in labels)
+        max_label = max(len(lab) for lab in labels)
         rows.append(
             {
                 "verifier": vp.algorithm.name,

@@ -9,7 +9,7 @@ against brute force at small sizes.
 from conftest import measured_load
 
 from repro.algorithms import k_dominating_set
-from repro.analysis import fit_exponent
+from repro.analysis import fit_metric_exponent
 from repro.engine import RunSpec, run_sweep
 from repro.problems import generators as gen
 from repro.problems import reference as ref
@@ -69,6 +69,7 @@ def scaling(k: int, ns: list[int]) -> list[dict]:
             "payload load (bits)": measured_load(o.result),
             "found": o.value["found"],
             "witness dominates": o.value["witness dominates"],
+            "metrics": o.result.metrics,
         }
         for o in outcomes
     ]
@@ -92,9 +93,8 @@ def test_e9_kds_upper(benchmark, report):
 
     fits = []
     for k, rows in ((2, rows2), (3, rows3)):
-        fit = fit_exponent(
-            [r["n"] for r in rows], [r["payload load (bits)"] for r in rows]
-        )
+        # exponent comes straight from the collected RunMetrics
+        fit = fit_metric_exponent([r.pop("metrics") for r in rows])
         fits.append(
             {
                 "k": k,

@@ -18,7 +18,7 @@ from repro.engine import FastEngine
 from repro.problems import generators as gen
 
 
-def all_to_all_chatter(n: int, rounds: int, engine=None):
+def all_to_all_chatter(n: int, rounds: int, engine=None, observer=None):
     def prog(node):
         payload = BitString(node.id % 2, 1)
         for _ in range(rounds):
@@ -26,7 +26,16 @@ def all_to_all_chatter(n: int, rounds: int, engine=None):
             yield
         return None
 
-    return CongestedClique(n).run(prog, engine=engine)
+    return CongestedClique(n).run(prog, engine=engine, observer=observer)
+
+
+def _best_of(work, reps=5):
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = work()
+        times.append(time.perf_counter() - start)
+    return min(times), result
 
 
 def test_message_fanout_throughput(benchmark):
@@ -73,16 +82,8 @@ def test_fast_engine_speedup_on_fanout():
     n, rounds = 64, 16
     engine = FastEngine(check="bandwidth")
 
-    def best_of(work, reps=5):
-        times = []
-        for _ in range(reps):
-            start = time.perf_counter()
-            result = work()
-            times.append(time.perf_counter() - start)
-        return min(times), result
-
-    ref_time, ref_result = best_of(lambda: all_to_all_chatter(n, rounds))
-    fast_time, fast_result = best_of(
+    ref_time, ref_result = _best_of(lambda: all_to_all_chatter(n, rounds))
+    fast_time, fast_result = _best_of(
         lambda: all_to_all_chatter(n, rounds, engine=engine)
     )
     # Identical observable results ...
@@ -94,6 +95,30 @@ def test_fast_engine_speedup_on_fanout():
     assert fast_time * 2 <= ref_time, (
         f"fast engine not 2x faster: reference {ref_time*1e3:.1f}ms, "
         f"fast {fast_time*1e3:.1f}ms"
+    )
+
+
+def test_metrics_overhead_on_fanout():
+    """Acceptance gate: default-on RunMetrics collection costs <= 10%
+    wall clock on the fast engine's batched fan-out hot path, relative
+    to an explicit ``observer=False`` run (best-of-9 wall clock)."""
+    n, rounds = 64, 16
+    engine = FastEngine(check="bandwidth")
+
+    off_time, off_result = _best_of(
+        lambda: all_to_all_chatter(n, rounds, engine=engine, observer=False),
+        reps=9,
+    )
+    on_time, on_result = _best_of(
+        lambda: all_to_all_chatter(n, rounds, engine=engine), reps=9
+    )
+    assert off_result.metrics is None
+    assert on_result.metrics is not None
+    assert on_result.metrics.rounds == rounds
+    assert on_result.metrics.message_bits == n * (n - 1) * rounds
+    assert on_time <= off_time * 1.10, (
+        f"default-on metrics cost > 10%: off {off_time*1e3:.2f}ms, "
+        f"on {on_time*1e3:.2f}ms"
     )
 
 

@@ -63,18 +63,22 @@ def main() -> None:
     ns = [27, 64, 125, 216]
 
     tri_rows = measure("subgraph", ns)
-    fit = fit_exponent([n for n, _, _ in tri_rows], [l for _, _, l in tri_rows])
+    fit = fit_exponent(
+        [n for n, _, _ in tri_rows], [load for _, _, load in tri_rows]
+    )
     print_table(
-        [{"n": n, "rounds": r, "max_load_bits": l} for n, r, l in tri_rows],
+        [{"n": n, "rounds": r, "max_load_bits": load} for n, r, load in tri_rows],
         title=f"triangle detection: load exponent {fit.slope:.2f} "
         f"=> delta ~ {fit.slope - 1:.2f} "
         f"(Dolev et al. bound 1 - 2/3 = 0.33)",
     )
 
     kds_rows = measure("kds", ns, k=3)
-    fit = fit_exponent([n for n, _, _ in kds_rows], [l for _, _, l in kds_rows])
+    fit = fit_exponent(
+        [n for n, _, _ in kds_rows], [load for _, _, load in kds_rows]
+    )
     print_table(
-        [{"n": n, "rounds": r, "max_load_bits": l} for n, r, l in kds_rows],
+        [{"n": n, "rounds": r, "max_load_bits": load} for n, r, load in kds_rows],
         title=f"3-dominating set: load exponent {fit.slope:.2f} "
         f"=> delta ~ {fit.slope - 1:.2f} "
         f"(Theorem 9 bound: 1 - 1/3 = 0.67)",

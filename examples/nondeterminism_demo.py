@@ -13,7 +13,6 @@ Walks through Sections 5-6 of the paper executably:
 Run:  python examples/nondeterminism_demo.py
 """
 
-from repro.clique import CliqueGraph
 from repro.core import (
     k_colouring_verifier,
     normal_form_label_bound,
@@ -32,7 +31,7 @@ def main() -> None:
     certificate = vp.prover(g)
     result = run_with_labelling(vp.algorithm, g, certificate)
     accepted = all(o == 1 for o in result.outputs.values())
-    print(f"3-colouring verifier on a planted 3-colourable graph (n=12):")
+    print("3-colouring verifier on a planted 3-colourable graph (n=12):")
     print(f"  certificate = per-node colours; accepted={accepted}, "
           f"rounds={result.rounds}")
     print()
@@ -48,7 +47,7 @@ def main() -> None:
     print("Theorem 3 normal form (labels = claimed transcripts):")
     print(f"  accepted={accepted_b}, rounds={result_b.rounds}")
     print(f"  transcript label sizes: "
-          f"{sorted(len(l) for l in labels)[-3:]} bits "
+          f"{sorted(len(lab) for lab in labels)[-3:]} bits "
           f"(bound O(T n log n) = {bound} bits)")
     print()
 

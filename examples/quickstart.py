@@ -15,7 +15,7 @@ from repro.algorithms import (
     k_vertex_cover,
     triangle_detection,
 )
-from repro.clique import CliqueGraph, run_algorithm
+from repro.clique import run_algorithm
 from repro.problems import generators as gen
 
 

@@ -24,7 +24,7 @@ def main() -> None:
     audit = time_hierarchy_miniature(n=2, L=2, b=1)
     print("Theorem 2 miniature (n=2 nodes, b=1 bit/round, L=2 input bits "
           "per node):")
-    print(f"  functions {{0,1}}^4 -> {{0,1}}:       65536")
+    print("  functions {0,1}^4 -> {0,1}:       65536")
     print(f"  computable by 1-round protocols:  "
           f"{audit.num_computable_one_round}")
     print(f"  first hard function (lex. order): index {audit.f_index}, "

@@ -19,7 +19,7 @@ from typing import Generator
 
 import numpy as np
 
-from ..clique.bits import BitString, uint_width
+from ..clique.bits import BitString
 from ..clique.node import Node
 
 __all__ = ["congest_bfs", "congest_flood_max"]

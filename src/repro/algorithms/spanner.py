@@ -31,7 +31,7 @@ from typing import Generator
 import numpy as np
 
 from ..clique.bits import BitReader, BitString, BitWriter, uint_width
-from ..clique.graph import INF, CliqueGraph
+from ..clique.graph import CliqueGraph
 from ..clique.node import Node
 from ..clique.primitives import (
     agree_uint_max,

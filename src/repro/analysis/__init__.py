@@ -1,6 +1,12 @@
 """Measurement analysis: exponent fitting and report tables."""
 
-from .fitting import ExponentFit, fit_exponent
+from .fitting import ExponentFit, fit_exponent, fit_metric_exponent
 from .report import format_table, print_table
 
-__all__ = ["ExponentFit", "fit_exponent", "format_table", "print_table"]
+__all__ = [
+    "ExponentFit",
+    "fit_exponent",
+    "fit_metric_exponent",
+    "format_table",
+    "print_table",
+]

@@ -11,11 +11,11 @@ data and should be read as indicative (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["ExponentFit", "fit_exponent"]
+__all__ = ["ExponentFit", "fit_exponent", "fit_metric_exponent"]
 
 
 @dataclass(frozen=True)
@@ -53,3 +53,39 @@ def fit_exponent(ns: Sequence[int], rounds: Sequence[int]) -> ExponentFit:
         ns=tuple(int(n) for n in ns),
         rounds=tuple(int(r) for r in rounds),
     )
+
+
+def fit_metric_exponent(
+    metrics: "Iterable",
+    quantity: "str | Callable" = "routed_payload_load",
+) -> ExponentFit:
+    """Fit an exponent over :class:`repro.obs.RunMetrics` objects.
+
+    ``quantity`` names a zero-argument :class:`RunMetrics` method or
+    attribute (e.g. ``"routed_payload_load"``, ``"rounds"``,
+    ``"message_bits"``) or is a callable ``metrics -> value``; the mean
+    per clique size is fitted against ``n`` in log-log space.  This is
+    the one path the experiments use to turn collected run metrics into
+    a fitted exponent — replacing the hand-rolled per-benchmark load
+    accounting.
+    """
+    if callable(quantity):
+        measure = quantity
+    else:
+
+        def measure(m):
+            attr = getattr(m, quantity)
+            return attr() if callable(attr) else attr
+
+    by_n: dict[int, list[float]] = {}
+    for m in metrics:
+        if m is None:
+            continue
+        by_n.setdefault(m.n, []).append(float(measure(m)))
+    if len(by_n) < 2:
+        raise ValueError(
+            f"need metrics at >= 2 distinct clique sizes, got {sorted(by_n)}"
+        )
+    ns = sorted(by_n)
+    means = [sum(by_n[n]) / len(by_n[n]) for n in ns]
+    return fit_exponent(ns, [max(1, round(mean)) for mean in means])

@@ -8,6 +8,10 @@ Commands
 ``run``         run a distributed algorithm on a random input graph
 ``sweep``       run an (algorithm, n, seed) grid through the parallel
                 sweep engine and fit round/load exponents
+``stats``       run one catalog algorithm and print its per-round
+                RunMetrics table (optionally link/phase breakdowns)
+``trace``       run one catalog algorithm under the structured tracer
+                and print (or write to JSONL) the event stream
 ``demo``        run one of the bundled example scenarios
 """
 
@@ -76,27 +80,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend (default: reference)",
     )
+    p_run.add_argument(
+        "--check",
+        choices=["full", "bandwidth", "off"],
+        default=None,
+        help="validation level (default: the engine's own default)",
+    )
+
+    # Keep in sync with repro.engine.diff.CATALOG (guarded by a test;
+    # the catalog is imported lazily so parser construction stays cheap).
+    catalog_names = [
+        "apsp",
+        "bfs",
+        "broadcast",
+        "kds",
+        "kis",
+        "kvc",
+        "matmul",
+        "sorting",
+        "subgraph",
+    ]
 
     p_sweep = sub.add_parser(
         "sweep",
         help="run an (algorithm, n, seed) grid through the sweep engine",
     )
-    p_sweep.add_argument(
-        "algorithm",
-        # Keep in sync with repro.engine.diff.CATALOG (guarded by a test;
-        # the catalog is imported lazily so parser construction stays cheap).
-        choices=[
-            "apsp",
-            "bfs",
-            "broadcast",
-            "kds",
-            "kis",
-            "kvc",
-            "matmul",
-            "sorting",
-            "subgraph",
-        ],
-    )
+    p_sweep.add_argument("algorithm", choices=catalog_names)
     p_sweep.add_argument(
         "--ns", type=int, nargs="+", default=[16, 32, 64],
         help="clique sizes of the grid",
@@ -122,6 +131,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-cache directory (reruns of the same grid are free)",
     )
     p_sweep.add_argument("--base-seed", type=int, default=0)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run one catalog algorithm and print per-round run metrics",
+    )
+    p_stats.add_argument("algorithm", choices=catalog_names)
+    p_stats.add_argument("--n", type=int, default=16)
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--k", type=int, default=None)
+    p_stats.add_argument("--p", type=float, default=None)
+    p_stats.add_argument(
+        "--engine", choices=["reference", "fast"], default="fast"
+    )
+    p_stats.add_argument(
+        "--check", choices=["full", "bandwidth", "off"], default=None
+    )
+    p_stats.add_argument(
+        "--links", type=int, default=0, metavar="K",
+        help="also print the K busiest links (per-link accounting)",
+    )
+    p_stats.add_argument(
+        "--profile", action="store_true",
+        help="also print the wall-clock phase breakdown",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one catalog algorithm under the structured event tracer",
+    )
+    p_trace.add_argument("algorithm", choices=catalog_names)
+    p_trace.add_argument("--n", type=int, default=16)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--k", type=int, default=None)
+    p_trace.add_argument("--p", type=float, default=None)
+    p_trace.add_argument(
+        "--engine", choices=["reference", "fast"], default="fast"
+    )
+    p_trace.add_argument(
+        "--check", choices=["full", "bandwidth", "off"], default=None
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=40,
+        help="print at most this many of the last events (ring buffer)",
+    )
+    p_trace.add_argument(
+        "--sample", type=int, default=1,
+        help="keep every K-th message event (boundaries always kept)",
+    )
+    p_trace.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="stream all events to FILE as JSON lines instead of printing",
+    )
 
     p_demo = sub.add_parser("demo", help="run a bundled example scenario")
     p_demo.add_argument(
@@ -280,7 +341,9 @@ def _cmd_run(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.algorithm)
 
-    result = run_algorithm(prog, g, bandwidth_multiplier=2, engine=args.engine)
+    result = run_algorithm(
+        prog, g, bandwidth_multiplier=2, engine=args.engine, check=args.check
+    )
     print(f"graph: {g}")
     print(f"output: {result.common_output()}")
     print(f"rounds: {result.rounds}")
@@ -288,11 +351,156 @@ def _cmd_run(args) -> int:
 
 
 def _measured_load(result) -> int:
-    """Max per-node routed payload bits (the exponent-bearing load)."""
+    """Max per-node routed payload bits (the exponent-bearing load),
+    read from the run's :class:`repro.obs.RunMetrics`."""
+    if result.metrics is not None:
+        return result.metrics.routed_payload_load()
+    # Metrics-off run: fall back to the raw per-node counters.
     return max(
         result.max_counter("route_payload_in_bits"),
         result.max_counter("route_payload_out_bits"),
     )
+
+
+def _catalog_config(args) -> dict:
+    """The diff-catalog config dict shared by ``stats`` and ``trace``."""
+    config = {"algorithm": args.algorithm, "n": args.n, "seed": args.seed}
+    if args.k is not None:
+        config["k"] = args.k
+    if args.p is not None:
+        config["p"] = args.p
+    return config
+
+
+def _cmd_stats(args) -> int:
+    from .engine.diff import CATALOG, catalog_factory
+    from .engine.pool import run_spec
+    from .obs import MetricsCollector
+
+    assert args.algorithm in CATALOG  # parser choices mirror the catalog
+    config = _catalog_config(args)
+    collector = MetricsCollector(
+        links=args.links > 0, profile=args.profile
+    )
+    result, _ = run_spec(
+        catalog_factory(config),
+        args.engine,
+        check=args.check,
+        observer=collector,
+    )
+    metrics = result.metrics
+    print(
+        format_table(
+            metrics.per_round_rows(),
+            columns=[
+                "round",
+                "unicast_messages",
+                "broadcast_messages",
+                "bulk_messages",
+                "message_bits",
+                "bulk_bits",
+                "max_load_node",
+                "max_load_bits",
+            ],
+            title=(
+                f"per-round metrics: {args.algorithm} "
+                f"(n={metrics.n}, B={metrics.bandwidth}, "
+                f"{metrics.engine} engine)"
+            ),
+        )
+    )
+    node, load = metrics.max_node_load()
+    summary = [
+        {"quantity": "rounds", "value": metrics.rounds},
+        {"quantity": "messages", "value": metrics.messages},
+        {"quantity": "message bits", "value": metrics.message_bits},
+        {"quantity": "bulk bits", "value": metrics.bulk_bits},
+        {"quantity": f"max node load (node {node})", "value": load},
+        {
+            "quantity": "routed payload load",
+            "value": metrics.routed_payload_load(),
+        },
+    ]
+    print()
+    print(format_table(summary, title="run totals"))
+    if args.links > 0:
+        print()
+        print(
+            format_table(
+                [
+                    {"src": src, "dst": dst, "bits": bits}
+                    for src, dst, bits in metrics.busiest_links(args.links)
+                ],
+                title=f"busiest links (top {args.links})",
+            )
+        )
+    if args.profile:
+        total = sum(metrics.phases.values()) or 1.0
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "phase": phase,
+                        "seconds": round(secs, 6),
+                        "share": f"{100 * secs / total:.1f}%",
+                    }
+                    for phase, secs in sorted(
+                        metrics.phases.items(), key=lambda kv: -kv[1]
+                    )
+                ],
+                title="phase profile (wall clock)",
+            )
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .engine.diff import CATALOG, catalog_factory
+    from .engine.pool import run_spec
+    from .obs import JSONLSink, RingBufferSink, Tracer
+
+    assert args.algorithm in CATALOG  # parser choices mirror the catalog
+    config = _catalog_config(args)
+    if args.jsonl:
+        sink = JSONLSink(args.jsonl)
+    else:
+        sink = RingBufferSink(capacity=max(args.limit, 1))
+    tracer = Tracer(sink=sink, sample=args.sample)
+    result, _ = run_spec(
+        catalog_factory(config),
+        args.engine,
+        check=args.check,
+        observer=tracer,
+    )
+    if args.jsonl:
+        print(
+            f"{args.algorithm}: {result.rounds} rounds; wrote "
+            f"{sink.emitted} events to {args.jsonl}"
+        )
+        return 0
+    events = sink.events()
+    rows = [
+        {
+            "event": e.kind,
+            "round": e.round,
+            "src": "-" if e.src is None else e.src,
+            "dst": "-" if e.dst is None else e.dst,
+            "bits": "-" if e.bits is None else e.bits,
+            "channel": e.channel or "-",
+            "detail": "" if e.detail is None else str(e.detail),
+        }
+        for e in events
+    ]
+    dropped = sink.dropped
+    title = (
+        f"trace: {args.algorithm} (n={args.n}, {args.engine} engine, "
+        f"last {len(rows)} events"
+        + (f", {dropped} earlier dropped" if dropped else "")
+        + ")"
+    )
+    print(format_table(rows, title=title))
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -368,7 +576,7 @@ def _cmd_sweep(args) -> int:
             for n in ns
         ]
         if all(load > 0 for load in mean_load):
-            fit = fit_exponent(ns, [max(1, round(l)) for l in mean_load])
+            fit = fit_exponent(ns, [max(1, round(load)) for load in mean_load])
             fits.append(
                 {
                     "quantity": "payload load (implied delta ~ fit - 1)",
@@ -420,6 +628,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "counting": _cmd_counting,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "demo": _cmd_demo,
     }[args.command](args)
 

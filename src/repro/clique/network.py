@@ -23,7 +23,8 @@ the batched performance backend.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Generator, Mapping, Sequence
 
 from .errors import CliqueError
@@ -89,7 +90,14 @@ def _outputs_equal(a: Any, b: Any) -> bool:
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of one algorithm execution."""
+    """Outcome of one algorithm execution.
+
+    This is a **stable** dataclass: its field set is frozen by
+    ``tests/test_public_api.py`` and round-trips through
+    :meth:`to_dict`/:meth:`from_dict` (the representation ``run_sweep``
+    workers and the run cache rely on).  New fields may be appended with
+    defaults; existing fields must not be renamed or removed.
+    """
 
     #: Per-node outputs (the generators' return values).
     outputs: dict[int, Any]
@@ -107,6 +115,75 @@ class RunResult:
     counters: tuple[dict, ...] = ()
     #: Per-node transcripts, if recording was enabled.
     transcripts: tuple[Transcript, ...] | None = None
+    #: The :class:`repro.obs.RunMetrics` collected by the run's observer
+    #: (``None`` when the run was executed with ``observer=False``).
+    metrics: Any = None
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (inverse of :meth:`from_dict`).
+
+        Transcripts are serialised to their bit-exact string encoding
+        and metrics via ``RunMetrics.to_dict``; outputs pass through
+        unchanged (the round-trip is exact for any output type, but the
+        dict is only JSON-ready when the outputs themselves are).
+        """
+        return {
+            "outputs": [[v, out] for v, out in sorted(self.outputs.items())],
+            "rounds": self.rounds,
+            "total_message_bits": self.total_message_bits,
+            "bulk_bits": self.bulk_bits,
+            "sent_bits": list(self.sent_bits),
+            "received_bits": list(self.received_bits),
+            "counters": [dict(c) for c in self.counters],
+            "transcripts": (
+                None
+                if self.transcripts is None
+                else [
+                    {"node": t.node, "n": t.n, "bits": t.encode().to_str()}
+                    for t in self.transcripts
+                ]
+            ),
+            "metrics": (
+                None if self.metrics is None else self.metrics.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_dict` output."""
+        from .bits import BitString
+
+        transcripts = data.get("transcripts")
+        metrics = data.get("metrics")
+        if metrics is not None and not hasattr(metrics, "max_counter"):
+            from ..obs.metrics import RunMetrics
+
+            metrics = RunMetrics.from_dict(metrics)
+        return cls(
+            outputs={int(v): out for v, out in data["outputs"]},
+            rounds=data["rounds"],
+            total_message_bits=data["total_message_bits"],
+            bulk_bits=data["bulk_bits"],
+            sent_bits=tuple(data.get("sent_bits", ())),
+            received_bits=tuple(data.get("received_bits", ())),
+            counters=tuple(dict(c) for c in data.get("counters", ())),
+            transcripts=(
+                None
+                if transcripts is None
+                else tuple(
+                    Transcript.decode(
+                        t["node"], t["n"], BitString.from_str(t["bits"])
+                    )
+                    for t in transcripts
+                )
+            ),
+            metrics=metrics,
+        )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """The stable field set (frozen by the public-API tests)."""
+        return tuple(f.name for f in fields(cls))
 
     def max_counter(self, key: str) -> int:
         """``max_v counters[v][key]`` (0 when never counted)."""
@@ -231,15 +308,22 @@ class CongestedClique:
         self,
         program: NodeProgram,
         node_input: Any = None,
+        *legacy_aux: Any,
         aux: Any = None,
-        *,
         engine: Any = None,
+        check: Any = None,
+        transcripts: bool | None = None,
+        observer: Any = None,
     ) -> RunResult:
         """Execute ``program`` on all nodes synchronously.
 
+        This is the canonical run signature — ``run_algorithm`` is a
+        thin wrapper over it with the *same* keyword-only options:
+
         ``node_input`` and ``aux`` are per-node specs (see
         :func:`_resolve_per_node`); typically ``node_input`` is the input
-        :class:`CliqueGraph`.
+        :class:`CliqueGraph`.  Passing ``aux`` positionally is deprecated
+        (it warns and keeps working); use the keyword.
 
         ``engine`` selects the execution backend: ``None`` (the default)
         or ``"reference"`` for the always-validating, transcript-capable
@@ -247,7 +331,37 @@ class CongestedClique:
         or any :class:`repro.engine.Engine` instance (e.g.
         ``FastEngine(check="off")``).  All backends are observationally
         equivalent on valid programs.
+
+        ``check`` selects the validation level (``"full"``,
+        ``"bandwidth"``, ``"off"``) for name/``None`` engine specs; a
+        conflicting pre-configured engine instance raises.
+
+        ``transcripts`` overrides the clique's ``record_transcripts``
+        flag for this run when not ``None``.
+
+        ``observer`` attaches a :class:`repro.obs.Observer`: ``None``
+        (the default) collects :class:`repro.obs.RunMetrics` into
+        ``RunResult.metrics``; ``False``/``"off"`` disables observation;
+        any observer instance (e.g. a ``Tracer``) receives the run's
+        event stream.
         """
+        if legacy_aux:
+            if len(legacy_aux) > 1:
+                raise TypeError(
+                    f"run() takes at most 3 positional arguments "
+                    f"({2 + len(legacy_aux)} given)"
+                )
+            if aux is not None:
+                raise TypeError(
+                    "run() got aux both positionally and by keyword"
+                )
+            warnings.warn(
+                "passing aux positionally to CongestedClique.run is "
+                "deprecated; use run(program, node_input, aux=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            aux = legacy_aux[0]
         # Imported lazily: repro.engine sits above the clique substrate
         # in the layering, so the substrate must not load it at import
         # time.
@@ -255,4 +369,11 @@ class CongestedClique:
 
         inputs = _resolve_per_node(node_input, self.n)
         auxes = _resolve_per_node(aux, self.n)
-        return resolve_engine(engine).execute(self, program, inputs, auxes)
+        return resolve_engine(engine, check=check).execute(
+            self,
+            program,
+            inputs,
+            auxes,
+            observer=observer,
+            transcripts=transcripts,
+        )

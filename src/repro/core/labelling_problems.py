@@ -23,7 +23,6 @@ from typing import Callable, Generator, Sequence
 from ..clique.bits import BitString, uint_width
 from ..clique.graph import CliqueGraph
 from ..clique.network import CongestedClique, NodeProgram
-from ..problems import reference as ref
 
 __all__ = [
     "LabellingProblem",

@@ -25,7 +25,6 @@ Enumerable miniatures: ``(n=2, b=1, L=2, t=1)`` (256 message combos,
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 __all__ = [

@@ -47,7 +47,6 @@ from .counting import (
 from .protocols import (
     computable_functions,
     first_hard_function,
-    function_from_index,
     index_of_function,
     two_round_protocol_computes,
 )

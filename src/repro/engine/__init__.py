@@ -36,7 +36,14 @@ Quickstart::
     )
 """
 
-from .base import ENGINES, Engine, register_engine, resolve_engine
+from .base import (
+    CHECK_LEVELS,
+    ENGINES,
+    Engine,
+    canonical_check,
+    register_engine,
+    resolve_engine,
+)
 from .cache import RunCache, content_digest, default_cache_dir
 from .diff import (
     CATALOG,
@@ -46,8 +53,15 @@ from .diff import (
     diff_catalog,
     diff_engines,
 )
-from .fast import CHECK_LEVELS, FastEngine
-from .pool import RunSpec, SweepOutcome, derive_seed, run_spec, run_sweep
+from .fast import FastEngine
+from .pool import (
+    RunSpec,
+    SweepOutcome,
+    aggregate_sweep_metrics,
+    derive_seed,
+    run_spec,
+    run_sweep,
+)
 from .reference import ReferenceEngine
 
 __all__ = [
@@ -61,7 +75,9 @@ __all__ = [
     "RunCache",
     "RunSpec",
     "SweepOutcome",
+    "aggregate_sweep_metrics",
     "assert_engines_agree",
+    "canonical_check",
     "catalog_factory",
     "content_digest",
     "default_cache_dir",

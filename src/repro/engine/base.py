@@ -15,6 +15,7 @@ algorithm catalog.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Generator, Sequence
 
@@ -25,10 +26,48 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..clique.network import CongestedClique
     from ..clique.node import Node
 
-__all__ = ["ENGINES", "Engine", "register_engine", "resolve_engine", "spawn_generators"]
+__all__ = [
+    "CHECK_LEVELS",
+    "ENGINES",
+    "Engine",
+    "canonical_check",
+    "register_engine",
+    "resolve_engine",
+    "spawn_generators",
+]
+
+#: The one validation vocabulary, shared by every backend:
+#: ``"full"`` reproduces every model check (addressing, duplicates,
+#: empty payloads, bandwidth), ``"bandwidth"`` keeps only the per-link
+#: bit-budget enforcement the paper's cost model is built on, and
+#: ``"off"`` trusts the program entirely.
+CHECK_LEVELS = ("full", "bandwidth", "off")
 
 #: Registry of engine names to engine classes (see :func:`register_engine`).
 ENGINES: dict[str, type["Engine"]] = {}
+
+
+def canonical_check(spec: Any) -> str | None:
+    """Normalise a ``check=`` argument to the canonical vocabulary.
+
+    ``None`` passes through (meaning "the engine's default").  The old
+    boolean spelling (``True``/``False`` for validation on/off) is
+    mapped to ``"full"``/``"off"`` with a :class:`DeprecationWarning`.
+    """
+    if spec is None:
+        return None
+    if spec is True or spec is False:
+        mapped = "full" if spec else "off"
+        warnings.warn(
+            f"check={spec!r} is deprecated; use check={mapped!r} "
+            f"(one of {CHECK_LEVELS})",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return mapped
+    if spec in CHECK_LEVELS:
+        return spec
+    raise CliqueError(f"check must be one of {CHECK_LEVELS}, got {spec!r}")
 
 
 def register_engine(cls: type["Engine"]) -> type["Engine"]:
@@ -39,16 +78,28 @@ def register_engine(cls: type["Engine"]) -> type["Engine"]:
     return cls
 
 
-def resolve_engine(spec: "str | Engine | None") -> "Engine":
+def resolve_engine(
+    spec: "str | Engine | None", check: Any = None
+) -> "Engine":
     """Turn an ``engine=`` argument into an :class:`Engine` instance.
 
     ``None`` means the reference backend; a string is looked up in
-    :data:`ENGINES` and instantiated with defaults; an :class:`Engine`
-    instance passes through unchanged.
+    :data:`ENGINES` and instantiated; an :class:`Engine` instance passes
+    through unchanged.  ``check`` (one of :data:`CHECK_LEVELS`) selects
+    the validation level for name/``None`` specs; combining it with an
+    engine *instance* whose configured level differs is a conflict and
+    raises :class:`~repro.clique.errors.CliqueError`.
     """
+    check = canonical_check(check)
     if spec is None:
         spec = "reference"
     if isinstance(spec, Engine):
+        if check is not None and getattr(spec, "check", check) != check:
+            raise CliqueError(
+                f"conflicting validation levels: engine {spec!r} is "
+                f"configured with check={spec.check!r} but the run asked "
+                f"for check={check!r}"
+            )
         return spec
     if isinstance(spec, str):
         try:
@@ -57,7 +108,7 @@ def resolve_engine(spec: "str | Engine | None") -> "Engine":
             raise CliqueError(
                 f"unknown engine {spec!r}; known engines: {sorted(ENGINES)}"
             ) from None
-        return cls()
+        return cls() if check is None else cls(check=check)
     raise CliqueError(
         f"engine must be a name, an Engine instance or None, got {spec!r}"
     )
@@ -98,11 +149,19 @@ class Engine(ABC):
         program: NodeProgram,
         inputs: Sequence[Any],
         auxes: Sequence[Any],
+        *,
+        observer: Any = None,
+        transcripts: bool | None = None,
     ) -> RunResult:
         """Run ``program`` on all nodes of ``clique`` and return the result.
 
         ``inputs`` and ``auxes`` are already resolved to one value per
         node (see ``repro.clique.network._resolve_per_node``).
+
+        ``observer`` follows :func:`repro.obs.resolve_observer` semantics
+        (``None`` attaches the default metrics collector, ``False`` /
+        ``"off"`` disables observation); ``transcripts`` overrides the
+        clique's ``record_transcripts`` setting when not ``None``.
         """
 
     def describe(self) -> dict:

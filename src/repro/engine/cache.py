@@ -32,7 +32,10 @@ __all__ = ["RunCache", "content_digest", "default_cache_dir"]
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every existing cache entry on format changes.
-_SCHEMA_VERSION = 1
+#: v2: keys include the observer configuration and payloads carry
+#: ``RunResult.metrics`` (a v1 metrics-free entry must not satisfy a
+#: metrics-on caller).
+_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -131,9 +134,22 @@ class RunCache:
         bandwidth: Any,
         input_digest: str,
         engine: Any,
+        observer: Any = None,
         extra: Any = None,
     ) -> str:
-        """Cache key from the fields that determine a run's outcome."""
+        """Cache key from the fields that determine a run's outcome.
+
+        ``observer`` is an observer spec or its description dict (see
+        :func:`repro.obs.describe_observer`): runs observed differently
+        carry different ``RunResult.metrics`` payloads, so a metrics-off
+        entry must never be served to a metrics-on caller.  Specs are
+        normalised, so the default ``None`` hashes identically to the
+        default metrics-collector description.
+        """
+        if not isinstance(observer, dict):
+            from ..obs import describe_observer
+
+            observer = describe_observer(observer)
         blob = json.dumps(
             {
                 "schema": _SCHEMA_VERSION,
@@ -142,6 +158,7 @@ class RunCache:
                 "bandwidth": bandwidth,
                 "input": input_digest,
                 "engine": engine,
+                "observer": observer,
                 "extra": extra,
             },
             sort_keys=True,

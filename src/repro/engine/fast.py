@@ -41,12 +41,11 @@ from ..clique.errors import (
 from ..clique.network import NodeProgram, RunResult
 from ..clique.node import Node
 from ..clique.transcript import RoundRecord, Transcript
-from .base import Engine, register_engine, spawn_generators
+from ..obs import RoundStats, resolve_observer
+from ..obs.profile import PhaseTimer
+from .base import CHECK_LEVELS, Engine, canonical_check, register_engine, spawn_generators
 
 __all__ = ["CHECK_LEVELS", "FastEngine"]
-
-#: Validation levels accepted by :class:`FastEngine`.
-CHECK_LEVELS = ("full", "bandwidth", "off")
 
 #: Flat-outbox destination marker for a broadcast entry.
 _BROADCAST = -1
@@ -176,6 +175,7 @@ class FastEngine(Engine):
         record_transcripts: bool = False,
         shuffle_seed: int | None = None,
     ) -> None:
+        check = canonical_check(check)
         if check not in CHECK_LEVELS:
             raise CliqueError(
                 f"check must be one of {CHECK_LEVELS}, got {check!r}"
@@ -199,6 +199,9 @@ class FastEngine(Engine):
         program: NodeProgram,
         inputs: Sequence[Any],
         auxes: Sequence[Any],
+        *,
+        observer: Any = None,
+        transcripts: bool | None = None,
     ) -> RunResult:
         """Run ``program`` on all nodes with batched message delivery."""
         if clique.broadcast_only or clique.topology is not None:
@@ -210,7 +213,18 @@ class FastEngine(Engine):
         n = clique.n
         check = self.check
         full_check = check == "full"
-        record = self.record_transcripts or clique.record_transcripts
+        record = (
+            transcripts
+            if transcripts is not None
+            else (self.record_transcripts or clique.record_transcripts)
+        )
+        obs = resolve_observer(observer)
+        per_message = obs is not None and obs.wants_messages
+        timer = (
+            PhaseTimer() if obs is not None and obs.wants_timing else None
+        )
+        if timer is not None:
+            timer.start("spawn")
         rng = (
             random.Random(self.shuffle_seed)
             if self.shuffle_seed is not None
@@ -230,6 +244,10 @@ class FastEngine(Engine):
         bulk_bits = 0
         sent_bits = [0] * n
         received_bits = [0] * n
+        if obs is not None:
+            obs.on_run_start(
+                n=n, bandwidth=clique.bandwidth, engine=self.name
+            )
 
         def advance(v: int) -> None:
             try:
@@ -238,10 +256,16 @@ class FastEngine(Engine):
                 outputs[v] = stop.value
                 nodes[v]._halted = True
                 live.discard(v)
+                if obs is not None:
+                    obs.on_halt(round=rounds, node=v)
 
         # Initial local-computation phase (before the first round).
+        if timer is not None:
+            timer.start("advance")
         for v in range(n):
             advance(v)
+        if timer is not None:
+            obs.on_phases(round=0, seconds=timer.flush())
 
         while True:
             if not live and not any(
@@ -250,26 +274,53 @@ class FastEngine(Engine):
                 break
             if rounds >= clique.max_rounds:
                 raise RoundLimitExceeded(clique.max_rounds)
+            this_round = rounds + 1
 
+            if timer is not None:
+                timer.start("deliver")
             inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
-            if rng is not None or record:
+            # When an observer is attached, deliver into round-local
+            # accounting arrays so per-round deltas come for free; the
+            # unobserved hot path accumulates in place.
+            if obs is not None:
+                round_sent = [0] * n
+                round_received = [0] * n
+            else:
+                round_sent = sent_bits
+                round_received = received_bits
+            if rng is not None or record or per_message:
                 sent_records, bits = self._deliver_explicit(
                     nodes, inboxes, rng, record,
-                    sent_bits, received_bits,
+                    round_sent, round_received,
+                    obs if per_message else None, this_round,
                 )
-                total_bits += bits[0]
-                bulk_bits += bits[1]
             else:
                 sent_records = None
                 bits = self._deliver_batched(
-                    nodes, inboxes, sent_bits, received_bits
+                    nodes, inboxes, round_sent, round_received
                 )
-                total_bits += bits[0]
-                bulk_bits += bits[1]
+            total_bits += bits[0]
+            bulk_bits += bits[1]
             if full_check:
                 for node in nodes:
                     node._sent_to.clear()
-            rounds += 1
+            rounds = this_round
+            if obs is not None:
+                for v in range(n):
+                    sent_bits[v] += round_sent[v]
+                    received_bits[v] += round_received[v]
+                obs.on_round(
+                    RoundStats(
+                        round=this_round,
+                        unicast_messages=bits[2],
+                        broadcast_messages=bits[3],
+                        bulk_messages=bits[4],
+                        message_bits=bits[0],
+                        bulk_bits=bits[1],
+                        sent_bits=round_sent,
+                        received_bits=round_received,
+                    )
+                )
 
             for v in range(n):
                 nodes[v]._inbox = inboxes[v]
@@ -281,15 +332,24 @@ class FastEngine(Engine):
                         )
                     )
 
+            if timer is not None:
+                timer.start("advance")
             for v in sorted(live):
                 advance(v)
+            if timer is not None:
+                obs.on_phases(round=this_round, seconds=timer.flush())
 
-        transcripts = None
+        out_transcripts = None
         if record:
-            transcripts = tuple(
+            out_transcripts = tuple(
                 Transcript(node=v, n=n, rounds=tuple(records[v]))
                 for v in range(n)
             )
+        counters = tuple(dict(nodes[v].counters) for v in range(n))
+        metrics = None
+        if obs is not None:
+            obs.on_run_end(rounds=rounds, counters=counters)
+            metrics = obs.run_metrics()
         return RunResult(
             outputs=outputs,
             rounds=rounds,
@@ -297,8 +357,9 @@ class FastEngine(Engine):
             bulk_bits=bulk_bits,
             sent_bits=tuple(sent_bits),
             received_bits=tuple(received_bits),
-            counters=tuple(dict(nodes[v].counters) for v in range(n)),
-            transcripts=transcripts,
+            counters=counters,
+            transcripts=out_transcripts,
+            metrics=metrics,
         )
 
     @staticmethod
@@ -307,16 +368,21 @@ class FastEngine(Engine):
         inboxes: list[dict[int, BitString]],
         sent_bits: list[int],
         received_bits: list[int],
-    ) -> tuple[int, int]:
+    ) -> tuple[int, int, int, int, int]:
         """Hot path: drain all flat outboxes into the inboxes.
 
         Broadcast entries are expanded with a plain slot store per
         recipient; their received-bit accounting is applied in bulk
-        after the loop.  Returns ``(message_bits, bulk_bits)``.
+        after the loop.  Returns ``(message_bits, bulk_bits,
+        unicast_messages, broadcast_messages, bulk_messages)`` where
+        broadcast messages are counted per recipient.
         """
         n = len(nodes)
         total_bits = 0
         bulk_bits = 0
+        unicast_msgs = 0
+        broadcast_msgs = 0
+        bulk_msgs = 0
         bcast_total = 0
         bcast_sent = [0] * n
         for v, node in enumerate(nodes):
@@ -333,12 +399,14 @@ class FastEngine(Engine):
                         fanned = plen * (n - 1)
                         sent += fanned
                         total_bits += fanned
+                        broadcast_msgs += n - 1
                         bcast_total += plen
                         bcast_sent[v] += plen
                     else:
                         inboxes[dst][v] = payload
                         sent += plen
                         total_bits += plen
+                        unicast_msgs += 1
                         received_bits[dst] += plen
                 sent_bits[v] += sent
                 node._flat_out = []
@@ -347,6 +415,7 @@ class FastEngine(Engine):
                 for dst, payload in bulk:
                     plen = len(payload)
                     bulk_bits += plen
+                    bulk_msgs += 1
                     sent_bits[v] += plen
                     received_bits[dst] += plen
                     inboxes[dst][v] = payload
@@ -354,7 +423,7 @@ class FastEngine(Engine):
         if bcast_total:
             for u in range(n):
                 received_bits[u] += bcast_total - bcast_sent[u]
-        return total_bits, bulk_bits
+        return total_bits, bulk_bits, unicast_msgs, broadcast_msgs, bulk_msgs
 
     @staticmethod
     def _deliver_explicit(
@@ -364,22 +433,28 @@ class FastEngine(Engine):
         record: bool,
         sent_bits: list[int],
         received_bits: list[int],
-    ) -> tuple[list[dict[int, BitString]] | None, tuple[int, int]]:
+        obs=None,
+        this_round: int = 0,
+    ) -> tuple[
+        list[dict[int, BitString]] | None, tuple[int, int, int, int, int]
+    ]:
         """Slow path: expand every message, optionally permute delivery
-        order and record transcripts.  Returns the per-node sent records
-        (``None`` when not recording) and ``(message_bits, bulk_bits)``."""
+        order, record transcripts, and emit per-message observer events.
+        Returns the per-node sent records (``None`` when not recording)
+        and ``(message_bits, bulk_bits, unicast_messages,
+        broadcast_messages, bulk_messages)``."""
         n = len(nodes)
-        messages: list[tuple[int, int, BitString, bool]] = []
+        messages: list[tuple[int, int, BitString, str]] = []
         for v, node in enumerate(nodes):
             for dst, payload in node._flat_out:
                 if dst == _BROADCAST:
                     for u in range(n):
                         if u != v:
-                            messages.append((v, u, payload, False))
+                            messages.append((v, u, payload, "broadcast"))
                 else:
-                    messages.append((v, dst, payload, False))
+                    messages.append((v, dst, payload, "unicast"))
             for dst, payload in node._flat_bulk:
-                messages.append((v, dst, payload, True))
+                messages.append((v, dst, payload, "bulk"))
             node._flat_out = []
             node._flat_bulk = []
         if rng is not None:
@@ -389,15 +464,27 @@ class FastEngine(Engine):
         )
         total_bits = 0
         bulk_bits = 0
-        for src, dst, payload, is_bulk in messages:
+        counts = {"unicast": 0, "broadcast": 0, "bulk": 0}
+        for src, dst, payload, kind in messages:
             plen = len(payload)
-            if is_bulk:
+            if kind == "bulk":
                 bulk_bits += plen
             else:
                 total_bits += plen
+            counts[kind] += 1
             sent_bits[src] += plen
             received_bits[dst] += plen
             inboxes[dst][src] = payload
             if sent_records is not None:
                 sent_records[src][dst] = payload
-        return sent_records, (total_bits, bulk_bits)
+            if obs is not None:
+                obs.on_message(
+                    round=this_round, src=src, dst=dst, bits=plen, kind=kind
+                )
+        return sent_records, (
+            total_bits,
+            bulk_bits,
+            counts["unicast"],
+            counts["broadcast"],
+            counts["bulk"],
+        )

@@ -32,10 +32,18 @@ from typing import Any, Callable, Iterable
 from ..clique.errors import CliqueError
 from ..clique.graph import CliqueGraph
 from ..clique.network import CongestedClique, NodeProgram, RunResult
+from ..obs import Observer, describe_observer, summarise_metrics
 from .base import Engine, resolve_engine
 from .cache import RunCache, content_digest
 
-__all__ = ["RunSpec", "SweepOutcome", "derive_seed", "run_spec", "run_sweep"]
+__all__ = [
+    "RunSpec",
+    "SweepOutcome",
+    "aggregate_sweep_metrics",
+    "derive_seed",
+    "run_spec",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -95,11 +103,16 @@ def derive_seed(base_seed: int, index: int, config: dict) -> int:
 
 
 def run_spec(
-    spec: RunSpec, engine: "str | Engine | None" = None
+    spec: RunSpec,
+    engine: "str | Engine | None" = None,
+    *,
+    check: Any = None,
+    observer: Any = None,
 ) -> tuple[RunResult, Any]:
     """Execute one :class:`RunSpec` on the given engine.
 
-    Returns ``(result, postprocess_value)``.
+    ``check`` and ``observer`` follow :meth:`CongestedClique.run`
+    semantics.  Returns ``(result, postprocess_value)``.
     """
     clique = CongestedClique(
         spec.resolved_n(),
@@ -109,18 +122,23 @@ def run_spec(
         max_rounds=spec.max_rounds,
     )
     result = clique.run(
-        spec.program, spec.node_input, aux=spec.aux, engine=engine
+        spec.program,
+        spec.node_input,
+        aux=spec.aux,
+        engine=engine,
+        check=check,
+        observer=observer,
     )
     value = spec.postprocess(result) if spec.postprocess is not None else None
     return result, value
 
 
 def _execute_point(
-    task: tuple[Callable[[dict], RunSpec], dict, Any],
+    task: tuple[Callable[[dict], RunSpec], dict, Any, Any],
 ) -> tuple[RunResult, Any]:
     """Worker entry point: build the spec from the config and run it."""
-    factory, config, engine = task
-    return run_spec(factory(config), engine)
+    factory, config, engine, observer = task
+    return run_spec(factory(config), engine, observer=observer)
 
 
 def _factory_name(factory: Callable) -> str:
@@ -133,7 +151,11 @@ def _factory_name(factory: Callable) -> str:
 
 
 def _point_key(
-    cache: RunCache, factory: Callable, config: dict, engine_desc: dict
+    cache: RunCache,
+    factory: Callable,
+    config: dict,
+    engine_desc: dict,
+    observer_desc: dict,
 ) -> str:
     """Cache key of one grid point (config determines the inputs)."""
     return cache.key_for(
@@ -142,6 +164,7 @@ def _point_key(
         bandwidth=config.get("bandwidth", config.get("bandwidth_multiplier")),
         input_digest=content_digest(config),
         engine=engine_desc,
+        observer=observer_desc,
     )
 
 
@@ -163,6 +186,7 @@ def run_sweep(
     engine: "str | Engine | None" = "fast",
     cache: RunCache | None = None,
     base_seed: int = 0,
+    observer: Any = None,
 ) -> list[SweepOutcome]:
     """Run ``program_factory`` over every config, fanning across processes.
 
@@ -184,9 +208,24 @@ def run_sweep(
         execution entirely and are marked ``from_cache=True``.
     base_seed:
         Root of the deterministic per-task seed derivation.
+    observer:
+        Observer *spec* applied per run: ``None``/``True``/``"metrics"``
+        (collect :class:`repro.obs.RunMetrics` into each outcome's
+        ``result.metrics``; aggregate with
+        :func:`aggregate_sweep_metrics`) or ``False``/``"off"``.
+        Observer *instances* are rejected — a single stateful observer
+        cannot be shared across worker processes; every run gets a
+        fresh collector built from the spec instead.
 
     Results are returned in grid order regardless of scheduling.
     """
+    if isinstance(observer, Observer):
+        raise CliqueError(
+            "run_sweep needs an observer spec (None, True, False, "
+            "'metrics', 'off'), not an Observer instance: sweep points "
+            "run in worker processes, each with its own fresh collector"
+        )
+    observer_desc = describe_observer(observer)
     points: list[dict] = []
     for index, config in enumerate(configs):
         config = dict(config)
@@ -198,7 +237,11 @@ def run_sweep(
     pending: list[tuple[int, dict]] = []
     for index, config in enumerate(points):
         if cache is not None:
-            hit = cache.get(_point_key(cache, program_factory, config, engine_desc))
+            hit = cache.get(
+                _point_key(
+                    cache, program_factory, config, engine_desc, observer_desc
+                )
+            )
             if hit is not None:
                 result, value = hit
                 outcomes[index] = SweepOutcome(
@@ -209,7 +252,9 @@ def run_sweep(
 
     if workers is None:
         workers = min(len(pending), os.cpu_count() or 1)
-    tasks = [(program_factory, config, engine) for _, config in pending]
+    tasks = [
+        (program_factory, config, engine, observer) for _, config in pending
+    ]
     results: list[tuple[RunResult, Any]]
     context = _fork_context() if workers > 1 and len(pending) > 1 else None
     if context is not None:
@@ -230,7 +275,22 @@ def run_sweep(
         outcomes[index] = SweepOutcome(config=config, result=result, value=value)
         if cache is not None:
             cache.put(
-                _point_key(cache, program_factory, config, engine_desc),
+                _point_key(
+                    cache, program_factory, config, engine_desc, observer_desc
+                ),
                 (result, value),
             )
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def aggregate_sweep_metrics(outcomes: Iterable[SweepOutcome]) -> dict:
+    """Roll the per-run :class:`repro.obs.RunMetrics` of a sweep into one
+    summary dict (see :func:`repro.obs.summarise_metrics`).
+
+    Cross-worker aggregation works because each worker ships its run's
+    metrics back inside the pickled ``RunResult``; outcomes from
+    ``observer=False`` runs (``metrics is None``) are skipped.
+    """
+    return summarise_metrics(
+        outcome.result.metrics for outcome in outcomes
+    )

@@ -1,26 +1,86 @@
 """The reference execution backend.
 
 This is the original lockstep generator engine, extracted verbatim from
-``repro.clique.network``: it validates every queued message against the
-model's rules at send time (one message of at most ``B`` bits per
-ordered pair per round), supports transcript recording, the broadcast
-congested clique, and restricted CONGEST topologies.  It is the
-semantic ground truth every other backend is differentially tested
-against (:mod:`repro.engine.diff`).
+``repro.clique.network``: with ``check="full"`` (the default) it
+validates every queued message against the model's rules at send time
+(one message of at most ``B`` bits per ordered pair per round), supports
+transcript recording, the broadcast congested clique, and restricted
+CONGEST topologies.  It is the semantic ground truth every other backend
+is differentially tested against (:mod:`repro.engine.diff`).
+
+The engine speaks the canonical validation vocabulary
+(:data:`repro.engine.base.CHECK_LEVELS`): ``check="bandwidth"`` keeps
+only the per-link bit-budget enforcement, ``check="off"`` trusts the
+program entirely — matching the fast engine's levels so ``check=`` means
+the same thing regardless of backend.
+
+Observability: the engine emits into the :class:`repro.obs.Observer`
+protocol — per-round aggregate stats always, per-message events and
+phase timings (``spawn`` / ``validate`` / ``deliver`` / ``advance``)
+when the attached observer asks for them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Sequence
+from typing import Any, Sequence
 
 from ..clique.bits import BitString
-from ..clique.errors import RoundLimitExceeded
+from ..clique.errors import (
+    BandwidthExceeded,
+    ProtocolViolation,
+    RoundLimitExceeded,
+)
 from ..clique.network import NodeProgram, RunResult
 from ..clique.node import Node
 from ..clique.transcript import RoundRecord, Transcript
-from .base import Engine, register_engine, spawn_generators
+from ..obs import RoundStats, resolve_observer
+from ..obs.profile import PhaseTimer
+from .base import CHECK_LEVELS, Engine, canonical_check, register_engine, spawn_generators
 
 __all__ = ["ReferenceEngine"]
+
+
+class _LaxNode(Node):
+    """Node with reduced send-time validation for the lower check levels.
+
+    ``check="bandwidth"`` keeps only the bit-budget check; ``check="off"``
+    performs no validation at all.  Either way a repeated send to the
+    same destination simply overwrites (last write wins), matching the
+    fast engine's behaviour at the same level.
+    """
+
+    __slots__ = ("_check",)
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        bandwidth: int,
+        node_input: Any,
+        aux: Any,
+        check: str,
+    ) -> None:
+        super().__init__(node_id, n, bandwidth, node_input, aux)
+        self._check = check
+
+    def send(self, dst: int, payload: BitString) -> None:
+        if self._check == "bandwidth" and len(payload) > self.bandwidth:
+            raise BandwidthExceeded(self.id, dst, len(payload), self.bandwidth)
+        self._outbox[dst] = payload
+
+    def send_to_all(self, payload: BitString) -> None:
+        if self._check == "bandwidth" and len(payload) > self.bandwidth:
+            raise BandwidthExceeded(
+                self.id, 0 if self.id != 0 else 1, len(payload), self.bandwidth
+            )
+        for dst in range(self.n):
+            if dst != self.id:
+                self._outbox[dst] = payload
+
+    def _bulk_send(self, dst: int, payload: BitString) -> None:
+        if len(payload) == 0:
+            return
+        self._bulk_outbox[dst] = payload
 
 
 @register_engine
@@ -37,9 +97,33 @@ class ReferenceEngine(Engine):
        topology),
     3. messages are delivered into the recipients' inboxes and the round
        counter increments.
+
+    Parameters
+    ----------
+    check:
+        Validation level (``"full"``, ``"bandwidth"``, ``"off"``); the
+        default ``"full"`` is this engine's historical, ground-truth
+        behaviour.  Model-variant checks (broadcast-only discipline,
+        CONGEST topology edges) are part of the model itself and stay on
+        at every level.
     """
 
     name = "reference"
+
+    def __init__(self, check: str = "full") -> None:
+        check = canonical_check(check)
+        self.check = "full" if check is None else check
+        if self.check not in CHECK_LEVELS:  # pragma: no cover - canonical_check guards
+            raise ProtocolViolation(f"check must be one of {CHECK_LEVELS}")
+
+    def describe(self) -> dict:
+        """Engine configuration (cache key component)."""
+        if self.check == "full":
+            # Historical shape: a default-configured reference engine has
+            # always described itself as just {"engine": "reference"}, and
+            # existing cache entries are keyed on that.
+            return {"engine": self.name}
+        return {"engine": self.name, "check": self.check}
 
     def execute(
         self,
@@ -47,12 +131,30 @@ class ReferenceEngine(Engine):
         program: NodeProgram,
         inputs: Sequence[Any],
         auxes: Sequence[Any],
+        *,
+        observer: Any = None,
+        transcripts: bool | None = None,
     ) -> RunResult:
         """Run ``program`` on all nodes synchronously (see class docs)."""
         n = clique.n
-        nodes = [
-            Node(v, n, clique.bandwidth, inputs[v], auxes[v]) for v in range(n)
-        ]
+        obs = resolve_observer(observer)
+        timing = obs is not None and obs.wants_timing
+        per_message = obs is not None and obs.wants_messages
+        timer = PhaseTimer() if timing else None
+        if timer is not None:
+            timer.start("spawn")
+        if self.check == "full":
+            nodes = [
+                Node(v, n, clique.bandwidth, inputs[v], auxes[v])
+                for v in range(n)
+            ]
+        else:
+            nodes = [
+                _LaxNode(
+                    v, n, clique.bandwidth, inputs[v], auxes[v], self.check
+                )
+                for v in range(n)
+            ]
         gens = spawn_generators(program, nodes)
         outputs: dict[int, Any] = {}
         records: list[list[RoundRecord]] = [[] for _ in range(n)]
@@ -63,7 +165,15 @@ class ReferenceEngine(Engine):
         bulk_bits = 0
         sent_bits = [0] * n
         received_bits = [0] * n
-        record_transcripts = clique.record_transcripts
+        record_transcripts = (
+            transcripts
+            if transcripts is not None
+            else clique.record_transcripts
+        )
+        if obs is not None:
+            obs.on_run_start(
+                n=n, bandwidth=clique.bandwidth, engine=self.name
+            )
 
         def advance(v: int) -> None:
             try:
@@ -72,10 +182,16 @@ class ReferenceEngine(Engine):
                 outputs[v] = stop.value
                 nodes[v]._halted = True
                 live.discard(v)
+                if obs is not None:
+                    obs.on_halt(round=rounds, node=v)
 
         # Initial local-computation phase (before the first round).
+        if timer is not None:
+            timer.start("advance")
         for v in range(n):
             advance(v)
+        if timer is not None:
+            obs.on_phases(round=0, seconds=timer.flush())
 
         while True:
             pending = any(
@@ -85,17 +201,16 @@ class ReferenceEngine(Engine):
                 break
             if rounds >= clique.max_rounds:
                 raise RoundLimitExceeded(clique.max_rounds)
+            this_round = rounds + 1
 
-            # Deliver: swap outboxes into inboxes.
-            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
-            sent_records: list[dict[int, BitString]] = [{} for _ in range(n)]
+            # Validate: model-variant rules over all queued messages.
+            if timer is not None:
+                timer.start("validate")
             for v in range(n):
                 node = nodes[v]
                 if clique.broadcast_only and node._outbox:
                     payloads = set(node._outbox.values())
                     if len(payloads) != 1 or len(node._outbox) != n - 1:
-                        from ..clique.errors import ProtocolViolation
-
                         raise ProtocolViolation(
                             f"broadcast congested clique: node {v} must "
                             f"send one identical message to all n-1 peers "
@@ -103,37 +218,86 @@ class ReferenceEngine(Engine):
                             f"messages, {len(payloads)} distinct)"
                         )
                 if clique.broadcast_only and node._bulk_outbox:
-                    from ..clique.errors import ProtocolViolation
-
                     raise ProtocolViolation(
                         "broadcast congested clique: the cost-model bulk "
                         "channel is unicast; use direct message passing"
                     )
-                for dst, payload in node._outbox.items():
-                    if clique.topology is not None and not clique.topology.has_edge(
-                        v, dst
-                    ):
-                        from ..clique.errors import ProtocolViolation
+                if clique.topology is not None:
+                    for dst in node._outbox:
+                        if not clique.topology.has_edge(v, dst):
+                            raise ProtocolViolation(
+                                f"CONGEST: node {v} sent to non-neighbour "
+                                f"{dst}"
+                            )
 
-                        raise ProtocolViolation(
-                            f"CONGEST: node {v} sent to non-neighbour {dst}"
+            # Deliver: swap outboxes into inboxes.
+            if timer is not None:
+                timer.start("deliver")
+            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
+            sent_records: list[dict[int, BitString]] = [{} for _ in range(n)]
+            round_msg_bits = 0
+            round_bulk_bits = 0
+            round_msgs = 0
+            round_bulk_msgs = 0
+            round_sent = [0] * n
+            round_received = [0] * n
+            for v in range(n):
+                node = nodes[v]
+                for dst, payload in node._outbox.items():
+                    plen = len(payload)
+                    round_msg_bits += plen
+                    round_msgs += 1
+                    round_sent[v] += plen
+                    round_received[dst] += plen
+                    inboxes[dst][v] = payload
+                    if record_transcripts:
+                        sent_records[v][dst] = payload
+                    if per_message:
+                        obs.on_message(
+                            round=this_round,
+                            src=v,
+                            dst=dst,
+                            bits=plen,
+                            kind="unicast",
                         )
-                    total_bits += len(payload)
-                    sent_bits[v] += len(payload)
-                    received_bits[dst] += len(payload)
-                    inboxes[dst][v] = payload
-                    if record_transcripts:
-                        sent_records[v][dst] = payload
                 for dst, payload in node._bulk_outbox.items():
-                    bulk_bits += len(payload)
-                    sent_bits[v] += len(payload)
-                    received_bits[dst] += len(payload)
+                    plen = len(payload)
+                    round_bulk_bits += plen
+                    round_bulk_msgs += 1
+                    round_sent[v] += plen
+                    round_received[dst] += plen
                     inboxes[dst][v] = payload
                     if record_transcripts:
                         sent_records[v][dst] = payload
+                    if per_message:
+                        obs.on_message(
+                            round=this_round,
+                            src=v,
+                            dst=dst,
+                            bits=plen,
+                            kind="bulk",
+                        )
                 node._outbox = {}
                 node._bulk_outbox = {}
-            rounds += 1
+            total_bits += round_msg_bits
+            bulk_bits += round_bulk_bits
+            for v in range(n):
+                sent_bits[v] += round_sent[v]
+                received_bits[v] += round_received[v]
+            rounds = this_round
+            if obs is not None:
+                obs.on_round(
+                    RoundStats(
+                        round=this_round,
+                        unicast_messages=round_msgs,
+                        broadcast_messages=0,
+                        bulk_messages=round_bulk_msgs,
+                        message_bits=round_msg_bits,
+                        bulk_bits=round_bulk_bits,
+                        sent_bits=round_sent,
+                        received_bits=round_received,
+                    )
+                )
 
             for v in range(n):
                 nodes[v]._inbox = inboxes[v]
@@ -145,15 +309,24 @@ class ReferenceEngine(Engine):
                         )
                     )
 
+            if timer is not None:
+                timer.start("advance")
             for v in sorted(live):
                 advance(v)
+            if timer is not None:
+                obs.on_phases(round=this_round, seconds=timer.flush())
 
-        transcripts = None
+        out_transcripts = None
         if record_transcripts:
-            transcripts = tuple(
+            out_transcripts = tuple(
                 Transcript(node=v, n=n, rounds=tuple(records[v]))
                 for v in range(n)
             )
+        counters = tuple(dict(nodes[v].counters) for v in range(n))
+        metrics = None
+        if obs is not None:
+            obs.on_run_end(rounds=rounds, counters=counters)
+            metrics = obs.run_metrics()
         return RunResult(
             outputs=outputs,
             rounds=rounds,
@@ -161,6 +334,7 @@ class ReferenceEngine(Engine):
             bulk_bits=bulk_bits,
             sent_bits=tuple(sent_bits),
             received_bits=tuple(received_bits),
-            counters=tuple(dict(nodes[v].counters) for v in range(n)),
-            transcripts=transcripts,
+            counters=counters,
+            transcripts=out_transcripts,
+            metrics=metrics,
         )

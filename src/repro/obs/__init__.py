@@ -1,0 +1,48 @@
+"""Run observability: metrics, tracing, and profiling for both engines.
+
+The subsystem is organised around one integration point — the
+:class:`~repro.obs.observer.Observer` protocol that engines emit into —
+with three bundled consumers:
+
+* :class:`~repro.obs.metrics.MetricsCollector` (the default, on for
+  every run) builds a :class:`~repro.obs.metrics.RunMetrics` with
+  per-round / per-node / per-link counters;
+* :class:`~repro.obs.trace.Tracer` streams structured events into a
+  ring buffer or JSONL file, with sampling;
+* :class:`~repro.obs.profile.Profiler` collects wall-clock phase
+  timings (spawn / deliver / advance / validate) per round.
+
+Layering: this package sits beside ``repro.clique`` and below
+``repro.engine`` — it imports nothing from the engines, and the clique
+layer only reaches it lazily inside ``CongestedClique.run``.
+"""
+
+from .metrics import MetricsCollector, RoundMetrics, RunMetrics, summarise_metrics
+from .observer import (
+    CompositeObserver,
+    Observer,
+    RoundStats,
+    describe_observer,
+    resolve_observer,
+)
+from .profile import PhaseTimer, Profiler
+from .trace import JSONLSink, RingBufferSink, TraceEvent, TraceSink, Tracer
+
+__all__ = [
+    "CompositeObserver",
+    "JSONLSink",
+    "MetricsCollector",
+    "Observer",
+    "PhaseTimer",
+    "Profiler",
+    "RingBufferSink",
+    "RoundMetrics",
+    "RoundStats",
+    "RunMetrics",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "describe_observer",
+    "resolve_observer",
+    "summarise_metrics",
+]

@@ -1,0 +1,335 @@
+"""Run metrics: per-round, per-node and per-link counters.
+
+:class:`MetricsCollector` is the default observer — every ``run()``
+attaches a fresh one unless told otherwise — so it must stay cheap: it
+consumes only the aggregate :class:`~repro.obs.observer.RoundStats` the
+engines compute anyway and never asks for per-message callbacks.  The
+optional per-link matrix (``links=True``) and phase profile
+(``profile=True``) flip the capability flags and cost accordingly.
+
+:class:`RunMetrics` is the frozen result: the measured quantities the
+paper's experiments are fitted against (per-node routed payload load,
+per-round bit totals, broadcast vs. unicast splits) in one stable,
+serialisable place instead of being re-derived ad hoc by each benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .observer import Observer, RoundStats
+
+__all__ = [
+    "MetricsCollector",
+    "RoundMetrics",
+    "RunMetrics",
+    "summarise_metrics",
+]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Aggregates for one round.
+
+    ``max_load_node`` is the node with the largest total (sent +
+    received) bit volume this round; ties break to the lowest id.
+    """
+
+    round: int
+    unicast_messages: int
+    broadcast_messages: int
+    bulk_messages: int
+    message_bits: int
+    bulk_bits: int
+    max_load_node: int
+    max_load_bits: int
+
+    @property
+    def messages(self) -> int:
+        return self.unicast_messages + self.broadcast_messages + self.bulk_messages
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round,
+            "unicast_messages": self.unicast_messages,
+            "broadcast_messages": self.broadcast_messages,
+            "bulk_messages": self.bulk_messages,
+            "message_bits": self.message_bits,
+            "bulk_bits": self.bulk_bits,
+            "max_load_node": self.max_load_node,
+            "max_load_bits": self.max_load_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundMetrics":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The measured profile of one run.
+
+    ``sent_bits`` / ``received_bits`` are whole-run per-node totals
+    (bulk included — matching ``RunResult``); ``counters`` are the
+    per-node ``Node.count`` dictionaries captured at run end, the
+    channel algorithms use to report semantic loads such as the routed
+    payload bits of Lemma 2.  ``link_bits`` (``{(src, dst): bits}``)
+    and ``phases`` (``{phase: seconds}``) are only present when the
+    collector was configured with ``links=True`` / ``profile=True``.
+    """
+
+    n: int
+    bandwidth: int
+    engine: str
+    rounds: int
+    message_bits: int
+    bulk_bits: int
+    unicast_messages: int
+    broadcast_messages: int
+    bulk_messages: int
+    per_round: tuple[RoundMetrics, ...]
+    sent_bits: tuple[int, ...]
+    received_bits: tuple[int, ...]
+    counters: tuple[dict, ...] = field(default_factory=tuple)
+    link_bits: dict | None = None
+    phases: dict | None = None
+
+    @property
+    def messages(self) -> int:
+        """Total messages delivered over the whole run."""
+        return self.unicast_messages + self.broadcast_messages + self.bulk_messages
+
+    def max_node_load(self) -> tuple[int, int]:
+        """``(node, bits)`` for the node with the largest total traffic."""
+        if not self.sent_bits:
+            return (0, 0)
+        loads = [s + r for s, r in zip(self.sent_bits, self.received_bits)]
+        node = max(range(len(loads)), key=lambda v: (loads[v], -v))
+        return node, loads[node]
+
+    def max_counter(self, key: str) -> int:
+        """Largest per-node value of counter ``key`` (0 when unused)."""
+        return max((c.get(key, 0) for c in self.counters), default=0)
+
+    def routed_payload_load(self) -> int:
+        """Max per-node routed payload bits — the exponent-bearing load.
+
+        This is the quantity the E9–E12 experiments fit: the larger of
+        the per-node ``route_payload_in_bits`` / ``route_payload_out_bits``
+        counters maintained by the Lemma 2 routing primitive.
+        """
+        return max(
+            self.max_counter("route_payload_in_bits"),
+            self.max_counter("route_payload_out_bits"),
+        )
+
+    def busiest_links(self, limit: int = 10) -> list[tuple[int, int, int]]:
+        """The ``limit`` heaviest links as ``(src, dst, bits)`` triples.
+
+        Requires the collector to have run with ``links=True``.
+        """
+        if not self.link_bits:
+            return []
+        ranked = sorted(
+            self.link_bits.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [(src, dst, bits) for (src, dst), bits in ranked[:limit]]
+
+    def per_round_rows(self) -> list[dict]:
+        """Table rows (one per round) for reports and the CLI."""
+        return [r.to_dict() for r in self.per_round]
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (inverse of :meth:`from_dict`)."""
+        return {
+            "n": self.n,
+            "bandwidth": self.bandwidth,
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "message_bits": self.message_bits,
+            "bulk_bits": self.bulk_bits,
+            "unicast_messages": self.unicast_messages,
+            "broadcast_messages": self.broadcast_messages,
+            "bulk_messages": self.bulk_messages,
+            "per_round": [r.to_dict() for r in self.per_round],
+            "sent_bits": list(self.sent_bits),
+            "received_bits": list(self.received_bits),
+            "counters": [dict(c) for c in self.counters],
+            "link_bits": (
+                None
+                if self.link_bits is None
+                else [
+                    [src, dst, bits]
+                    for (src, dst), bits in sorted(self.link_bits.items())
+                ]
+            ),
+            "phases": None if self.phases is None else dict(self.phases),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        link_bits = data.get("link_bits")
+        return cls(
+            n=data["n"],
+            bandwidth=data["bandwidth"],
+            engine=data["engine"],
+            rounds=data["rounds"],
+            message_bits=data["message_bits"],
+            bulk_bits=data["bulk_bits"],
+            unicast_messages=data["unicast_messages"],
+            broadcast_messages=data["broadcast_messages"],
+            bulk_messages=data["bulk_messages"],
+            per_round=tuple(
+                RoundMetrics.from_dict(r) for r in data["per_round"]
+            ),
+            sent_bits=tuple(data["sent_bits"]),
+            received_bits=tuple(data["received_bits"]),
+            counters=tuple(dict(c) for c in data.get("counters", ())),
+            link_bits=(
+                None
+                if link_bits is None
+                else {(src, dst): bits for src, dst, bits in link_bits}
+            ),
+            phases=data.get("phases"),
+        )
+
+
+class MetricsCollector(Observer):
+    """The default observer: builds a :class:`RunMetrics` from round stats.
+
+    Parameters
+    ----------
+    links:
+        Also maintain the per-link ``{(src, dst): bits}`` matrix.  This
+        needs one callback per delivered message, so it forces the fast
+        engine off its batched hot path — leave it off for timing runs.
+    profile:
+        Also collect per-phase wall-clock totals (forces engine timing).
+    """
+
+    def __init__(self, links: bool = False, profile: bool = False) -> None:
+        self.wants_messages = links
+        self.wants_timing = profile
+        self.links = links
+        self.profile = profile
+        self._reset()
+
+    def _reset(self) -> None:
+        self._n = 0
+        self._bandwidth = 0
+        self._engine = ""
+        self._rounds: list[RoundMetrics] = []
+        self._sent: list[int] = []
+        self._received: list[int] = []
+        self._counters: tuple[dict, ...] = ()
+        self._link_bits: dict[tuple[int, int], int] = {}
+        self._phases: dict[str, float] = {}
+        self._final_rounds = 0
+        self._metrics: RunMetrics | None = None
+
+    def describe(self) -> dict:
+        return {
+            "observer": "metrics",
+            "links": self.links,
+            "profile": self.profile,
+        }
+
+    def on_run_start(self, *, n: int, bandwidth: int, engine: str) -> None:
+        self._reset()
+        self._n = n
+        self._bandwidth = bandwidth
+        self._engine = engine
+        self._sent = [0] * n
+        self._received = [0] * n
+
+    def on_round(self, stats: RoundStats) -> None:
+        sent = stats.sent_bits
+        received = stats.received_bits
+        max_node = 0
+        max_load = -1
+        for v in range(len(sent)):
+            s = sent[v]
+            r = received[v]
+            self._sent[v] += s
+            self._received[v] += r
+            load = s + r
+            if load > max_load:
+                max_load = load
+                max_node = v
+        self._rounds.append(
+            RoundMetrics(
+                round=stats.round,
+                unicast_messages=stats.unicast_messages,
+                broadcast_messages=stats.broadcast_messages,
+                bulk_messages=stats.bulk_messages,
+                message_bits=stats.message_bits,
+                bulk_bits=stats.bulk_bits,
+                max_load_node=max_node,
+                max_load_bits=max(max_load, 0),
+            )
+        )
+
+    def on_message(
+        self, *, round: int, src: int, dst: int, bits: int, kind: str
+    ) -> None:
+        if self.links:
+            key = (src, dst)
+            self._link_bits[key] = self._link_bits.get(key, 0) + bits
+
+    def on_phases(self, *, round: int, seconds: dict) -> None:
+        for phase, secs in seconds.items():
+            self._phases[phase] = self._phases.get(phase, 0.0) + secs
+
+    def on_run_end(self, *, rounds: int, counters: tuple) -> None:
+        self._final_rounds = rounds
+        self._counters = tuple(dict(c) for c in counters)
+        self._metrics = RunMetrics(
+            n=self._n,
+            bandwidth=self._bandwidth,
+            engine=self._engine,
+            rounds=rounds,
+            message_bits=sum(r.message_bits for r in self._rounds),
+            bulk_bits=sum(r.bulk_bits for r in self._rounds),
+            unicast_messages=sum(r.unicast_messages for r in self._rounds),
+            broadcast_messages=sum(
+                r.broadcast_messages for r in self._rounds
+            ),
+            bulk_messages=sum(r.bulk_messages for r in self._rounds),
+            per_round=tuple(self._rounds),
+            sent_bits=tuple(self._sent),
+            received_bits=tuple(self._received),
+            counters=self._counters,
+            link_bits=dict(self._link_bits) if self.links else None,
+            phases=dict(self._phases) if self.profile else None,
+        )
+
+    def run_metrics(self) -> RunMetrics | None:
+        return self._metrics
+
+
+def summarise_metrics(all_metrics: Iterable[RunMetrics]) -> dict[str, Any]:
+    """Aggregate a collection of :class:`RunMetrics` (e.g. one sweep).
+
+    Returns run counts plus total/mean bit volumes and the overall
+    maximum routed payload load — the cross-worker rollup ``run_sweep``
+    exposes.
+    """
+    metrics = [m for m in all_metrics if m is not None]
+    if not metrics:
+        return {"runs": 0}
+    total_bits = sum(m.message_bits for m in metrics)
+    total_bulk = sum(m.bulk_bits for m in metrics)
+    total_rounds = sum(m.rounds for m in metrics)
+    return {
+        "runs": len(metrics),
+        "total_rounds": total_rounds,
+        "mean_rounds": total_rounds / len(metrics),
+        "total_message_bits": total_bits,
+        "total_bulk_bits": total_bulk,
+        "mean_message_bits": total_bits / len(metrics),
+        "max_routed_payload_load": max(
+            m.routed_payload_load() for m in metrics
+        ),
+        "max_node_load_bits": max(m.max_node_load()[1] for m in metrics),
+    }

@@ -1,0 +1,115 @@
+"""Wall-clock profiling of engine phases.
+
+Engines split each round into phases — ``spawn`` (building nodes and
+generators, attributed to round 0), then per round ``deliver`` (moving
+queued messages into inboxes, including validation where the backend
+fuses it) and ``advance`` (running the node generators to their next
+yield); the reference engine separates ``validate`` where it performs
+model-variant checks.  When an attached observer sets ``wants_timing``
+the engine brackets each phase with a :class:`PhaseTimer` and reports
+per-round timings via ``on_phases``.
+
+:class:`Profiler` is the bundled consumer: it accumulates per-phase
+totals and per-round breakdowns and renders them as table rows for
+``repro stats --profile``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .observer import Observer
+
+__all__ = ["PhaseTimer", "Profiler"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase for one round.
+
+    Usage inside an engine::
+
+        timer = PhaseTimer()
+        timer.start("deliver")
+        ...
+        timer.stop()            # closes "deliver"
+        observer.on_phases(round=r, seconds=timer.flush())
+    """
+
+    __slots__ = ("_seconds", "_phase", "_t0")
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._phase: str | None = None
+        self._t0 = 0.0
+
+    def start(self, phase: str) -> None:
+        """Begin timing ``phase`` (closing any phase still open)."""
+        now = time.perf_counter()
+        if self._phase is not None:
+            self._seconds[self._phase] = (
+                self._seconds.get(self._phase, 0.0) + now - self._t0
+            )
+        self._phase = phase
+        self._t0 = now
+
+    def stop(self) -> None:
+        """Close the currently open phase (no-op when none is open)."""
+        if self._phase is None:
+            return
+        now = time.perf_counter()
+        self._seconds[self._phase] = (
+            self._seconds.get(self._phase, 0.0) + now - self._t0
+        )
+        self._phase = None
+
+    def flush(self) -> dict[str, float]:
+        """Close any open phase and return (then reset) the totals."""
+        self.stop()
+        seconds = self._seconds
+        self._seconds = {}
+        return seconds
+
+
+class Profiler(Observer):
+    """Observer accumulating per-phase wall-clock time.
+
+    ``totals`` maps phase name to whole-run seconds; ``rounds`` keeps
+    the per-round breakdown (round 0 is the pre-round ``spawn`` phase).
+    """
+
+    wants_timing = True
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.rounds: list[tuple[int, dict[str, float]]] = []
+
+    def describe(self) -> dict:
+        return {"observer": "profiler"}
+
+    def on_run_start(self, *, n: int, bandwidth: int, engine: str) -> None:
+        self.totals = {}
+        self.rounds = []
+
+    def on_phases(self, *, round: int, seconds: dict) -> None:
+        self.rounds.append((round, dict(seconds)))
+        for phase, secs in seconds.items():
+            self.totals[phase] = self.totals.get(phase, 0.0) + secs
+
+    def total_seconds(self) -> float:
+        """Whole-run time across all phases."""
+        return sum(self.totals.values())
+
+    def phase_rows(self) -> list[dict]:
+        """Per-phase summary rows for reports and the CLI."""
+        total = self.total_seconds()
+        rows = []
+        for phase in sorted(self.totals, key=lambda p: -self.totals[p]):
+            secs = self.totals[phase]
+            rows.append(
+                {
+                    "phase": phase,
+                    "seconds": round(secs, 6),
+                    "share": f"{100 * secs / total:.1f}%" if total else "-",
+                }
+            )
+        return rows

@@ -1,0 +1,206 @@
+"""Structured event tracing with pluggable sinks and sampling.
+
+A :class:`Tracer` is an observer that turns the engine's event stream
+into flat :class:`TraceEvent` records — round boundaries, per-message
+deliveries, node outputs — and hands them to a :class:`TraceSink`.
+Unlike transcripts (which capture the *payloads* for bit-exact replay),
+a trace captures the *shape* of an execution for debugging: who talked
+to whom, when, how much.
+
+Sinks: :class:`RingBufferSink` keeps the last ``capacity`` events in
+memory; :class:`JSONLSink` appends one JSON object per line to a file.
+``sample=k`` keeps every ``k``-th message event (round/halt boundary
+events are never sampled away, so the skeleton of the run is always
+complete).
+
+In the synchronous lockstep model a message sent in round *r* is
+delivered in the same round, so the trace emits a single ``deliver``
+event per message rather than a redundant send/deliver pair.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, IO
+
+from ..clique.errors import CliqueError
+from .observer import Observer, RoundStats
+
+__all__ = [
+    "JSONLSink",
+    "RingBufferSink",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``kind`` is one of ``run_start``, ``round_start``, ``deliver``,
+    ``round_end``, ``output``, ``run_end``.  Unused fields are ``None``.
+    """
+
+    kind: str
+    round: int
+    src: int | None = None
+    dst: int | None = None
+    bits: int | None = None
+    channel: str | None = None
+    detail: Any = None
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind, "round": self.round}
+        for key in ("src", "dst", "bits", "channel", "detail"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
+
+
+class TraceSink:
+    """Receives trace events; subclasses implement :meth:`emit`."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release any resources (idempotent)."""
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise CliqueError(f"ring buffer capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._buffer: list[TraceEvent] = []
+        self._start = 0
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(event)
+        else:
+            self._buffer[self._start] = event
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first."""
+        return self._buffer[self._start :] + self._buffer[: self._start]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JSONLSink(TraceSink):
+    """Appends one JSON object per event to ``path`` (or a file object)."""
+
+    def __init__(self, path) -> None:
+        self._fh: IO[str]
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns = False
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+            self._owns = True
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+
+class Tracer(Observer):
+    """Observer producing a structured event trace.
+
+    Parameters
+    ----------
+    sink:
+        Where events go (default: a fresh :class:`RingBufferSink`).
+    sample:
+        Keep every ``sample``-th *message* event (1 = keep all).
+        Boundary events (round start/end, outputs) are always kept.
+    """
+
+    wants_messages = True
+
+    def __init__(self, sink: TraceSink | None = None, sample: int = 1) -> None:
+        if sample < 1:
+            raise CliqueError(f"sample must be >= 1, got {sample}")
+        self.sink = sink if sink is not None else RingBufferSink()
+        self.sample = sample
+        self._seen_messages = 0
+
+    def describe(self) -> dict:
+        return {
+            "observer": "tracer",
+            "sink": type(self.sink).__name__,
+            "sample": self.sample,
+        }
+
+    def on_run_start(self, *, n: int, bandwidth: int, engine: str) -> None:
+        self._seen_messages = 0
+        self.sink.emit(
+            TraceEvent(
+                kind="run_start",
+                round=0,
+                detail={"n": n, "bandwidth": bandwidth, "engine": engine},
+            )
+        )
+
+    def on_message(
+        self, *, round: int, src: int, dst: int, bits: int, kind: str
+    ) -> None:
+        self._seen_messages += 1
+        if (self._seen_messages - 1) % self.sample:
+            return
+        self.sink.emit(
+            TraceEvent(
+                kind="deliver",
+                round=round,
+                src=src,
+                dst=dst,
+                bits=bits,
+                channel=kind,
+            )
+        )
+
+    def on_round(self, stats: RoundStats) -> None:
+        self.sink.emit(
+            TraceEvent(
+                kind="round_end",
+                round=stats.round,
+                bits=stats.message_bits + stats.bulk_bits,
+                detail={"messages": stats.messages},
+            )
+        )
+
+    def on_halt(self, *, round: int, node: int) -> None:
+        self.sink.emit(TraceEvent(kind="output", round=round, src=node))
+
+    def on_run_end(self, *, rounds: int, counters: tuple) -> None:
+        self.sink.emit(
+            TraceEvent(
+                kind="run_end",
+                round=rounds,
+                detail={"sampled_out": self._sampled_out()},
+            )
+        )
+        self.sink.close()
+
+    def _sampled_out(self) -> int:
+        """How many message events the sampler dropped."""
+        if self.sample == 1:
+            return 0
+        kept = (self._seen_messages + self.sample - 1) // self.sample
+        return self._seen_messages - kept

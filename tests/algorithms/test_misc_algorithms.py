@@ -1,7 +1,6 @@
 """Tests for MaxIS/MinVC, colouring, k-path colour coding, and MST."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.algorithms.coloring import decide_k_colouring, find_k_colouring

@@ -138,7 +138,6 @@ class TestRoundScaling:
     def test_triangle_sublinear(self):
         """Triangle detection should cost far fewer rounds than gathering
         at larger n (the n^(1/3) vs n/log n separation)."""
-        import math
 
         from repro.algorithms.broadcast import gather_graph
 

@@ -5,7 +5,6 @@ collectives — places where off-by-one bugs in the group machinery would
 hide.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms import (

@@ -1,6 +1,5 @@
 """Tests for exponent fitting and table rendering."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.fitting import fit_exponent
@@ -60,4 +59,4 @@ class TestFormatTable:
     def test_alignment(self):
         rows = [{"name": "x", "v": 1}, {"name": "longer", "v": 22}]
         lines = format_table(rows).splitlines()
-        assert len({len(l) for l in lines}) == 1  # all lines same width
+        assert len({len(line) for line in lines}) == 1  # all lines same width

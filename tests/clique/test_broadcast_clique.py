@@ -16,7 +16,6 @@ from repro.clique.bits import BitString
 from repro.clique.errors import ProtocolViolation
 from repro.clique.graph import CliqueGraph
 from repro.clique.network import CongestedClique
-from repro.core.nondeterminism import run_with_labelling
 from repro.core.verifiers import k_independent_set_verifier
 from repro.problems import generators as gen
 from repro.problems import reference as ref

@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 from repro.clique.bits import BitString
 from repro.clique.errors import BandwidthExceeded, DuplicateMessage
 from repro.clique.network import CongestedClique
-from repro.problems import generators as gen
 
 
 def random_chatter_program(plan):

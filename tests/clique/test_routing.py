@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.clique.bits import BitString, BitWriter
+from repro.clique.bits import BitString
 from repro.clique.errors import ProtocolViolation
 from repro.clique.network import CongestedClique
 from repro.clique.routing import ROUTE_SCHEMES, relay_min_bandwidth, route

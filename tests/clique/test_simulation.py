@@ -1,6 +1,5 @@
 """Tests for the virtual-clique simulation layer (Theorem 10's engine)."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.dominating_set import k_dominating_set

@@ -54,6 +54,31 @@ class TestEncodeDecode:
         assert Transcript.decode(node, n, t.encode()) == t
 
 
+class TestWidthLimits:
+    def test_empty_rounds_roundtrip(self):
+        t = make_transcript(1, 4, [({}, {}), ({}, {}), ({}, {})])
+        back = Transcript.decode(1, 4, t.encode())
+        assert back == t
+        assert back.num_rounds() == 3
+        assert back.total_bits() == 0
+
+    def test_max_width_payload_roundtrip(self):
+        # 65535 bits is the ceiling of the encoding's 16-bit length field.
+        width = 65535
+        ones = BitString((1 << width) - 1, width)
+        zeros = BitString.zeros(width)
+        t = Transcript(
+            node=0,
+            n=2,
+            rounds=(RoundRecord(sent={1: ones}, received={1: zeros}),),
+        )
+        back = Transcript.decode(0, 2, t.encode())
+        assert back == t
+        assert back.rounds[0].sent[1] == ones
+        assert back.rounds[0].received[1] == zeros
+        assert back.total_bits() == 2 * width
+
+
 class TestAccounting:
     def test_total_bits(self):
         t = make_transcript(0, 3, [({1: "101"}, {2: "01"}), ({}, {1: "1"})])

@@ -10,7 +10,6 @@ from repro.core.verifiers import (
     k_vertex_cover_verifier,
 )
 from repro.problems import all_graphs
-from repro.problems import generators as gen
 
 
 class TestCompiledSolvability:

@@ -1,6 +1,5 @@
 """Tests for the constant-round decision hierarchy and Theorem 7."""
 
-import itertools
 
 import pytest
 

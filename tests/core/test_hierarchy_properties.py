@@ -6,7 +6,6 @@ complementation swaps Sigma and Pi.  Beyond the structural checks in
 triangle (Sigma_1 = NCLIQUE(1)) vs triangle-freeness (Pi_1 = co-nondet).
 """
 
-import pytest
 
 from repro.clique.bits import BitReader, BitString, uint_width
 from repro.clique.graph import CliqueGraph

@@ -12,7 +12,6 @@ from repro.core.labelling_problems import (
     maximal_matching_problem,
 )
 from repro.problems import generators as gen
-from repro.problems import reference as ref
 
 
 class TestColouringSearch:

@@ -4,10 +4,7 @@ import pytest
 
 from repro.clique.bits import BitString
 from repro.clique.graph import CliqueGraph
-from repro.core.nondeterminism import (
-    decide_nondeterministic,
-    run_with_labelling,
-)
+from repro.core.nondeterminism import run_with_labelling
 from repro.core.normal_form import (
     normal_form_label_bound,
     simulate_node_locally,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.clique.bits import BitString
 from repro.clique.graph import CliqueGraph
-from repro.clique.network import CongestedClique
 from repro.core.hierarchy import (
     complement_acceptance,
     pi2_decides,

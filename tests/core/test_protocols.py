@@ -1,8 +1,6 @@
 """Tests for the non-uniform protocol model and exhaustive enumeration."""
 
-import itertools
 
-import pytest
 
 from repro.core.protocols import (
     acceptance_computable,

@@ -5,7 +5,6 @@ import pytest
 from repro.clique.bits import BitReader, BitString, uint_width
 from repro.clique.graph import CliqueGraph
 from repro.clique.primitives import all_broadcast
-from repro.core.nondeterminism import decide_nondeterministic
 from repro.core.randomness import (
     MonteCarloAlgorithm,
     estimate_acceptance,
@@ -13,8 +12,6 @@ from repro.core.randomness import (
     run_with_randomness,
 )
 from repro.problems import all_graphs
-from repro.problems import generators as gen
-from repro.problems import reference as ref
 
 
 def guess_triangle_mc() -> MonteCarloAlgorithm:

@@ -4,8 +4,7 @@ import itertools
 
 import pytest
 
-from repro.core.counting import log2_num_functions
-from repro.core.protocols import computable_functions, index_of_function
+from repro.core.protocols import computable_functions
 from repro.core.time_hierarchy import (
     TimeHierarchyMiniature,
     decider_program,

@@ -1,7 +1,6 @@
 """Tests for the content-addressed run cache and its input digests."""
 
 import numpy as np
-import pytest
 
 from repro.clique.bits import BitString
 from repro.engine import RunCache, content_digest
@@ -79,6 +78,28 @@ class TestRunCache:
             self.key(cache, input_digest=content_digest({"seed": 1})) != base
         )
         assert self.key(cache, extra="v2") != base
+
+    def test_observer_config_is_part_of_the_key(self, tmp_path):
+        """Runs that observe differently carry different metrics payloads;
+        an entry cached with metrics off must not satisfy a metrics-on
+        lookup (and vice versa)."""
+        from repro.obs import MetricsCollector, Tracer
+
+        cache = RunCache(tmp_path)
+        default = self.key(cache)  # observer omitted -> default metrics
+        assert self.key(cache, observer=None) == default
+        assert self.key(cache, observer=False) != default
+        assert self.key(cache, observer="metrics") == default
+        assert self.key(cache, observer=MetricsCollector()) == default
+        assert (
+            self.key(cache, observer=MetricsCollector(links=True)) != default
+        )
+        assert self.key(cache, observer=Tracer()) != default
+        # Pre-normalised dict descriptions are accepted as-is.
+        assert (
+            self.key(cache, observer={"observer": "off"})
+            == self.key(cache, observer=False)
+        )
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = RunCache(tmp_path)

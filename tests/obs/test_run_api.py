@@ -1,0 +1,218 @@
+"""The unified run API: observer/check/transcripts keywords, the
+deprecation shims, engine resolution conflicts, and sweep integration."""
+
+import pytest
+
+from repro.clique import run_algorithm
+from repro.clique.bits import BitString
+from repro.clique.errors import CliqueError
+from repro.clique.network import CongestedClique, RunResult
+from repro.engine import (
+    FastEngine,
+    ReferenceEngine,
+    RunSpec,
+    aggregate_sweep_metrics,
+    canonical_check,
+    resolve_engine,
+    run_sweep,
+)
+from repro.obs import (
+    CompositeObserver,
+    MetricsCollector,
+    Profiler,
+    Tracer,
+    describe_observer,
+    resolve_observer,
+)
+from repro.problems import generators as gen
+
+
+def ring_prog(node):
+    node.send((node.id + 1) % node.n, BitString(1, 1))
+    yield
+    return node.id
+
+
+def ring_factory(config):
+    return RunSpec(program=ring_prog, n=config["n"])
+
+
+class TestObserverSpecs:
+    def test_default_is_metrics(self):
+        assert isinstance(resolve_observer(None), MetricsCollector)
+        assert isinstance(resolve_observer(True), MetricsCollector)
+        assert isinstance(resolve_observer("metrics"), MetricsCollector)
+
+    def test_off(self):
+        assert resolve_observer(False) is None
+        assert resolve_observer("off") is None
+
+    def test_instance_passes_through(self):
+        obs = Profiler()
+        assert resolve_observer(obs) is obs
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(CliqueError):
+            resolve_observer("everything")
+        with pytest.raises(CliqueError):
+            resolve_observer(42)
+
+    def test_describe_observer(self):
+        assert describe_observer(False) == {"observer": "off"}
+        assert describe_observer(None)["observer"] == "metrics"
+        assert describe_observer(Tracer())["observer"] == "tracer"
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_run_metrics_on_by_default_off_on_request(self, engine):
+        on = CongestedClique(4).run(ring_prog, engine=engine)
+        off = CongestedClique(4).run(
+            ring_prog, engine=engine, observer=False
+        )
+        assert on.metrics is not None
+        assert on.metrics.engine == engine
+        assert off.metrics is None
+        assert on.rounds == off.rounds
+
+    def test_composite_observer(self):
+        tracer, profiler, collector = Tracer(), Profiler(), MetricsCollector()
+        composite = CompositeObserver(tracer, profiler, collector)
+        assert composite.wants_messages and composite.wants_timing
+        result = CongestedClique(4).run(ring_prog, observer=composite)
+        assert result.metrics is not None  # from the collector part
+        assert profiler.totals
+        assert len(tracer.sink.events()) > 0
+
+
+class TestCheckVocabulary:
+    def test_canonical_levels_pass_through(self):
+        for level in ("full", "bandwidth", "off"):
+            assert canonical_check(level) == level
+        assert canonical_check(None) is None
+
+    def test_legacy_booleans_warn(self):
+        with pytest.warns(DeprecationWarning):
+            assert canonical_check(True) == "full"
+        with pytest.warns(DeprecationWarning):
+            assert canonical_check(False) == "off"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(CliqueError):
+            canonical_check("paranoid")
+
+    def test_run_accepts_check(self):
+        result = CongestedClique(4).run(
+            ring_prog, engine="reference", check="bandwidth"
+        )
+        assert result.rounds == 1
+
+
+class TestEngineResolution:
+    def test_check_configures_named_engine(self):
+        engine = resolve_engine("fast", check="off")
+        assert isinstance(engine, FastEngine) and engine.check == "off"
+        assert resolve_engine(None, check="bandwidth").check == "bandwidth"
+
+    def test_instance_passes_through(self):
+        engine = FastEngine(check="off")
+        assert resolve_engine(engine) is engine
+        assert resolve_engine(engine, check="off") is engine
+
+    def test_conflicting_instance_check_rejected(self):
+        with pytest.raises(CliqueError):
+            resolve_engine(FastEngine(check="off"), check="full")
+
+    def test_reference_describe_is_stable(self):
+        # Frozen shape: existing cache entries are keyed on it.
+        assert ReferenceEngine().describe() == {"engine": "reference"}
+        assert ReferenceEngine(check="off").describe() == {
+            "engine": "reference",
+            "check": "off",
+        }
+
+
+class TestDeprecatedForms:
+    def test_positional_aux_warns_but_works(self):
+        def prog(node):
+            return node.aux
+            yield
+
+        clique = CongestedClique(3)
+        with pytest.warns(DeprecationWarning):
+            result = clique.run(prog, None, 7)
+        assert result.outputs == {v: 7 for v in range(3)}
+
+    def test_positional_and_keyword_aux_conflict(self):
+        def prog(node):
+            return node.aux
+            yield
+
+        with pytest.raises(TypeError):
+            CongestedClique(3).run(prog, None, 7, aux=7)
+
+    def test_record_transcripts_keyword_warns(self):
+        g = gen.random_graph(6, 0.4, 0)
+
+        def prog(node):
+            return node.id
+            yield
+
+        with pytest.warns(DeprecationWarning):
+            result = run_algorithm(prog, g, record_transcripts=True)
+        assert result.transcripts is not None
+
+    def test_record_transcripts_conflicts_with_transcripts(self):
+        g = gen.random_graph(6, 0.4, 0)
+
+        def prog(node):
+            return node.id
+            yield
+
+        with pytest.raises(TypeError):
+            run_algorithm(
+                prog, g, record_transcripts=True, transcripts=False
+            )
+
+    def test_transcripts_keyword_overrides_clique_default(self):
+        clique = CongestedClique(4, record_transcripts=True)
+        off = clique.run(ring_prog, transcripts=False)
+        on = clique.run(ring_prog)
+        assert off.transcripts is None
+        assert on.transcripts is not None
+
+
+class TestRunResultStability:
+    def test_dict_round_trip(self):
+        result = CongestedClique(4, record_transcripts=True).run(ring_prog)
+        back = RunResult.from_dict(result.to_dict())
+        assert back == result
+        assert back.metrics == result.metrics
+        assert back.transcripts == result.transcripts
+
+
+class TestSweepIntegration:
+    def test_observer_instance_rejected(self):
+        with pytest.raises(CliqueError):
+            run_sweep(
+                ring_factory,
+                [{"n": 4}],
+                workers=1,
+                observer=MetricsCollector(),
+            )
+
+    def test_metrics_flow_through_sweep(self):
+        outcomes = run_sweep(
+            ring_factory, [{"n": 4}, {"n": 6}], workers=1
+        )
+        assert all(o.result.metrics is not None for o in outcomes)
+        summary = aggregate_sweep_metrics(outcomes)
+        assert summary["runs"] == 2
+        assert summary["total_message_bits"] == sum(
+            o.result.metrics.message_bits for o in outcomes
+        )
+
+    def test_observer_off_in_sweep(self):
+        outcomes = run_sweep(
+            ring_factory, [{"n": 4}], workers=1, observer=False
+        )
+        assert outcomes[0].result.metrics is None
+        assert aggregate_sweep_metrics(outcomes) == {"runs": 0}

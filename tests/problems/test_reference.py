@@ -1,6 +1,5 @@
 """Tests for centralised reference solvers against networkx ground truth."""
 
-import itertools
 
 import networkx as nx
 import numpy as np

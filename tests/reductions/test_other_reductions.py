@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clique.graph import INF, CliqueGraph
+from repro.clique.graph import INF
 from repro.problems import all_graphs
 from repro.problems import generators as gen
 from repro.problems import reference as ref

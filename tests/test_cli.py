@@ -35,6 +35,29 @@ class TestParser:
         assert args.engine == "fast" and args.check == "bandwidth"
         assert args.cache is None and args.workers is None
 
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats", "broadcast"])
+        assert args.n == 16 and args.engine == "fast"
+        assert args.links == 0 and not args.profile
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "bfs"])
+        assert args.limit == 40 and args.sample == 1
+        assert args.jsonl is None
+
+    def test_stats_choices_match_catalog(self):
+        from repro.engine import CATALOG
+
+        for command in ("stats", "trace"):
+            action = next(
+                a
+                for a in build_parser()._subparsers._group_actions[0]
+                .choices[command]
+                ._actions
+                if a.dest == "algorithm"
+            )
+            assert sorted(action.choices) == sorted(CATALOG)
+
 
 class TestCommands:
     def test_figure1(self, capsys):
@@ -95,6 +118,48 @@ class TestCommands:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "yes" in out  # the cached column on the second run
+
+    def test_stats_prints_per_round_table(self, capsys):
+        assert main(["stats", "broadcast", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "per-round metrics: broadcast" in out
+        assert "max_load_bits" in out
+        assert "run totals" in out
+        assert "routed payload load" in out
+
+    def test_stats_links_and_profile(self, capsys):
+        assert (
+            main(
+                ["stats", "bfs", "--n", "9", "--links", "3", "--profile",
+                 "--engine", "reference"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "busiest links (top 3)" in out
+        assert "phase profile" in out
+        assert "validate" in out  # the reference engine's extra phase
+
+    def test_trace_prints_event_table(self, capsys):
+        assert main(["trace", "bfs", "--n", "9", "--limit", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "trace: bfs" in out
+        assert "run_end" in out
+
+    def test_trace_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert (
+            main(["trace", "bfs", "--n", "9", "--jsonl", str(path)]) == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        records = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert records[0]["kind"] == "run_start"
+        assert records[-1]["kind"] == "run_end"
 
     def test_demo_unknown_rejected(self):
         with pytest.raises(SystemExit):

@@ -9,6 +9,7 @@ import pytest
 SUBPACKAGES = [
     "repro",
     "repro.clique",
+    "repro.obs",
     "repro.engine",
     "repro.algorithms",
     "repro.core",
@@ -36,7 +37,7 @@ def test_all_is_sorted_and_unique(name):
 def test_substrate_does_not_import_theory():
     """repro.clique is the bottom layer: it must not import repro.core,
     repro.algorithms, or repro.reductions."""
-    import repro.clique as clique_pkg
+    importlib.import_module("repro.clique")
 
     forbidden = ("repro.core", "repro.algorithms", "repro.reductions")
     import sys
@@ -53,6 +54,36 @@ def test_substrate_does_not_import_theory():
                 assert not any(
                     mod_name.startswith(f) for f in forbidden
                 ), f"{module.__name__} leaks {mod_name}"
+
+
+def test_obs_does_not_import_engines():
+    """repro.obs sits below repro.engine: engines import the observer
+    protocol, never the other way around."""
+    import sys
+
+    for name in list(sys.modules):
+        if name.startswith("repro.obs") or name.startswith("repro.engine"):
+            del sys.modules[name]
+    importlib.import_module("repro.obs")
+    assert not any(n.startswith("repro.engine") for n in sys.modules)
+
+
+def test_run_result_field_set_is_frozen():
+    """RunResult is a stable, public dataclass: adding a field is an API
+    change that must update this list (and to_dict/from_dict) together."""
+    from repro.clique.network import RunResult
+
+    assert RunResult.field_names() == (
+        "outputs",
+        "rounds",
+        "total_message_bits",
+        "bulk_bits",
+        "sent_bits",
+        "received_bits",
+        "counters",
+        "transcripts",
+        "metrics",
+    )
 
 
 def test_version_present():
