@@ -10,6 +10,10 @@ The package layers:
 * :mod:`repro.engine` — pluggable execution backends (validating
   reference engine, batched fast engine), the multiprocess sweep
   runner, the on-disk run cache and the engine differential checker,
+* :mod:`repro.faults` — deterministic, seed-replayable fault injection
+  (drops, corruption, duplication, link failures, crashes) and the
+  ``resilient`` ack/retransmit wrapper that masks omission faults at an
+  honest round/bit cost,
 * :mod:`repro.algorithms` — every distributed upper bound the paper
   states or uses (Theorems 9 and 11, Dolev et al. subgraph detection,
   matrix multiplication, APSP/SSSP/BFS, MST, k-path),
@@ -36,7 +40,16 @@ Quickstart::
     found, witness = result.common_output()
 """
 
-from . import algorithms, analysis, clique, core, engine, problems, reductions
+from . import (
+    algorithms,
+    analysis,
+    clique,
+    core,
+    engine,
+    faults,
+    problems,
+    reductions,
+)
 
 __version__ = "0.1.0"
 
@@ -46,6 +59,7 @@ __all__ = [
     "clique",
     "core",
     "engine",
+    "faults",
     "problems",
     "reductions",
     "__version__",

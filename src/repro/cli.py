@@ -131,6 +131,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-cache directory (reruns of the same grid are free)",
     )
     p_sweep.add_argument("--base-seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help=(
+            "deterministic fault plan applied to every point, e.g. "
+            "'drop=0.1,corrupt=0.01,seed=7'"
+        ),
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-point wall-clock deadline; hung points are killed and "
+            "marked failed (runs points serially in watched children)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=0,
+        help="retry a failing point this many times before marking it failed",
+    )
 
     p_stats = sub.add_parser(
         "stats",
@@ -154,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "--profile", action="store_true",
         help="also print the wall-clock phase breakdown",
+    )
+    p_stats.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help=(
+            "inject deterministic faults and show per-round/per-kind "
+            "fault counts, e.g. 'drop=0.1,seed=7'"
+        ),
     )
 
     p_trace = sub.add_parser(
@@ -387,21 +412,25 @@ def _cmd_stats(args) -> int:
         args.engine,
         check=args.check,
         observer=collector,
+        fault_plan=args.fault_plan,
     )
     metrics = result.metrics
+    columns = [
+        "round",
+        "unicast_messages",
+        "broadcast_messages",
+        "bulk_messages",
+        "message_bits",
+        "bulk_bits",
+        "max_load_node",
+        "max_load_bits",
+    ]
+    if args.fault_plan is not None or metrics.total_faults:
+        columns.append("faults")
     print(
         format_table(
             metrics.per_round_rows(),
-            columns=[
-                "round",
-                "unicast_messages",
-                "broadcast_messages",
-                "bulk_messages",
-                "message_bits",
-                "bulk_bits",
-                "max_load_node",
-                "max_load_bits",
-            ],
+            columns=columns,
             title=(
                 f"per-round metrics: {args.algorithm} "
                 f"(n={metrics.n}, B={metrics.bandwidth}, "
@@ -421,6 +450,14 @@ def _cmd_stats(args) -> int:
             "value": metrics.routed_payload_load(),
         },
     ]
+    if args.fault_plan is not None or metrics.total_faults:
+        summary.append(
+            {"quantity": "faults (total)", "value": metrics.total_faults}
+        )
+        for kind in sorted(metrics.faults):
+            summary.append(
+                {"quantity": f"faults: {kind}", "value": metrics.faults[kind]}
+            )
     print()
     print(format_table(summary, title="run totals"))
     if args.links > 0:
@@ -531,15 +568,20 @@ def _cmd_sweep(args) -> int:
         engine=engine,
         cache=cache,
         base_seed=args.base_seed,
+        fault_plan=args.fault_plan,
+        timeout=args.timeout,
+        retries=args.retries,
     )
 
     rows = [
         {
             "n": o.config["n"],
             "seed": o.config["seed"],
-            "rounds": o.result.rounds,
-            "message bits": o.result.total_message_bits,
-            "payload load (bits)": _measured_load(o.result),
+            "rounds": "FAILED" if o.failed else o.result.rounds,
+            "message bits": "-" if o.failed else o.result.total_message_bits,
+            "payload load (bits)": (
+                "-" if o.failed else _measured_load(o.result)
+            ),
             "cached": "yes" if o.from_cache else "-",
         }
         for o in outcomes
@@ -551,13 +593,17 @@ def _cmd_sweep(args) -> int:
             f"{len(configs)} grid points)",
         )
     )
+    failures = [o for o in outcomes if o.failed]
+    for o in failures:
+        print(f"FAILED: {o.error}", file=sys.stderr)
 
     # Fitted exponents: mean rounds (and payload load, when measured)
     # per clique size, least-squares in log-log space.
     fits = []
     by_n: dict[int, list] = {}
     for o in outcomes:
-        by_n.setdefault(o.config["n"], []).append(o)
+        if not o.failed:
+            by_n.setdefault(o.config["n"], []).append(o)
     ns = sorted(by_n)
     if len(ns) >= 2:
         mean_rounds = [
@@ -589,7 +635,7 @@ def _cmd_sweep(args) -> int:
         print(format_table(fits, title="fitted exponents (log-log)"))
     else:
         print("\n(need >= 2 distinct n for an exponent fit)")
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_demo(args) -> int:

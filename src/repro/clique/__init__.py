@@ -11,13 +11,16 @@ from .algorithm import run_algorithm
 from .bits import BitReader, BitString, BitWriter, decode_uint, encode_uint, uint_width
 from .errors import (
     BandwidthExceeded,
+    CacheCorruption,
     CliqueError,
     DuplicateMessage,
     EncodingError,
+    FaultInjected,
     InvalidAddress,
     ProtocolViolation,
     RoundLimitExceeded,
     RoutingOverload,
+    SweepPointFailed,
 )
 from .graph import INF, CliqueGraph, edge_owner, private_bit_layout
 from .network import CongestedClique, RunResult, default_bandwidth
@@ -42,11 +45,13 @@ __all__ = [
     "BitReader",
     "BitString",
     "BitWriter",
+    "CacheCorruption",
     "CliqueError",
     "CliqueGraph",
     "CongestedClique",
     "DuplicateMessage",
     "EncodingError",
+    "FaultInjected",
     "INF",
     "InvalidAddress",
     "Node",
@@ -56,6 +61,7 @@ __all__ = [
     "RoundRecord",
     "RoutingOverload",
     "RunResult",
+    "SweepPointFailed",
     "Transcript",
     "VirtualNode",
     "agree_uint_max",

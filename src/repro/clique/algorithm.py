@@ -25,6 +25,7 @@ def run_algorithm(
     check: Any = None,
     transcripts: bool | None = None,
     observer: Any = None,
+    fault_plan: Any = None,
     record_transcripts: Any = _UNSET,
 ) -> RunResult:
     """Run ``program`` on ``graph`` in a congested clique of ``graph.n`` nodes.
@@ -32,7 +33,8 @@ def run_algorithm(
     This is a thin wrapper over :meth:`CongestedClique.run` — it builds
     the clique from the graph's size and forwards the *same* keyword-only
     run options (``engine=``, ``check=``, ``transcripts=``,
-    ``observer=``); see that method for their semantics.  Each node ``v``
+    ``observer=``, ``fault_plan=``); see that method for their
+    semantics.  Each node ``v``
     receives ``graph.local_view(v)`` as its input and ``aux``'s per-node
     resolution as auxiliary input.
 
@@ -65,4 +67,5 @@ def run_algorithm(
         check=check,
         transcripts=transcripts,
         observer=observer,
+        fault_plan=fault_plan,
     )

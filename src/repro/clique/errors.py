@@ -68,3 +68,94 @@ class EncodingError(CliqueError):
 
 class RoutingOverload(CliqueError):
     """A routing instance violated the declared per-node load guarantee."""
+
+
+class FaultInjected(CliqueError):
+    """An injected fault surfaced at the program level.
+
+    Raised by the resilience layer (strict mode) when a fault could not
+    be masked — e.g. a message stayed unacknowledged after the full
+    retransmission budget.  ``kind`` names the surfaced failure mode
+    (``"unacked"``, ``"drop"``, ...); ``round``/``src``/``dst`` locate
+    it when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str | None = None,
+        round: int | None = None,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> None:
+        self.kind = kind
+        self.round = round
+        self.src = src
+        self.dst = dst
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Keyword-only fields don't survive the default Exception
+        # pickling (args-based); fault errors cross sweep-worker
+        # process boundaries, so spell the reconstruction out.
+        return (
+            _rebuild_fault_injected,
+            (str(self), self.kind, self.round, self.src, self.dst),
+        )
+
+
+def _rebuild_fault_injected(message, kind, round, src, dst):
+    return FaultInjected(message, kind=kind, round=round, src=src, dst=dst)
+
+
+class SweepPointFailed(CliqueError):
+    """One grid point of a parameter sweep failed.
+
+    Carries the grid ``index`` and the (seed-augmented) ``config`` so a
+    failure deep inside a worker names the exact point that caused it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        config: dict | None = None,
+    ) -> None:
+        self.index = index
+        self.config = config
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (_rebuild_sweep_point_failed, (str(self), self.index, self.config))
+
+
+def _rebuild_sweep_point_failed(message, index, config):
+    return SweepPointFailed(message, index=index, config=config)
+
+
+class CacheCorruption(CliqueError):
+    """A run-cache entry was unreadable or inconsistent.
+
+    The cache normally self-heals (evict + ``warnings.warn``); this is
+    raised instead when a caller asks for strict reads.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: str | None = None,
+        path: str | None = None,
+    ) -> None:
+        self.key = key
+        self.path = path
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (_rebuild_cache_corruption, (str(self), self.key, self.path))
+
+
+def _rebuild_cache_corruption(message, key, path):
+    return CacheCorruption(message, key=key, path=path)

@@ -314,6 +314,7 @@ class CongestedClique:
         check: Any = None,
         transcripts: bool | None = None,
         observer: Any = None,
+        fault_plan: Any = None,
     ) -> RunResult:
         """Execute ``program`` on all nodes synchronously.
 
@@ -344,6 +345,15 @@ class CongestedClique:
         ``RunResult.metrics``; ``False``/``"off"`` disables observation;
         any observer instance (e.g. a ``Tracer``) receives the run's
         event stream.
+
+        ``fault_plan`` injects deterministic, seed-replayable network
+        faults (drops, corruption, duplication, link failures, node
+        crashes) at delivery time: ``None`` (the default) runs the
+        reliable model; otherwise pass a
+        :class:`repro.faults.FaultPlan` or a spec string like
+        ``"drop=0.2,seed=7"``.  Injected faults surface as ``fault``
+        counters in ``RunResult.metrics`` and ``fault`` events in an
+        attached tracer.
         """
         if legacy_aux:
             if len(legacy_aux) > 1:
@@ -376,4 +386,5 @@ class CongestedClique:
             auxes,
             observer=observer,
             transcripts=transcripts,
+            fault_plan=fault_plan,
         )

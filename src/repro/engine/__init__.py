@@ -47,11 +47,13 @@ from .base import (
 from .cache import RunCache, content_digest, default_cache_dir
 from .diff import (
     CATALOG,
+    RESILIENT_CATALOG,
     EngineDiff,
     assert_engines_agree,
     catalog_factory,
     diff_catalog,
     diff_engines,
+    diff_resilient,
 )
 from .fast import FastEngine
 from .pool import (
@@ -71,6 +73,7 @@ __all__ = [
     "Engine",
     "EngineDiff",
     "FastEngine",
+    "RESILIENT_CATALOG",
     "ReferenceEngine",
     "RunCache",
     "RunSpec",
@@ -84,6 +87,7 @@ __all__ = [
     "derive_seed",
     "diff_catalog",
     "diff_engines",
+    "diff_resilient",
     "register_engine",
     "resolve_engine",
     "run_spec",

@@ -152,6 +152,7 @@ class Engine(ABC):
         *,
         observer: Any = None,
         transcripts: bool | None = None,
+        fault_plan: Any = None,
     ) -> RunResult:
         """Run ``program`` on all nodes of ``clique`` and return the result.
 
@@ -162,6 +163,13 @@ class Engine(ABC):
         (``None`` attaches the default metrics collector, ``False`` /
         ``"off"`` disables observation); ``transcripts`` overrides the
         clique's ``record_transcripts`` setting when not ``None``.
+
+        ``fault_plan`` follows :func:`repro.faults.resolve_fault_plan`
+        semantics (``None``, a :class:`~repro.faults.FaultPlan`, or a
+        spec string); when given, the engine consults the plan at
+        delivery time for every bandwidth-checked message and reports
+        injected faults through the observer.  The privileged bulk
+        channel is exempt.
         """
 
     def describe(self) -> dict:

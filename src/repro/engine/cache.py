@@ -13,7 +13,10 @@ derived from everything that determines the result:
 Entries are sharded two-level directories of ``<sha256>.pkl`` files;
 writes are atomic (temp file + rename), so concurrent sweep workers and
 concurrent sweeps can share one cache directory.  A corrupt or
-unreadable entry behaves as a miss.
+unreadable entry behaves as a miss *and self-heals*: the bad file is
+deleted (with a :class:`RuntimeWarning`) so repeated lookups don't
+re-parse garbage; ``get(..., strict=True)`` raises
+:class:`~repro.clique.errors.CacheCorruption` instead.
 """
 
 from __future__ import annotations
@@ -23,8 +26,11 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Iterator
+
+from ..clique.errors import CacheCorruption
 
 __all__ = ["RunCache", "content_digest", "default_cache_dir"]
 
@@ -35,7 +41,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: v2: keys include the observer configuration and payloads carry
 #: ``RunResult.metrics`` (a v1 metrics-free entry must not satisfy a
 #: metrics-on caller).
-_SCHEMA_VERSION = 2
+#: v3: ``RunMetrics`` gained the ``faults`` field (older pickled frozen
+#: instances would lack the attribute) and keys may carry a fault-plan
+#: description in ``extra``.
+_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -171,21 +180,48 @@ class RunCache:
 
     # -- storage ---------------------------------------------------------
 
-    def get(self, key: str) -> Any:
+    def get(self, key: str, *, strict: bool = False) -> Any:
         """The stored payload for ``key``, or ``None`` on a miss.
 
-        Unreadable or corrupt entries are treated as misses.
+        A corrupt or unreadable entry is treated as a miss, *evicted*
+        from disk (so the next lookup doesn't re-parse garbage) and
+        reported with a :class:`RuntimeWarning` — or, with
+        ``strict=True``, by raising
+        :class:`~repro.clique.errors.CacheCorruption` after eviction.
         """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
                 entry = pickle.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                ImportError, IndexError) as exc:
+            self._evict_corrupt(
+                key, path, f"unreadable: {type(exc).__name__}: {exc}", strict
+            )
             return None
         if not isinstance(entry, dict) or entry.get("key") != key:
+            self._evict_corrupt(
+                key, path, "malformed entry (missing or mismatched key)",
+                strict,
+            )
             return None
         return entry.get("payload")
+
+    def _evict_corrupt(
+        self, key: str, path: Path, why: str, strict: bool
+    ) -> None:
+        """Delete a bad entry and report it (warn, or raise when strict)."""
+        try:
+            path.unlink()
+            action = "evicted"
+        except OSError as exc:  # pragma: no cover - unlink races are rare
+            action = f"eviction failed ({exc})"
+        message = f"corrupt run-cache entry {path} ({why}); {action}"
+        if strict:
+            raise CacheCorruption(message, key=key, path=str(path))
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
 
     def put(self, key: str, payload: Any) -> None:
         """Atomically store ``payload`` under ``key``."""

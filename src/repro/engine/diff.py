@@ -13,7 +13,12 @@ programs.  This module provides
   ``config["algorithm"]`` (usable directly with
   :func:`~repro.engine.pool.run_sweep`);
 * :func:`diff_engines` / :func:`assert_engines_agree` — run one spec on
-  several backends and compare outputs, round counts and bit totals.
+  several backends and compare outputs, round counts and bit totals;
+* :func:`diff_resilient` — run catalog algorithms wrapped in the
+  :func:`repro.faults.resilient` ack/retransmit layer under a lossy
+  :class:`~repro.faults.FaultPlan` and check the outputs still match a
+  fault-free reference run (:data:`RESILIENT_CATALOG` names the
+  message-passing subset the wrapper supports — no bulk channel).
 """
 
 from __future__ import annotations
@@ -31,10 +36,12 @@ from .pool import RunSpec, run_spec
 __all__ = [
     "CATALOG",
     "EngineDiff",
+    "RESILIENT_CATALOG",
     "assert_engines_agree",
     "catalog_factory",
     "diff_catalog",
     "diff_engines",
+    "diff_resilient",
 ]
 
 
@@ -328,6 +335,76 @@ def assert_engines_agree(
     if not report.ok:
         raise CliqueError(report.summary())
     return report
+
+
+#: Catalog algorithms compatible with the :func:`repro.faults.resilient`
+#: wrapper: pure message-passing, no cost-model bulk channel (the
+#: wrapper's 3-bit frame header lives inside the per-link budget, so
+#: bulk sends are rejected).
+RESILIENT_CATALOG: tuple[str, ...] = ("bfs", "broadcast", "kvc")
+
+
+def diff_resilient(
+    names: Sequence[str] | None = None,
+    config: dict | None = None,
+    *,
+    fault_plan: "str | object" = "drop=0.2",
+    engines: Sequence["str | Engine"] = ("reference", "fast"),
+    timeout: int = 2,
+    max_attempts: int = 8,
+    backoff_cap: int = 8,
+) -> list[EngineDiff]:
+    """Differentially verify the resilience layer under injected faults.
+
+    For each named algorithm the fault-free reference run is the ground
+    truth; the same program wrapped in :func:`repro.faults.resilient` is
+    then executed under ``fault_plan`` on every backend, and the outputs
+    must match node for node.  Round counts and bit totals legitimately
+    grow (the ack/retransmit protocol pays for masking the faults), so
+    the report records them per backend — next to the ``"fault-free"``
+    baseline — without treating the growth as a mismatch.
+
+    ``names`` defaults to :data:`RESILIENT_CATALOG`; algorithms using
+    the bulk channel are incompatible with the wrapper and will raise.
+    """
+    from ..faults import resilient
+
+    reports = []
+    for name in names if names is not None else RESILIENT_CATALOG:
+        point = dict(config or {})
+        point["algorithm"] = name
+        engine_names = tuple(_engine_label(e) for e in engines)
+        report = EngineDiff(label=f"resilient:{name}", engines=engine_names)
+        baseline, _ = run_spec(catalog_factory(dict(point)), "reference")
+        report.rounds["fault-free"] = baseline.rounds
+        report.total_message_bits["fault-free"] = baseline.total_message_bits
+        for engine, engine_name in zip(engines, engine_names):
+            spec = catalog_factory(dict(point))
+            spec.program = resilient(
+                spec.program,
+                timeout=timeout,
+                max_attempts=max_attempts,
+                backoff_cap=backoff_cap,
+            )
+            result, _ = run_spec(spec, engine, fault_plan=fault_plan)
+            report.rounds[engine_name] = result.rounds
+            report.total_message_bits[engine_name] = result.total_message_bits
+            if sorted(result.outputs) != sorted(baseline.outputs):
+                report.mismatches.append(
+                    f"output nodes differ: fault-free="
+                    f"{sorted(baseline.outputs)} "
+                    f"{engine_name}={sorted(result.outputs)}"
+                )
+                continue
+            for v in sorted(baseline.outputs):
+                if not _outputs_equal(baseline.outputs[v], result.outputs[v]):
+                    report.mismatches.append(
+                        f"node {v} output: fault-free="
+                        f"{baseline.outputs[v]!r} "
+                        f"{engine_name}={result.outputs[v]!r}"
+                    )
+        reports.append(report)
+    return reports
 
 
 def diff_catalog(

@@ -41,6 +41,7 @@ from ..clique.errors import (
 from ..clique.network import NodeProgram, RunResult
 from ..clique.node import Node
 from ..clique.transcript import RoundRecord, Transcript
+from ..faults import FaultInjector, resolve_fault_plan
 from ..obs import RoundStats, resolve_observer
 from ..obs.profile import PhaseTimer
 from .base import CHECK_LEVELS, Engine, canonical_check, register_engine, spawn_generators
@@ -202,6 +203,7 @@ class FastEngine(Engine):
         *,
         observer: Any = None,
         transcripts: bool | None = None,
+        fault_plan: Any = None,
     ) -> RunResult:
         """Run ``program`` on all nodes with batched message delivery."""
         if clique.broadcast_only or clique.topology is not None:
@@ -219,6 +221,10 @@ class FastEngine(Engine):
             else (self.record_transcripts or clique.record_transcripts)
         )
         obs = resolve_observer(observer)
+        plan = resolve_fault_plan(fault_plan)
+        injector = (
+            FaultInjector(plan, n, obs) if plan is not None else None
+        )
         per_message = obs is not None and obs.wants_messages
         timer = (
             PhaseTimer() if obs is not None and obs.wants_timing else None
@@ -288,11 +294,16 @@ class FastEngine(Engine):
             else:
                 round_sent = sent_bits
                 round_received = received_bits
-            if rng is not None or record or per_message:
+            if injector is not None:
+                # Duplicate carryover lands first so a genuine message
+                # on the same link wins the inbox slot.
+                injector.inject_pending(this_round, inboxes, round_received)
+            if rng is not None or record or per_message or injector is not None:
                 sent_records, bits = self._deliver_explicit(
                     nodes, inboxes, rng, record,
                     round_sent, round_received,
                     obs if per_message else None, this_round,
+                    injector,
                 )
             else:
                 sent_records = None
@@ -435,14 +446,18 @@ class FastEngine(Engine):
         received_bits: list[int],
         obs=None,
         this_round: int = 0,
+        injector=None,
     ) -> tuple[
         list[dict[int, BitString]] | None, tuple[int, int, int, int, int]
     ]:
         """Slow path: expand every message, optionally permute delivery
-        order, record transcripts, and emit per-message observer events.
-        Returns the per-node sent records (``None`` when not recording)
-        and ``(message_bits, bulk_bits, unicast_messages,
-        broadcast_messages, bulk_messages)``."""
+        order, record transcripts, emit per-message observer events, and
+        apply fault injection (bulk messages are exempt — the privileged
+        router channel is reliable by fiat).  Message counts and sender
+        bits cover every *queued* message; receiver bits and inbox slots
+        only the delivered ones.  Returns the per-node sent records
+        (``None`` when not recording) and ``(message_bits, bulk_bits,
+        unicast_messages, broadcast_messages, bulk_messages)``."""
         n = len(nodes)
         messages: list[tuple[int, int, BitString, str]] = []
         for v, node in enumerate(nodes):
@@ -473,11 +488,16 @@ class FastEngine(Engine):
                 total_bits += plen
             counts[kind] += 1
             sent_bits[src] += plen
-            received_bits[dst] += plen
-            inboxes[dst][src] = payload
+            if injector is not None and kind != "bulk":
+                delivered = injector.deliver(this_round, src, dst, payload)
+            else:
+                delivered = payload
+            if delivered is not None:
+                received_bits[dst] += plen
+                inboxes[dst][src] = delivered
             if sent_records is not None:
                 sent_records[src][dst] = payload
-            if obs is not None:
+            if obs is not None and delivered is not None:
                 obs.on_message(
                     round=this_round, src=src, dst=dst, bits=plen, kind=kind
                 )

@@ -14,6 +14,14 @@ those grid points across worker processes:
 * an optional :class:`~repro.engine.cache.RunCache` makes re-running a
   sweep free: hits are returned without touching the pool.
 
+Resilience: a sweep survives individual bad grid points.  A point that
+raises is retried up to ``retries`` times with exponential backoff, then
+marked ``failed=True`` on its :class:`SweepOutcome` (carrying a
+:class:`~repro.clique.errors.SweepPointFailed`) while the rest of the
+grid completes — or, with ``on_error="raise"``, aborts the sweep.  With
+``timeout=`` each point runs in its own watched child process and is
+killed at the deadline, so a hung point cannot wedge the sweep.
+
 Workers use the ``fork`` start method (required so factories defined in
 scripts and test modules resolve); on platforms without ``fork``, or
 when ``workers <= 1``, the sweep runs serially in-process with identical
@@ -26,12 +34,16 @@ import hashlib
 import json
 import os
 import pickle
+import queue as queue_mod
+import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-from ..clique.errors import CliqueError
+from ..clique.errors import CliqueError, SweepPointFailed
 from ..clique.graph import CliqueGraph
 from ..clique.network import CongestedClique, NodeProgram, RunResult
+from ..faults import resolve_fault_plan
 from ..obs import Observer, describe_observer, summarise_metrics
 from .base import Engine, resolve_engine
 from .cache import RunCache, content_digest
@@ -45,6 +57,9 @@ __all__ = [
     "run_sweep",
 ]
 
+#: Ceiling on one retry-backoff sleep, seconds.
+_BACKOFF_CAP = 5.0
+
 
 @dataclass
 class RunSpec:
@@ -56,6 +71,8 @@ class RunSpec:
     :class:`~repro.clique.network.RunResult`; its return value lands in
     :attr:`SweepOutcome.value` (use it to compute verdicts/witness checks
     without shipping large intermediates back to the parent).
+    ``fault_plan`` attaches a deterministic fault plan (spec string or
+    :class:`~repro.faults.FaultPlan`) to every execution of this spec.
     """
 
     program: NodeProgram
@@ -67,6 +84,7 @@ class RunSpec:
     max_rounds: int | None = None
     record_transcripts: bool = False
     postprocess: Callable[[RunResult], Any] | None = None
+    fault_plan: Any = None
 
     def resolved_n(self) -> int:
         """The clique size, inferred from the graph input if not given."""
@@ -74,8 +92,11 @@ class RunSpec:
             return self.n
         if isinstance(self.node_input, CliqueGraph):
             return self.node_input.n
+        program = getattr(self.program, "__name__", None) or repr(self.program)
         raise CliqueError(
-            "RunSpec needs an explicit n unless node_input is a CliqueGraph"
+            f"RunSpec for {program!r} needs an explicit n unless node_input "
+            f"is a CliqueGraph (node_input is "
+            f"{type(self.node_input).__name__})"
         )
 
 
@@ -84,13 +105,18 @@ class SweepOutcome:
     """One grid point's result.
 
     ``config`` is the (seed-augmented) input config; ``value`` is the
-    spec's postprocess product, if any.
+    spec's postprocess product, if any.  A point that exhausted its
+    retries (crash, hang past the timeout, protocol violation) has
+    ``failed=True``, ``result=None`` and the
+    :class:`~repro.clique.errors.SweepPointFailed` in ``error``.
     """
 
     config: dict
-    result: RunResult
+    result: RunResult | None
     value: Any = None
     from_cache: bool = False
+    failed: bool = False
+    error: SweepPointFailed | None = None
 
 
 def derive_seed(base_seed: int, index: int, config: dict) -> int:
@@ -108,11 +134,13 @@ def run_spec(
     *,
     check: Any = None,
     observer: Any = None,
+    fault_plan: Any = None,
 ) -> tuple[RunResult, Any]:
     """Execute one :class:`RunSpec` on the given engine.
 
-    ``check`` and ``observer`` follow :meth:`CongestedClique.run`
-    semantics.  Returns ``(result, postprocess_value)``.
+    ``check``, ``observer`` and ``fault_plan`` follow
+    :meth:`CongestedClique.run` semantics; ``fault_plan=None`` falls back
+    to the spec's own plan.  Returns ``(result, postprocess_value)``.
     """
     clique = CongestedClique(
         spec.resolved_n(),
@@ -128,17 +156,48 @@ def run_spec(
         engine=engine,
         check=check,
         observer=observer,
+        fault_plan=fault_plan if fault_plan is not None else spec.fault_plan,
     )
     value = spec.postprocess(result) if spec.postprocess is not None else None
     return result, value
 
 
 def _execute_point(
-    task: tuple[Callable[[dict], RunSpec], dict, Any, Any],
+    task: tuple[Callable[[dict], RunSpec], dict, Any, Any, Any],
 ) -> tuple[RunResult, Any]:
     """Worker entry point: build the spec from the config and run it."""
-    factory, config, engine, observer = task
-    return run_spec(factory(config), engine, observer=observer)
+    factory, config, engine, observer, fault_plan = task
+    return run_spec(
+        factory(config), engine, observer=observer, fault_plan=fault_plan
+    )
+
+
+def _safe_execute_point(task: tuple) -> tuple[str, Any]:
+    """Run one point with in-process retries; never raises.
+
+    Returns ``("ok", (result, value))`` or ``("error", SweepPointFailed)``
+    so a bad grid point cannot take down a pool worker (or the whole
+    ``pool.map``) with it.
+    """
+    factory, config, engine, observer, fault_plan, index, retries, backoff = (
+        task
+    )
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return "ok", _execute_point(
+                (factory, config, engine, observer, fault_plan)
+            )
+        except Exception as exc:
+            if attempt > retries:
+                return "error", SweepPointFailed(
+                    f"sweep point {index} (config {config!r}) failed after "
+                    f"{attempt} attempt(s): {type(exc).__name__}: {exc}",
+                    index=index,
+                    config=config,
+                )
+            time.sleep(min(backoff * (1 << (attempt - 1)), _BACKOFF_CAP))
 
 
 def _factory_name(factory: Callable) -> str:
@@ -156,6 +215,7 @@ def _point_key(
     config: dict,
     engine_desc: dict,
     observer_desc: dict,
+    fault_desc: "dict | None" = None,
 ) -> str:
     """Cache key of one grid point (config determines the inputs)."""
     return cache.key_for(
@@ -165,6 +225,7 @@ def _point_key(
         input_digest=content_digest(config),
         engine=engine_desc,
         observer=observer_desc,
+        extra=fault_desc,
     )
 
 
@@ -178,6 +239,112 @@ def _fork_context():
         return None
 
 
+def _guarded_entry(task: tuple, result_queue: Any) -> None:  # pragma: no cover
+    # Child-process entry point (covered indirectly: runs post-fork).
+    result_queue.put(_safe_execute_point(task))
+
+
+def _run_point_guarded(
+    task: tuple, timeout: float, context: Any
+) -> tuple[str, Any]:
+    """One attempt in a watched child process with a hard deadline.
+
+    Returns ``("ok", ...)``/``("error", ...)`` from the child, or
+    ``("timeout", None)`` / ``("died", exitcode)`` when it produced no
+    result.
+    """
+    result_queue = context.Queue()
+    proc = context.Process(
+        target=_guarded_entry, args=(task, result_queue), daemon=True
+    )
+    proc.start()
+    deadline = time.monotonic() + timeout
+    payload = None
+    got = False
+    while True:
+        remaining = deadline - time.monotonic()
+        try:
+            # Drain the queue before joining: a child blocked writing a
+            # large result into a full pipe buffer never exits on its
+            # own, so the result must be consumed first.
+            payload = result_queue.get(
+                timeout=max(0.0, min(remaining, 0.05))
+            )
+            got = True
+            break
+        except queue_mod.Empty:
+            if not proc.is_alive():
+                break
+            if remaining <= 0:
+                break
+    if got:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - child wedged post-result
+            proc.terminate()
+        return payload
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - terminate ignored
+            proc.kill()
+            proc.join(timeout=5.0)
+        return "timeout", None
+    exitcode = proc.exitcode
+    proc.join()
+    return "died", exitcode
+
+
+def _run_point_guarded_with_retries(
+    base_task: tuple,
+    index: int,
+    config: dict,
+    timeout: float,
+    retries: int,
+    backoff: float,
+    context: Any,
+) -> tuple[str, Any]:
+    """Retry loop around :func:`_run_point_guarded`.
+
+    Retries live in the parent here (each attempt needs a fresh child
+    and a fresh deadline), so the child runs with ``retries=0``.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        status, payload = _run_point_guarded(
+            base_task + (index, 0, backoff), timeout, context
+        )
+        if status == "ok":
+            return status, payload
+        if attempt <= retries:
+            time.sleep(min(backoff * (1 << (attempt - 1)), _BACKOFF_CAP))
+            continue
+        if status == "timeout":
+            return "error", SweepPointFailed(
+                f"sweep point {index} (config {config!r}) exceeded the "
+                f"{timeout:g}s timeout on all {attempt} attempt(s) and was "
+                f"killed",
+                index=index,
+                config=config,
+            )
+        if status == "died":
+            return "error", SweepPointFailed(
+                f"sweep point {index} (config {config!r}) worker died "
+                f"without a result (exit code {payload}) on attempt "
+                f"{attempt}",
+                index=index,
+                config=config,
+            )
+        # "error" from the child, already wrapped; note parent retries.
+        if attempt > 1:
+            return "error", SweepPointFailed(
+                f"{payload} [{attempt} guarded attempt(s) total]",
+                index=index,
+                config=config,
+            )
+        return status, payload
+
+
 def run_sweep(
     program_factory: Callable[[dict], RunSpec],
     configs: Iterable[dict],
@@ -187,6 +354,11 @@ def run_sweep(
     cache: RunCache | None = None,
     base_seed: int = 0,
     observer: Any = None,
+    fault_plan: Any = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.1,
+    on_error: str = "fail",
 ) -> list[SweepOutcome]:
     """Run ``program_factory`` over every config, fanning across processes.
 
@@ -200,12 +372,15 @@ def run_sweep(
         with a deterministic ``"seed"`` entry when it has none.
     workers:
         Process count; ``None`` picks ``min(len(grid), cpu_count)``;
-        values ``<= 1`` run serially in-process.
+        values ``<= 1`` run serially in-process.  Ignored when
+        ``timeout`` is set (guarded points run serially, one watched
+        child at a time).
     engine:
         Engine name or instance used for every point (default: fast).
     cache:
         Optional :class:`~repro.engine.cache.RunCache`; hits skip
-        execution entirely and are marked ``from_cache=True``.
+        execution entirely and are marked ``from_cache=True``.  Failed
+        points are never cached.
     base_seed:
         Root of the deterministic per-task seed derivation.
     observer:
@@ -216,6 +391,25 @@ def run_sweep(
         Observer *instances* are rejected — a single stateful observer
         cannot be shared across worker processes; every run gets a
         fresh collector built from the spec instead.
+    fault_plan:
+        Deterministic fault plan (spec string like ``"drop=0.1,seed=7"``
+        or a :class:`~repro.faults.FaultPlan`) applied to every point;
+        enters the cache key so faulty and fault-free sweeps never mix.
+    timeout:
+        Per-point wall-clock deadline in seconds.  Each attempt runs in
+        its own watched child process and is killed at the deadline
+        (requires the ``fork`` start method; without it the guard
+        degrades to unguarded execution with a warning).
+    retries:
+        How many times a failing point is retried (crash or timeout)
+        before being marked failed; total attempts = ``retries + 1``.
+    retry_backoff:
+        Base sleep between attempts, doubled each retry and capped at
+        a few seconds.
+    on_error:
+        ``"fail"`` (default) marks exhausted points ``failed=True`` and
+        keeps sweeping; ``"raise"`` aborts the sweep by raising the
+        point's :class:`~repro.clique.errors.SweepPointFailed`.
 
     Results are returned in grid order regardless of scheduling.
     """
@@ -225,6 +419,20 @@ def run_sweep(
             "'metrics', 'off'), not an Observer instance: sweep points "
             "run in worker processes, each with its own fresh collector"
         )
+    if on_error not in ("fail", "raise"):
+        raise CliqueError(
+            f"on_error must be 'fail' or 'raise', not {on_error!r}"
+        )
+    if retries < 0:
+        raise CliqueError(f"retries must be >= 0, not {retries}")
+    if timeout is not None and timeout <= 0:
+        raise CliqueError(f"timeout must be positive, not {timeout}")
+    if retry_backoff < 0:
+        raise CliqueError(
+            f"retry_backoff must be >= 0, not {retry_backoff}"
+        )
+    plan = resolve_fault_plan(fault_plan)
+    fault_desc = plan.describe() if plan is not None else None
     observer_desc = describe_observer(observer)
     points: list[dict] = []
     for index, config in enumerate(configs):
@@ -239,7 +447,12 @@ def run_sweep(
         if cache is not None:
             hit = cache.get(
                 _point_key(
-                    cache, program_factory, config, engine_desc, observer_desc
+                    cache,
+                    program_factory,
+                    config,
+                    engine_desc,
+                    observer_desc,
+                    fault_desc,
                 )
             )
             if hit is not None:
@@ -253,32 +466,90 @@ def run_sweep(
     if workers is None:
         workers = min(len(pending), os.cpu_count() or 1)
     tasks = [
-        (program_factory, config, engine, observer) for _, config in pending
+        (
+            program_factory,
+            config,
+            engine,
+            observer,
+            plan,
+            index,
+            retries,
+            retry_backoff,
+        )
+        for index, config in pending
     ]
-    results: list[tuple[RunResult, Any]]
-    context = _fork_context() if workers > 1 and len(pending) > 1 else None
-    if context is not None:
-        from concurrent.futures import ProcessPoolExecutor
-
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), mp_context=context
-            ) as pool:
-                results = list(pool.map(_execute_point, tasks))
-        except (pickle.PicklingError, AttributeError):
-            # Unpicklable factory (e.g. a closure): degrade to serial.
-            results = [_execute_point(task) for task in tasks]
+    statuses: list[tuple[str, Any]]
+    if timeout is not None:
+        context = _fork_context()
+        if context is None:  # pragma: no cover - non-POSIX platforms
+            warnings.warn(
+                "per-point timeouts need the 'fork' start method; running "
+                "without a timeout guard",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            statuses = [_safe_execute_point(task) for task in tasks]
+        else:
+            statuses = [
+                _run_point_guarded_with_retries(
+                    (program_factory, config, engine, observer, plan),
+                    index,
+                    config,
+                    timeout,
+                    retries,
+                    retry_backoff,
+                    context,
+                )
+                for index, config in pending
+            ]
     else:
-        results = [_execute_point(task) for task in tasks]
+        context = _fork_context() if workers > 1 and len(pending) > 1 else None
+        if context is not None:
+            from concurrent.futures import ProcessPoolExecutor
 
-    for (index, config), (result, value) in zip(pending, results):
-        outcomes[index] = SweepOutcome(config=config, result=result, value=value)
-        if cache is not None:
-            cache.put(
-                _point_key(
-                    cache, program_factory, config, engine_desc, observer_desc
-                ),
-                (result, value),
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)), mp_context=context
+                ) as pool:
+                    statuses = list(pool.map(_safe_execute_point, tasks))
+            except (pickle.PicklingError, AttributeError) as exc:
+                # Unpicklable factory (e.g. a closure): degrade to serial.
+                warnings.warn(
+                    f"sweep factory {_factory_name(program_factory)} (or its"
+                    f" configs) is not picklable"
+                    f" ({type(exc).__name__}: {exc}); running"
+                    f" {len(tasks)} pending point(s) serially in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                statuses = [_safe_execute_point(task) for task in tasks]
+        else:
+            statuses = [_safe_execute_point(task) for task in tasks]
+
+    for (index, config), (status, payload) in zip(pending, statuses):
+        if status == "ok":
+            result, value = payload
+            outcomes[index] = SweepOutcome(
+                config=config, result=result, value=value
+            )
+            if cache is not None:
+                cache.put(
+                    _point_key(
+                        cache,
+                        program_factory,
+                        config,
+                        engine_desc,
+                        observer_desc,
+                        fault_desc,
+                    ),
+                    (result, value),
+                )
+        else:
+            error = payload
+            if on_error == "raise":
+                raise error
+            outcomes[index] = SweepOutcome(
+                config=config, result=None, failed=True, error=error
             )
     return [outcome for outcome in outcomes if outcome is not None]
 
@@ -289,8 +560,23 @@ def aggregate_sweep_metrics(outcomes: Iterable[SweepOutcome]) -> dict:
 
     Cross-worker aggregation works because each worker ships its run's
     metrics back inside the pickled ``RunResult``; outcomes from
-    ``observer=False`` runs (``metrics is None``) are skipped.
+    ``observer=False`` runs (``metrics is None``) and failed points
+    (``result is None``) are skipped.  When the sweep had failures the
+    summary gains ``failed_points`` / ``failed_indices`` keys; a
+    fully-successful sweep's summary shape is unchanged.
     """
-    return summarise_metrics(
-        outcome.result.metrics for outcome in outcomes
+    outcomes = list(outcomes)
+    summary = summarise_metrics(
+        outcome.result.metrics
+        for outcome in outcomes
+        if outcome.result is not None
     )
+    failed = [outcome for outcome in outcomes if outcome.failed]
+    if failed:
+        summary["failed_points"] = len(failed)
+        summary["failed_indices"] = sorted(
+            outcome.error.index
+            for outcome in failed
+            if outcome.error is not None and outcome.error.index is not None
+        )
+    return summary

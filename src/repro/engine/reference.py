@@ -33,6 +33,7 @@ from ..clique.errors import (
 from ..clique.network import NodeProgram, RunResult
 from ..clique.node import Node
 from ..clique.transcript import RoundRecord, Transcript
+from ..faults import FaultInjector, resolve_fault_plan
 from ..obs import RoundStats, resolve_observer
 from ..obs.profile import PhaseTimer
 from .base import CHECK_LEVELS, Engine, canonical_check, register_engine, spawn_generators
@@ -134,10 +135,15 @@ class ReferenceEngine(Engine):
         *,
         observer: Any = None,
         transcripts: bool | None = None,
+        fault_plan: Any = None,
     ) -> RunResult:
         """Run ``program`` on all nodes synchronously (see class docs)."""
         n = clique.n
         obs = resolve_observer(observer)
+        plan = resolve_fault_plan(fault_plan)
+        injector = (
+            FaultInjector(plan, n, obs) if plan is not None else None
+        )
         timing = obs is not None and obs.wants_timing
         per_message = obs is not None and obs.wants_messages
         timer = PhaseTimer() if timing else None
@@ -241,6 +247,10 @@ class ReferenceEngine(Engine):
             round_bulk_msgs = 0
             round_sent = [0] * n
             round_received = [0] * n
+            if injector is not None:
+                # Duplicate carryover lands first so a genuine message
+                # on the same link wins the inbox slot.
+                injector.inject_pending(this_round, inboxes, round_received)
             for v in range(n):
                 node = nodes[v]
                 for dst, payload in node._outbox.items():
@@ -248,11 +258,17 @@ class ReferenceEngine(Engine):
                     round_msg_bits += plen
                     round_msgs += 1
                     round_sent[v] += plen
-                    round_received[dst] += plen
-                    inboxes[dst][v] = payload
+                    delivered = (
+                        payload
+                        if injector is None
+                        else injector.deliver(this_round, v, dst, payload)
+                    )
+                    if delivered is not None:
+                        round_received[dst] += plen
+                        inboxes[dst][v] = delivered
                     if record_transcripts:
                         sent_records[v][dst] = payload
-                    if per_message:
+                    if per_message and delivered is not None:
                         obs.on_message(
                             round=this_round,
                             src=v,

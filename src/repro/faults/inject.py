@@ -1,0 +1,159 @@
+"""Delivery-time fault injection shared by every engine.
+
+A :class:`FaultInjector` is the small piece of *per-run* state wrapped
+around a pure :class:`~repro.faults.plan.FaultPlan`: the crash-window
+memo (so a plan's O(round) ``node_down`` query stays O(1) amortised)
+and the one-round carryover buffer for duplicated messages.  Engines
+hold exactly one injector per run and consult it at two points:
+
+* :meth:`inject_pending` — at the start of each round's delivery phase,
+  before any real message lands, so a real same-link message wins the
+  inbox slot over a stale duplicate;
+* :meth:`deliver` — once per queued bandwidth-checked message; the
+  return value (possibly corrupted payload, or ``None`` for a lost
+  message) replaces the payload the engine would have delivered.
+
+Because every decision ultimately comes from the plan's coordinate
+hashes, two engines delivering the same logical messages in different
+orders inject byte-identical faults — the property that lets
+:mod:`repro.engine.diff` differentially test faulty runs across
+backends.
+
+Accounting contract (mirrors "the sender pays"): the engine charges the
+sender's ``sent_bits`` and the run's ``total_message_bits`` for every
+*queued* message, faulty or not — bandwidth is consumed at send time in
+a synchronous network.  Receiver-side effects (``received_bits``, the
+inbox slot) happen only for messages that actually arrive; duplicate
+redeliveries charge the receiver only.  Every injected fault is
+reported through ``Observer.on_fault``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..clique.bits import BitString
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Per-run fault state over a pure :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule.
+    n:
+        Clique size (crash triggers are scanned per node per round).
+    observer:
+        The run's resolved observer (or ``None``); receives one
+        ``on_fault`` event per injected fault and — when it wants
+        per-message callbacks — an ``on_message`` event for each
+        duplicate redelivery.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, n: int, observer: Any = None
+    ) -> None:
+        self.plan = plan
+        self.n = n
+        self.observer = observer
+        #: round -> {(src, dst): payload} duplicates awaiting redelivery.
+        self._pending: dict[int, dict[tuple[int, int], BitString]] = {}
+        #: node -> last round it is down (math.inf = never restarts).
+        self._down_until: dict[int, float] = {}
+        self._scanned_round = 0
+
+    # -- crash schedule (memoised form of plan.node_down) ----------------
+
+    def node_down(self, round: int, node: int) -> bool:
+        """Whether ``node`` is fail-silent during ``round`` (memoised)."""
+        plan = self.plan
+        if plan.crash_rate == 0.0:
+            return False
+        while self._scanned_round < round:
+            self._scanned_round += 1
+            r = self._scanned_round
+            for v in range(self.n):
+                if plan.crashes_at(r, v):
+                    until = (
+                        math.inf
+                        if plan.crash_restart_rounds is None
+                        else r + plan.crash_restart_rounds - 1
+                    )
+                    if until > self._down_until.get(v, -1):
+                        self._down_until[v] = until
+        return self._down_until.get(node, -1) >= round
+
+    # -- delivery hooks ---------------------------------------------------
+
+    def inject_pending(
+        self,
+        round: int,
+        inboxes: list[dict[int, BitString]],
+        received_bits: list[int],
+    ) -> None:
+        """Redeliver duplicates scheduled for ``round``.
+
+        Must run before the engine delivers the round's real messages:
+        inbox slots are per ordered pair, and a genuine message must
+        shadow a stale duplicate on the same link.  A duplicate aimed at
+        a node that is down this round is silently lost (its fault event
+        was already emitted when it was scheduled).
+        """
+        pending = self._pending.pop(round, None)
+        if not pending:
+            return
+        obs = self.observer
+        per_message = obs is not None and obs.wants_messages
+        for (src, dst), payload in pending.items():
+            if self.node_down(round, dst):
+                continue
+            plen = len(payload)
+            inboxes[dst][src] = payload
+            received_bits[dst] += plen
+            if per_message:
+                obs.on_message(
+                    round=round, src=src, dst=dst, bits=plen,
+                    kind="duplicate",
+                )
+
+    def deliver(
+        self, round: int, src: int, dst: int, payload: BitString
+    ) -> BitString | None:
+        """The payload that actually arrives for this message, if any.
+
+        Checks faults from the most to the least structural: a dead
+        link or crashed endpoint loses the message before a per-message
+        drop is even considered; corruption and duplication apply only
+        to messages that arrive.
+        """
+        plan = self.plan
+        plen = len(payload)
+        if plan.link_down(src, dst):
+            self._emit(round, src, dst, "link_down", plen)
+            return None
+        if self.node_down(round, src) or self.node_down(round, dst):
+            self._emit(round, src, dst, "crash", plen)
+            return None
+        if plan.drops(round, src, dst):
+            self._emit(round, src, dst, "drop", plen)
+            return None
+        if plan.corrupts(round, src, dst):
+            payload = plan.corrupt_payload(round, src, dst, payload)
+            self._emit(round, src, dst, "corrupt", plen)
+        if plan.duplicates(round, src, dst):
+            self._pending.setdefault(round + 1, {})[(src, dst)] = payload
+            self._emit(round, src, dst, "duplicate", plen)
+        return payload
+
+    def _emit(
+        self, round: int, src: int, dst: int, kind: str, bits: int
+    ) -> None:
+        if self.observer is not None:
+            self.observer.on_fault(
+                round=round, src=src, dst=dst, kind=kind, bits=bits
+            )

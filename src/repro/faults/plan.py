@@ -1,0 +1,249 @@
+"""Deterministic, seed-replayable fault plans.
+
+A :class:`FaultPlan` is a *pure* description of an unreliable network:
+every decision it makes — drop this message, flip that bit, duplicate,
+fail this link, crash that node — is a deterministic function of
+``(seed, round, src, dst)`` computed by hashing those coordinates.  No
+wall clock, no mutable RNG state: replaying a run with the same plan and
+the same program reproduces the exact same faults, which is what makes
+faulty runs debuggable and cacheable.
+
+Fault model (what "faults" mean in a synchronous clique)
+--------------------------------------------------------
+The congested clique of the paper is perfectly reliable; a fault plan
+relaxes that into a round-synchronous omission/corruption adversary:
+
+* **drop** — a message queued for delivery this round vanishes.
+* **corrupt** — one bit of the payload is flipped.  The payload length
+  is unchanged, so a corrupted message always stays within the per-link
+  bandwidth budget.
+* **duplicate** — the network delivers a second, spurious copy of the
+  message *one round late* (the only place "late" can mean anything in
+  a lockstep model).
+* **link failure** — an (unordered) link is dead for the whole run;
+  every message across it, in either direction, is lost.
+* **crash / crash-restart** — a node goes fail-silent: while down, all
+  of its incoming and outgoing messages are lost.  Local computation is
+  free and unobservable in this model, so the node's program keeps
+  running; only its connectivity dies.  With ``crash_restart_rounds``
+  set, a crashed node comes back after that many rounds (and may crash
+  again); with ``None`` the crash is permanent.
+
+Faults apply to the bandwidth-checked message channel only.  The
+privileged bulk channel (``Node._bulk_send``) is the cost-model router
+fiction of Lemma 2 — injecting faults there would corrupt the
+accounting it stands for, so it is reliable by fiat.
+
+Engines consult the plan at delivery time through
+:class:`repro.faults.inject.FaultInjector`, which adds the per-run
+state (duplicate carryover, crash-window memoisation) and reports every
+injected fault through the :class:`repro.obs.Observer` protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+
+from ..clique.bits import BitString
+from ..clique.errors import CliqueError
+
+__all__ = ["FaultPlan"]
+
+#: Rate fields of a plan, also the spelling accepted by
+#: :meth:`FaultPlan.from_spec` (short aliases included).
+_RATE_FIELDS = ("drop_rate", "corrupt_rate", "duplicate_rate",
+                "link_failure_rate", "crash_rate")
+
+_SPEC_ALIASES = {
+    "drop": "drop_rate",
+    "corrupt": "corrupt_rate",
+    "dup": "duplicate_rate",
+    "duplicate": "duplicate_rate",
+    "link": "link_failure_rate",
+    "crash": "crash_rate",
+    "restart": "crash_restart_rounds",
+    "seed": "seed",
+}
+
+#: 2**64 as a float divisor, mapping 64 hash bits onto [0, 1).
+_SCALE = float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault schedule, parameterised by per-event rates.
+
+    All rates are probabilities in ``[0, 1]`` evaluated against a hash
+    of ``(seed, kind, coordinates)``; a rate of ``0`` means the fault
+    kind never fires and a plan whose rates are all zero is
+    observationally identical to running with no plan at all (the
+    property the zero-rate differential tests pin down).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    link_failure_rate: float = 0.0
+    crash_rate: float = 0.0
+    #: Rounds a crashed node stays down before its links heal;
+    #: ``None`` means a crash is permanent.
+    crash_restart_rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise CliqueError(
+                    f"FaultPlan.{name} must be in [0, 1], got {rate!r}"
+                )
+        if self.crash_restart_rounds is not None and self.crash_restart_rounds < 1:
+            raise CliqueError(
+                f"crash_restart_rounds must be >= 1 (or None for permanent "
+                f"crashes), got {self.crash_restart_rounds!r}"
+            )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact CLI spec like ``"drop=0.2,corrupt=0.01,seed=7"``.
+
+        Keys are the field names or their short aliases (``drop``,
+        ``corrupt``, ``dup``, ``link``, ``crash``, ``restart``, ``seed``).
+        """
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            field = _SPEC_ALIASES.get(key.strip(), key.strip())
+            if not sep or field not in {f.name for f in fields(cls)}:
+                raise CliqueError(
+                    f"bad fault-plan spec entry {part!r}; expected "
+                    f"key=value with key one of {sorted(_SPEC_ALIASES)}"
+                )
+            try:
+                if field in ("seed", "crash_restart_rounds"):
+                    kwargs[field] = int(value)
+                else:
+                    kwargs[field] = float(value)
+            except ValueError:
+                raise CliqueError(
+                    f"bad fault-plan value in {part!r}"
+                ) from None
+        return cls(**kwargs)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no fault kind can ever fire."""
+        return all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+
+    def describe(self) -> dict:
+        """JSON-able configuration (cache-key material)."""
+        desc = {"fault_plan": "hash", "seed": self.seed}
+        for name in _RATE_FIELDS:
+            desc[name] = getattr(self, name)
+        desc["crash_restart_rounds"] = self.crash_restart_rounds
+        return desc
+
+    # -- the hash oracle -------------------------------------------------
+
+    def _u01(self, kind: str, *coords: int) -> float:
+        """A uniform draw in [0, 1), pure in ``(seed, kind, coords)``."""
+        h = hashlib.blake2b(digest_size=8)
+        h.update(str(self.seed).encode())
+        h.update(b"\x00" + kind.encode())
+        for c in coords:
+            h.update(b"\x00" + str(c).encode())
+        return int.from_bytes(h.digest(), "big") / _SCALE
+
+    # -- per-link / per-node schedule ------------------------------------
+
+    def link_down(self, src: int, dst: int) -> bool:
+        """Whether the (unordered) link ``{src, dst}`` is dead all run."""
+        if self.link_failure_rate == 0.0:
+            return False
+        a, b = (src, dst) if src <= dst else (dst, src)
+        return self._u01("link", a, b) < self.link_failure_rate
+
+    def crashes_at(self, round: int, node: int) -> bool:
+        """Whether ``node`` suffers a crash *trigger* in ``round``."""
+        if self.crash_rate == 0.0:
+            return False
+        return self._u01("crash", round, node) < self.crash_rate
+
+    def node_down(self, round: int, node: int) -> bool:
+        """Whether ``node`` is down (fail-silent) during ``round``.
+
+        A node is down in round ``r`` iff some crash trigger fired in a
+        round ``r0 <= r`` that has not healed yet: permanently when
+        ``crash_restart_rounds`` is ``None``, else while
+        ``r < r0 + crash_restart_rounds``.  Pure but O(round) — the
+        injector memoises per-run.
+        """
+        if self.crash_rate == 0.0:
+            return False
+        if self.crash_restart_rounds is None:
+            first = 1
+        else:
+            first = max(1, round - self.crash_restart_rounds + 1)
+        return any(
+            self.crashes_at(r0, node) for r0 in range(first, round + 1)
+        )
+
+    # -- per-message decisions -------------------------------------------
+
+    def drops(self, round: int, src: int, dst: int) -> bool:
+        """Whether the message ``src -> dst`` of ``round`` is dropped."""
+        return (
+            self.drop_rate > 0.0
+            and self._u01("drop", round, src, dst) < self.drop_rate
+        )
+
+    def corrupts(self, round: int, src: int, dst: int) -> bool:
+        """Whether the message ``src -> dst`` of ``round`` is corrupted."""
+        return (
+            self.corrupt_rate > 0.0
+            and self._u01("corrupt", round, src, dst) < self.corrupt_rate
+        )
+
+    def duplicates(self, round: int, src: int, dst: int) -> bool:
+        """Whether a spurious copy is redelivered one round late."""
+        return (
+            self.duplicate_rate > 0.0
+            and self._u01("dup", round, src, dst) < self.duplicate_rate
+        )
+
+    def corrupt_payload(
+        self, round: int, src: int, dst: int, payload: BitString
+    ) -> BitString:
+        """Flip one deterministically chosen bit of ``payload``.
+
+        Length-preserving, so the corrupted message still fits the
+        per-link bandwidth budget it was validated against.
+        """
+        n_bits = len(payload)
+        if n_bits == 0:
+            return payload
+        index = int(self._u01("corrupt-bit", round, src, dst) * n_bits)
+        index = min(index, n_bits - 1)
+        mask = 1 << (n_bits - 1 - index)
+        return BitString(payload.value ^ mask, n_bits)
+
+    def __repr__(self) -> str:
+        active = {
+            name: getattr(self, name)
+            for name in _RATE_FIELDS
+            if getattr(self, name)
+        }
+        extra = (
+            f", restart={self.crash_restart_rounds}"
+            if self.crash_restart_rounds is not None
+            else ""
+        )
+        return f"FaultPlan(seed={self.seed}, {active or 'zero-rate'}{extra})"

@@ -1,0 +1,354 @@
+"""Resilience over unreliable delivery: ack/retransmit at honest cost.
+
+:func:`resilient` wraps a node program so it tolerates message drops
+(and the duplicates/stale frames retransmission itself creates): each
+*logical* round of the inner program is simulated by a fixed window of
+*physical* rounds during which every logical message is sent, acked,
+and — while unacknowledged — retransmitted on a capped-exponential
+schedule.  The wrapped program is an ordinary node program running on
+an ordinary engine, so every retransmitted frame pays real simulated
+rounds and real bits: the overhead of resilience is measured by the
+same ``RunMetrics`` accounting as the algorithm itself, never waved
+away.
+
+Protocol
+--------
+All nodes run the same data-independent schedule, which keeps the
+lockstep model intact (no node ever waits on another).  One logical
+round becomes ``W`` physical rounds, where ``W - 2`` is the last
+retransmission offset (the final attempt still needs one round to
+arrive and one for its ack to return).  Within a window, physical
+round ``p`` of a node:
+
+1. sends an ack frame to every peer whose data arrived in round
+   ``p - 1`` (piggybacked onto a data frame for the same peer when one
+   is due),
+2. if ``p`` is a retransmission offset, resends every still-unacked
+   logical message,
+3. yields; on resume it decodes incoming frames — stale-parity frames
+   (leftovers of the previous window, e.g. network duplicates) are
+   discarded, first copies of data are recorded and owed an ack,
+   retransmitted copies are re-acked (the first ack may itself have
+   been dropped).
+
+Every frame carries a 3-bit header ``[parity][has_data][has_ack]``;
+``parity`` alternates per window, which is all the sequence numbering a
+lockstep protocol needs — any frame surviving from the previous window
+shows the flipped bit.  The wrapped program therefore sees a link
+bandwidth 3 bits smaller than the physical one.
+
+Retransmission offsets follow capped exponential backoff: gaps
+``min(timeout * 2**i, backoff_cap)`` between attempts, so a message
+survives unless *all* ``max_attempts`` copies are dropped
+(``drop_rate ** max_attempts`` — under 3e-6 at the defaults and a 20%
+drop rate).  With ``strict=True`` a message still unacknowledged when
+its window closes raises :class:`~repro.clique.errors.FaultInjected`
+instead of hoping the data arrived.
+
+Scope: the wrapper masks *omission* faults — drops, duplicates and the
+stale frames they leave behind.  It does not checksum payloads
+(corruption passes through) and cannot outlast permanent link failures
+or crashes; those need redundant routing, which is an algorithm-level
+concern.  The privileged bulk channel is unsupported (it is reliable
+by fiat and its cost accounting would be falsified by blind
+retransmission), so ``_bulk_send`` raises — which excludes the
+router-based catalog algorithms from resilient wrapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..clique.bits import BitReader, BitString, BitWriter
+from ..clique.errors import (
+    BandwidthExceeded,
+    CliqueError,
+    DuplicateMessage,
+    FaultInjected,
+    InvalidAddress,
+    ProtocolViolation,
+)
+
+__all__ = ["HEADER_BITS", "attempt_offsets", "resilient"]
+
+#: Frame header width: [parity][has_data][has_ack].
+HEADER_BITS = 3
+
+
+def attempt_offsets(
+    timeout: int, max_attempts: int, backoff_cap: int
+) -> tuple[int, ...]:
+    """Physical-round offsets of the data (re)transmission attempts.
+
+    The first attempt is at offset 0; successive gaps are
+    ``min(timeout * 2**i, backoff_cap)``.  ``timeout`` must be at least
+    2 — an ack takes two physical rounds to come back (one for the data
+    to arrive, one for the ack), so retransmitting sooner would resend
+    messages that are already safely delivered.
+    """
+    if timeout < 2:
+        raise CliqueError(
+            f"resilient timeout must be >= 2 rounds (data + ack each "
+            f"take one round), got {timeout}"
+        )
+    if max_attempts < 1:
+        raise CliqueError(
+            f"resilient max_attempts must be >= 1, got {max_attempts}"
+        )
+    if backoff_cap < timeout:
+        raise CliqueError(
+            f"resilient backoff_cap ({backoff_cap}) must be >= the "
+            f"timeout ({timeout})"
+        )
+    offsets = [0]
+    for i in range(max_attempts - 1):
+        offsets.append(offsets[-1] + min(timeout * (1 << i), backoff_cap))
+    return tuple(offsets)
+
+
+def _encode_frame(
+    parity: int, payload: BitString | None, has_ack: bool
+) -> BitString:
+    w = BitWriter()
+    w.write_bit(parity)
+    w.write_bit(1 if payload is not None else 0)
+    w.write_bit(1 if has_ack else 0)
+    if payload is not None:
+        w.write_bits(payload)
+    return w.finish()
+
+
+def _decode_frame(
+    frame: BitString,
+) -> tuple[int, BitString | None, bool] | None:
+    """``(parity, payload | None, has_ack)``, or ``None`` if garbled."""
+    if len(frame) < HEADER_BITS:
+        return None
+    r = BitReader(frame)
+    parity = r.read_bit()
+    has_data = r.read_bit()
+    has_ack = bool(r.read_bit())
+    payload = r.read_rest() if has_data else None
+    if has_data and len(payload) == 0:
+        # Inner programs cannot send empty messages, so a dataless data
+        # frame is a corruption artifact; count the message as lost.
+        return None
+    return parity, payload, has_ack
+
+
+class _ResilientNode:
+    """Node-like facade handed to the wrapped program.
+
+    Mirrors the :class:`~repro.clique.node.Node` interface over a
+    *logical* round structure: sends queue logical messages for the next
+    window, ``inbox``/``round`` reflect logical rounds, and the visible
+    bandwidth is the physical one minus the frame header.  Counters
+    delegate to the physical node so measurement flows into
+    ``RunResult`` unchanged.
+    """
+
+    __slots__ = ("_node", "id", "n", "bandwidth", "input", "aux",
+                 "_out", "_inbox", "_round")
+
+    def __init__(self, node: Any) -> None:
+        if node.bandwidth <= HEADER_BITS:
+            raise CliqueError(
+                f"resilient wrapping needs bandwidth > {HEADER_BITS} bits "
+                f"for the frame header, got {node.bandwidth}"
+            )
+        self._node = node
+        self.id = node.id
+        self.n = node.n
+        self.bandwidth = node.bandwidth - HEADER_BITS
+        self.input = node.input
+        self.aux = node.aux
+        self._out: dict[int, BitString] = {}
+        self._inbox: dict[int, BitString] = {}
+        self._round = 0
+
+    @property
+    def counters(self) -> dict:
+        return self._node.counters
+
+    def count(self, key: str, amount: int) -> None:
+        self._node.count(key, amount)
+
+    def send(self, dst: int, payload: BitString) -> None:
+        if dst == self.id:
+            raise InvalidAddress(f"node {self.id} addressed itself")
+        if not 0 <= dst < self.n:
+            raise InvalidAddress(
+                f"node {self.id} addressed nonexistent node {dst} "
+                f"(n={self.n})"
+            )
+        if len(payload) > self.bandwidth:
+            raise BandwidthExceeded(self.id, dst, len(payload), self.bandwidth)
+        if len(payload) == 0:
+            raise ProtocolViolation(
+                f"node {self.id} sent an empty message to {dst}; "
+                f"omit the send instead"
+            )
+        if dst in self._out:
+            raise DuplicateMessage(self.id, dst)
+        self._out[dst] = payload
+
+    def send_to_all(self, payload: BitString) -> None:
+        for dst in range(self.n):
+            if dst != self.id:
+                self.send(dst, payload)
+
+    def _bulk_send(self, dst: int, payload: BitString) -> None:
+        raise ProtocolViolation(
+            "the resilient wrapper does not support the privileged bulk "
+            "channel: it is reliable by fiat and retransmission would "
+            "falsify its cost accounting"
+        )
+
+    @property
+    def inbox(self) -> Mapping[int, BitString]:
+        return self._inbox
+
+    def recv(self, src: int) -> BitString | None:
+        return self._inbox.get(src)
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientNode(id={self.id}, n={self.n}, round={self._round})"
+        )
+
+
+def _run_window(
+    node: Any,
+    outgoing: dict[int, BitString],
+    parity: int,
+    offsets: tuple[int, ...],
+    window: int,
+    strict: bool,
+) -> Any:
+    """Simulate one logical round; returns the logical inbox.
+
+    A sub-generator (driven via ``yield from``) spanning exactly
+    ``window`` physical rounds.
+    """
+    pending = dict(outgoing)
+    acked: set[int] = set()
+    ack_owed: set[int] = set()
+    logical_inbox: dict[int, BitString] = {}
+    offset_set = frozenset(offsets)
+    attempts = 0
+    for p in range(window):
+        frames: dict[int, tuple[BitString | None, bool]] = {
+            dst: (None, True) for dst in ack_owed
+        }
+        ack_owed = set()
+        if p in offset_set:
+            for dst, payload in pending.items():
+                if dst in acked:
+                    continue
+                frames[dst] = (payload, dst in frames)
+                attempts += 1
+        for dst, (payload, has_ack) in frames.items():
+            node.send(dst, _encode_frame(parity, payload, has_ack))
+        yield
+        for src, frame in node.inbox.items():
+            decoded = _decode_frame(frame)
+            if decoded is None or decoded[0] != parity:
+                continue
+            _, data, has_ack = decoded
+            if has_ack:
+                acked.add(src)
+            if data is not None:
+                if src not in logical_inbox:
+                    logical_inbox[src] = data
+                # Ack first copies and retransmissions alike — the ack
+                # for the first copy may itself have been dropped.
+                ack_owed.add(src)
+    if pending:
+        retransmits = attempts - len(pending)
+        if retransmits > 0:
+            node.count("resilient_retransmits", retransmits)
+        unacked = [dst for dst in pending if dst not in acked]
+        if unacked:
+            node.count("resilient_unacked", len(unacked))
+            if strict:
+                dst = min(unacked)
+                raise FaultInjected(
+                    f"node {node.id}: message to node {dst} still "
+                    f"unacknowledged after {len(offsets)} attempts",
+                    kind="unacked",
+                    round=node.round,
+                    src=node.id,
+                    dst=dst,
+                )
+    return logical_inbox
+
+
+def resilient(
+    program: Any,
+    *,
+    timeout: int = 2,
+    max_attempts: int = 8,
+    backoff_cap: int = 8,
+    strict: bool = False,
+) -> Any:
+    """Wrap ``program`` with the ack/retransmit window protocol.
+
+    Parameters
+    ----------
+    program:
+        Any node program (generator function taking a node).
+    timeout:
+        Physical rounds before the first retransmission (>= 2).
+    max_attempts:
+        Total transmission attempts per logical message per window.
+    backoff_cap:
+        Upper bound on the gap between consecutive attempts.
+    strict:
+        Raise :class:`FaultInjected` when a message stays unacked for a
+        whole window instead of continuing optimistically.
+
+    The returned program multiplies round cost by the window length
+    (``attempt_offsets(...)[-1] + 2``) and message cost by the attempt
+    count actually needed — all of it visible in ``RunMetrics``.
+    """
+    offsets = attempt_offsets(timeout, max_attempts, backoff_cap)
+    window = offsets[-1] + 2
+
+    def wrapped(node: Any):
+        proxy = _ResilientNode(node)
+        gen = program(proxy)
+        parity = 0
+        try:
+            next(gen)
+        except StopIteration as stop:
+            if proxy._out:
+                yield from _run_window(
+                    node, proxy._out, parity, offsets, window, strict
+                )
+            return stop.value
+        while True:
+            outgoing, proxy._out = proxy._out, {}
+            logical_inbox = yield from _run_window(
+                node, outgoing, parity, offsets, window, strict
+            )
+            parity ^= 1
+            proxy._inbox = logical_inbox
+            proxy._round += 1
+            try:
+                next(gen)
+            except StopIteration as stop:
+                if proxy._out:
+                    # The inner program queued sends in its final step;
+                    # flush them so peers still receive (and ack) them.
+                    yield from _run_window(
+                        node, proxy._out, parity, offsets, window, strict
+                    )
+                return stop.value
+
+    wrapped.__name__ = f"resilient_{getattr(program, '__name__', 'program')}"
+    wrapped.__qualname__ = wrapped.__name__
+    return wrapped

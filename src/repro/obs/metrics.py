@@ -44,6 +44,8 @@ class RoundMetrics:
     bulk_bits: int
     max_load_node: int
     max_load_bits: int
+    #: Faults injected during this round's delivery (all kinds summed).
+    faults: int = 0
 
     @property
     def messages(self) -> int:
@@ -59,6 +61,7 @@ class RoundMetrics:
             "bulk_bits": self.bulk_bits,
             "max_load_node": self.max_load_node,
             "max_load_bits": self.max_load_bits,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -94,11 +97,19 @@ class RunMetrics:
     counters: tuple[dict, ...] = field(default_factory=tuple)
     link_bits: dict | None = None
     phases: dict | None = None
+    #: ``{fault_kind: count}`` of injected faults (empty when the run
+    #: had no fault plan or the plan never fired).
+    faults: dict = field(default_factory=dict)
 
     @property
     def messages(self) -> int:
         """Total messages delivered over the whole run."""
         return self.unicast_messages + self.broadcast_messages + self.bulk_messages
+
+    @property
+    def total_faults(self) -> int:
+        """Total injected faults over the whole run (all kinds)."""
+        return sum(self.faults.values())
 
     def max_node_load(self) -> tuple[int, int]:
         """``(node, bits)`` for the node with the largest total traffic."""
@@ -165,6 +176,7 @@ class RunMetrics:
                 ]
             ),
             "phases": None if self.phases is None else dict(self.phases),
+            "faults": dict(self.faults),
         }
 
     @classmethod
@@ -192,6 +204,7 @@ class RunMetrics:
                 else {(src, dst): bits for src, dst, bits in link_bits}
             ),
             phases=data.get("phases"),
+            faults=dict(data.get("faults") or {}),
         )
 
 
@@ -225,6 +238,8 @@ class MetricsCollector(Observer):
         self._counters: tuple[dict, ...] = ()
         self._link_bits: dict[tuple[int, int], int] = {}
         self._phases: dict[str, float] = {}
+        self._faults: dict[str, int] = {}
+        self._round_faults = 0
         self._final_rounds = 0
         self._metrics: RunMetrics | None = None
 
@@ -267,8 +282,10 @@ class MetricsCollector(Observer):
                 bulk_bits=stats.bulk_bits,
                 max_load_node=max_node,
                 max_load_bits=max(max_load, 0),
+                faults=self._round_faults,
             )
         )
+        self._round_faults = 0
 
     def on_message(
         self, *, round: int, src: int, dst: int, bits: int, kind: str
@@ -276,6 +293,12 @@ class MetricsCollector(Observer):
         if self.links:
             key = (src, dst)
             self._link_bits[key] = self._link_bits.get(key, 0) + bits
+
+    def on_fault(
+        self, *, round: int, src: int, dst: int, kind: str, bits: int
+    ) -> None:
+        self._faults[kind] = self._faults.get(kind, 0) + 1
+        self._round_faults += 1
 
     def on_phases(self, *, round: int, seconds: dict) -> None:
         for phase, secs in seconds.items():
@@ -302,6 +325,7 @@ class MetricsCollector(Observer):
             counters=self._counters,
             link_bits=dict(self._link_bits) if self.links else None,
             phases=dict(self._phases) if self.profile else None,
+            faults=dict(self._faults),
         )
 
     def run_metrics(self) -> RunMetrics | None:
@@ -321,7 +345,10 @@ def summarise_metrics(all_metrics: Iterable[RunMetrics]) -> dict[str, Any]:
     total_bits = sum(m.message_bits for m in metrics)
     total_bulk = sum(m.bulk_bits for m in metrics)
     total_rounds = sum(m.rounds for m in metrics)
+    total_faults = sum(m.total_faults for m in metrics)
+    extra = {"total_faults": total_faults} if total_faults else {}
     return {
+        **extra,
         "runs": len(metrics),
         "total_rounds": total_rounds,
         "mean_rounds": total_rounds / len(metrics),

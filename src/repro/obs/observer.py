@@ -96,6 +96,18 @@ class Observer:
         event covers both sides.
         """
 
+    def on_fault(
+        self, *, round: int, src: int, dst: int, kind: str, bits: int
+    ) -> None:
+        """One fault was injected into the message ``src -> dst``.
+
+        ``kind`` is one of ``link_down`` / ``crash`` / ``drop`` /
+        ``corrupt`` / ``duplicate`` (see :mod:`repro.faults`); ``bits``
+        is the affected message's payload size.  Always called when a
+        fault plan is active — fault accounting is part of the default
+        metrics, so it does not hide behind :attr:`wants_messages`.
+        """
+
     def on_halt(self, *, round: int, node: int) -> None:
         """``node`` returned (produced its output) after ``round`` rounds."""
 
@@ -145,6 +157,10 @@ class CompositeObserver(Observer):
         for o in self.observers:
             if o.wants_messages:
                 o.on_message(**kw)
+
+    def on_fault(self, **kw) -> None:
+        for o in self.observers:
+            o.on_fault(**kw)
 
     def on_halt(self, **kw) -> None:
         for o in self.observers:

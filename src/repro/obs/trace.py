@@ -41,7 +41,10 @@ class TraceEvent:
     """One structured trace record.
 
     ``kind`` is one of ``run_start``, ``round_start``, ``deliver``,
-    ``round_end``, ``output``, ``run_end``.  Unused fields are ``None``.
+    ``fault``, ``round_end``, ``output``, ``run_end``.  Unused fields
+    are ``None``.  For ``fault`` events, ``channel`` carries the fault
+    kind (``drop``, ``corrupt``, ``duplicate``, ``link_down``,
+    ``crash``).
     """
 
     kind: str
@@ -167,6 +170,23 @@ class Tracer(Observer):
         self.sink.emit(
             TraceEvent(
                 kind="deliver",
+                round=round,
+                src=src,
+                dst=dst,
+                bits=bits,
+                channel=kind,
+            )
+        )
+
+    def on_fault(
+        self, *, round: int, src: int, dst: int, kind: str, bits: int
+    ) -> None:
+        # Fault events are never sampled away: like round boundaries,
+        # they are part of the run's skeleton, and there are at most as
+        # many of them as injected faults.
+        self.sink.emit(
+            TraceEvent(
+                kind="fault",
                 round=round,
                 src=src,
                 dst=dst,

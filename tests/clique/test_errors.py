@@ -1,0 +1,120 @@
+"""The exception taxonomy: hierarchy, structured payloads, pickling.
+
+Fault and sweep errors cross process boundaries (sweep workers ship
+failures back to the parent), so every exception with keyword-only
+fields must round-trip through pickle with its payload intact.
+"""
+
+import pickle
+
+import pytest
+
+from repro.clique.errors import (
+    BandwidthExceeded,
+    CacheCorruption,
+    CliqueError,
+    DuplicateMessage,
+    EncodingError,
+    FaultInjected,
+    InvalidAddress,
+    ProtocolViolation,
+    RoundLimitExceeded,
+    RoutingOverload,
+    SweepPointFailed,
+)
+
+ALL_ERRORS = (
+    BandwidthExceeded,
+    CacheCorruption,
+    DuplicateMessage,
+    EncodingError,
+    FaultInjected,
+    InvalidAddress,
+    ProtocolViolation,
+    RoundLimitExceeded,
+    RoutingOverload,
+    SweepPointFailed,
+)
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_clique_error(self):
+        for cls in ALL_ERRORS:
+            assert issubclass(cls, CliqueError)
+        assert issubclass(CliqueError, Exception)
+
+    @pytest.mark.parametrize("cls", (FaultInjected, SweepPointFailed,
+                                     CacheCorruption))
+    def test_new_errors_are_catchable_as_clique_error(self, cls):
+        with pytest.raises(CliqueError):
+            raise cls("boom")
+
+
+class TestStructuredPayloads:
+    def test_bandwidth_exceeded(self):
+        exc = BandwidthExceeded(1, 2, 9, 4)
+        assert (exc.src, exc.dst, exc.bits, exc.budget) == (1, 2, 9, 4)
+        assert "9 bits" in str(exc) and "4 bits" in str(exc)
+
+    def test_duplicate_message(self):
+        exc = DuplicateMessage(3, 5)
+        assert (exc.src, exc.dst) == (3, 5)
+        assert "one message per ordered pair" in str(exc)
+
+    def test_round_limit_exceeded(self):
+        exc = RoundLimitExceeded(7)
+        assert exc.limit == 7
+        assert "7 rounds" in str(exc)
+
+    def test_fault_injected_defaults(self):
+        exc = FaultInjected("lost")
+        assert exc.kind is None
+        assert exc.round is None and exc.src is None and exc.dst is None
+
+    def test_fault_injected_fields(self):
+        exc = FaultInjected("lost", kind="unacked", round=3, src=1, dst=2)
+        assert (exc.kind, exc.round, exc.src, exc.dst) == ("unacked", 3, 1, 2)
+
+    def test_sweep_point_failed_fields(self):
+        exc = SweepPointFailed("bad", index=4, config={"n": 8})
+        assert exc.index == 4
+        assert exc.config == {"n": 8}
+
+    def test_cache_corruption_fields(self):
+        exc = CacheCorruption("torn", key="abc", path="/tmp/abc.pkl")
+        assert exc.key == "abc"
+        assert exc.path == "/tmp/abc.pkl"
+
+
+class TestPickling:
+    """Keyword-only exception fields don't survive default ``args``-based
+    Exception pickling; the ``__reduce__`` overrides must."""
+
+    def test_fault_injected_roundtrip(self):
+        exc = FaultInjected("lost", kind="drop", round=2, src=0, dst=3)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, FaultInjected)
+        assert str(clone) == "lost"
+        assert (clone.kind, clone.round, clone.src, clone.dst) == (
+            "drop", 2, 0, 3,
+        )
+
+    def test_sweep_point_failed_roundtrip(self):
+        exc = SweepPointFailed("bad", index=1, config={"n": 8, "seed": 3})
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, SweepPointFailed)
+        assert str(clone) == "bad"
+        assert clone.index == 1
+        assert clone.config == {"n": 8, "seed": 3}
+
+    def test_cache_corruption_roundtrip(self):
+        exc = CacheCorruption("torn", key="abc", path="/x.pkl")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, CacheCorruption)
+        assert (clone.key, clone.path) == ("abc", "/x.pkl")
+
+    def test_roundtrip_with_defaults(self):
+        for cls in (FaultInjected, SweepPointFailed, CacheCorruption):
+            clone = pickle.loads(pickle.dumps(cls("plain")))
+            assert isinstance(clone, cls)
+            assert str(clone) == "plain"

@@ -1,8 +1,10 @@
 """Tests for the content-addressed run cache and its input digests."""
 
 import numpy as np
+import pytest
 
 from repro.clique.bits import BitString
+from repro.clique.errors import CacheCorruption
 from repro.engine import RunCache, content_digest
 from repro.problems import generators as gen
 
@@ -107,7 +109,9 @@ class TestRunCache:
         cache.put(key, "payload")
         path = cache._path(key)
         path.write_bytes(b"not a pickle")
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning, match="evicted"):
+            assert cache.get(key) is None
+        assert not path.exists()
 
     def test_wrong_key_inside_entry_is_a_miss(self, tmp_path):
         cache = RunCache(tmp_path)
@@ -116,7 +120,45 @@ class TestRunCache:
         # Simulate a mis-filed entry by copying a's bytes to b's slot.
         cache._path(b).parent.mkdir(parents=True, exist_ok=True)
         cache._path(b).write_bytes(cache._path(a).read_bytes())
-        assert cache.get(b) is None
+        with pytest.warns(RuntimeWarning, match="mismatched key"):
+            assert cache.get(b) is None
+        assert not cache._path(b).exists()
+        assert cache.get(a) == "payload"  # the real entry is untouched
+
+    def test_truncated_entry_is_evicted_with_warning(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = self.key(cache)
+        cache.put(key, {"rounds": 3})
+        path = cache._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write
+        with pytest.warns(RuntimeWarning, match="corrupt run-cache entry"):
+            assert cache.get(key) is None
+        # Self-healed: the bad file is gone and the slot is writable again.
+        assert not path.exists()
+        assert cache.get(key) is None
+        cache.put(key, {"rounds": 4})
+        assert cache.get(key) == {"rounds": 4}
+
+    def test_strict_get_raises_cache_corruption(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = self.key(cache)
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(b"junk")
+        with pytest.raises(CacheCorruption) as excinfo:
+            cache.get(key, strict=True)
+        assert excinfo.value.key == key
+        assert excinfo.value.path == str(path)
+        assert not path.exists()  # evicted even on the strict path
+
+    def test_clean_miss_does_not_warn(self, tmp_path):
+        import warnings
+
+        cache = RunCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(self.key(cache)) is None
 
     def test_clear(self, tmp_path):
         cache = RunCache(tmp_path)

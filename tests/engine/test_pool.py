@@ -1,13 +1,17 @@
 """Tests for the multiprocess sweep runner: determinism, worker/serial
-equivalence, cache integration and factory pickling fallbacks."""
+equivalence, cache integration, factory pickling fallbacks, and the
+failure-containment layer (crashing points, hanging points, retries)."""
+
+import time
 
 import pytest
 
 from repro.clique.bits import BitString
-from repro.clique.errors import CliqueError
+from repro.clique.errors import CliqueError, SweepPointFailed
 from repro.engine import (
     RunCache,
     RunSpec,
+    aggregate_sweep_metrics,
     derive_seed,
     run_spec,
     run_sweep,
@@ -31,6 +35,34 @@ def echo_factory(config: dict) -> RunSpec:
     return RunSpec(program=prog, n=n, postprocess=post)
 
 
+def chaos_factory(config: dict) -> RunSpec:
+    """Module-level factory with deliberately bad grid points: ``mode``
+    selects a healthy run, a crash, or a hang (for timeout tests)."""
+    mode = config.get("mode", "ok")
+    if mode == "crash":
+        raise RuntimeError("injected factory crash")
+    if mode == "hang":
+        time.sleep(60)
+
+    def prog(node):
+        node.send_to_all(BitString(node.id % 2, 1))
+        yield
+        return len(node.inbox)
+
+    return RunSpec(program=prog, n=config.get("n", 4))
+
+
+_FLAKY_STATE = {"failures_left": 0}
+
+
+def flaky_factory(config: dict) -> RunSpec:
+    """Fails the first ``failures_left`` calls, then behaves."""
+    if _FLAKY_STATE["failures_left"] > 0:
+        _FLAKY_STATE["failures_left"] -= 1
+        raise RuntimeError("transient failure")
+    return chaos_factory(config)
+
+
 class TestRunSpec:
     def test_n_inferred_from_graph(self):
         from repro.problems import generators as gen
@@ -41,6 +73,15 @@ class TestRunSpec:
     def test_n_required_otherwise(self):
         with pytest.raises(CliqueError, match="explicit n"):
             RunSpec(program=None).resolved_n()
+
+    def test_n_error_names_the_program_and_input(self):
+        def my_prog(node):
+            yield
+
+        with pytest.raises(CliqueError, match="my_prog"):
+            RunSpec(program=my_prog, node_input=[1, 2]).resolved_n()
+        with pytest.raises(CliqueError, match="list"):
+            RunSpec(program=my_prog, node_input=[1, 2]).resolved_n()
 
     def test_run_spec_returns_postprocess_value(self):
         result, value = run_spec(echo_factory({"n": 4, "seed": 0}), "fast")
@@ -89,7 +130,8 @@ class TestWorkers:
         def local_factory(config):
             return echo_factory(config)
 
-        outcomes = run_sweep(local_factory, self.CONFIGS[:3], workers=2)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            outcomes = run_sweep(local_factory, self.CONFIGS[:3], workers=2)
         assert len(outcomes) == 3
         assert all(o.result.rounds == 1 for o in outcomes)
 
@@ -131,3 +173,111 @@ class TestCacheIntegration:
             echo_factory, [{"n": 4, "seed": 1}], workers=1, cache=cache
         )
         assert not outcomes[0].from_cache
+
+    def test_fault_plan_partitions_the_cache(self, tmp_path):
+        cache = RunCache(tmp_path)
+        configs = [{"n": 4, "seed": 0}]
+        run_sweep(echo_factory, configs, workers=1, cache=cache)
+        outcomes = run_sweep(
+            echo_factory, configs, workers=1, cache=cache,
+            fault_plan="drop=0.5,seed=1",
+        )
+        assert not outcomes[0].from_cache
+        assert len(cache) == 2  # one entry per fault-plan config
+
+    def test_failed_points_are_not_cached(self, tmp_path):
+        cache = RunCache(tmp_path)
+        configs = [{"mode": "ok", "seed": 0}, {"mode": "crash", "seed": 0}]
+        outcomes = run_sweep(chaos_factory, configs, workers=1, cache=cache)
+        assert [o.failed for o in outcomes] == [False, True]
+        assert len(cache) == 1  # only the healthy point landed on disk
+        again = run_sweep(chaos_factory, configs, workers=1, cache=cache)
+        assert again[0].from_cache
+        assert again[1].failed and not again[1].from_cache
+
+
+class TestFailureContainment:
+    CONFIGS = [
+        {"mode": "ok", "seed": 0},
+        {"mode": "crash", "seed": 0},
+        {"mode": "ok", "seed": 1},
+    ]
+
+    def test_crashing_point_is_marked_failed(self):
+        outcomes = run_sweep(chaos_factory, self.CONFIGS, workers=1)
+        assert [o.failed for o in outcomes] == [False, True, False]
+        bad = outcomes[1]
+        assert bad.result is None
+        assert isinstance(bad.error, SweepPointFailed)
+        assert bad.error.index == 1
+        assert bad.error.config == bad.config
+        assert "injected factory crash" in str(bad.error)
+        # The healthy points are untouched by their neighbour's failure.
+        assert outcomes[0].result.rounds == 1
+        assert outcomes[2].result.rounds == 1
+
+    def test_crash_in_pool_mode_does_not_kill_the_sweep(self):
+        outcomes = run_sweep(chaos_factory, self.CONFIGS, workers=2)
+        assert [o.failed for o in outcomes] == [False, True, False]
+
+    def test_on_error_raise_aborts(self):
+        with pytest.raises(SweepPointFailed, match="injected factory crash"):
+            run_sweep(chaos_factory, self.CONFIGS, workers=1, on_error="raise")
+
+    def test_hanging_point_is_killed_at_the_timeout(self):
+        configs = [
+            {"mode": "ok", "seed": 0},
+            {"mode": "hang", "seed": 0},
+            {"mode": "ok", "seed": 1},
+        ]
+        start = time.monotonic()
+        outcomes = run_sweep(chaos_factory, configs, timeout=2.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30  # nowhere near the 60s sleep
+        assert [o.failed for o in outcomes] == [False, True, False]
+        assert "timeout" in str(outcomes[1].error)
+
+    def test_retries_recover_a_transient_failure(self):
+        _FLAKY_STATE["failures_left"] = 2
+        outcomes = run_sweep(
+            flaky_factory, [{"mode": "ok", "seed": 0}], workers=1,
+            retries=2, retry_backoff=0.0,
+        )
+        assert not outcomes[0].failed
+        assert outcomes[0].result.rounds == 1
+
+    def test_retries_exhausted_still_fails(self):
+        _FLAKY_STATE["failures_left"] = 10
+        outcomes = run_sweep(
+            flaky_factory, [{"mode": "ok", "seed": 0}], workers=1,
+            retries=1, retry_backoff=0.0,
+        )
+        _FLAKY_STATE["failures_left"] = 0
+        assert outcomes[0].failed
+        assert "2 attempt(s)" in str(outcomes[0].error)
+
+    def test_aggregate_reports_failures_without_raising(self):
+        outcomes = run_sweep(
+            chaos_factory, self.CONFIGS, workers=1, observer=True
+        )
+        summary = aggregate_sweep_metrics(outcomes)
+        assert summary["runs"] == 2
+        assert summary["failed_points"] == 1
+        assert summary["failed_indices"] == [1]
+
+    def test_aggregate_shape_unchanged_without_failures(self):
+        outcomes = run_sweep(
+            chaos_factory, [{"mode": "ok", "seed": 0}], workers=1,
+            observer=False,
+        )
+        assert aggregate_sweep_metrics(outcomes) == {"runs": 0}
+
+    def test_parameter_validation(self):
+        with pytest.raises(CliqueError, match="on_error"):
+            run_sweep(chaos_factory, [], on_error="explode")
+        with pytest.raises(CliqueError, match="retries"):
+            run_sweep(chaos_factory, [], retries=-1)
+        with pytest.raises(CliqueError, match="timeout"):
+            run_sweep(chaos_factory, [], timeout=0)
+        with pytest.raises(CliqueError, match="retry_backoff"):
+            run_sweep(chaos_factory, [], retry_backoff=-0.5)

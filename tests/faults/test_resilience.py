@@ -1,0 +1,174 @@
+"""The ack/retransmit resilience layer: protocol pieces, fault masking
+at honest cost, strict mode, and the catalog differential check."""
+
+import pytest
+
+from repro.clique import CliqueGraph, run_algorithm
+from repro.clique.bits import BitString
+from repro.clique.errors import (
+    CliqueError,
+    FaultInjected,
+    InvalidAddress,
+    ProtocolViolation,
+)
+from repro.engine import RESILIENT_CATALOG, diff_resilient
+from repro.faults import HEADER_BITS, attempt_offsets, resilient
+from repro.faults.resilience import _decode_frame, _encode_frame
+
+ENGINES = ("reference", "fast")
+
+
+def exchange(node):
+    """Two logical rounds of all-to-all id exchange."""
+    heard = []
+    for _ in range(2):
+        for dst in range(node.n):
+            if dst != node.id:
+                node.send(dst, BitString(node.id, node.bandwidth))
+        yield
+        heard.append(
+            tuple(sorted((src, msg.value) for src, msg in node.inbox.items()))
+        )
+    return tuple(heard)
+
+
+def _graph(n=8):
+    return CliqueGraph.from_edges(n, [(0, 1)])
+
+
+class TestAttemptOffsets:
+    def test_capped_exponential_schedule(self):
+        assert attempt_offsets(2, 5, 8) == (0, 2, 6, 14, 22)
+        assert attempt_offsets(2, 1, 2) == (0,)
+        assert attempt_offsets(3, 3, 100) == (0, 3, 9)
+
+    def test_validation(self):
+        with pytest.raises(CliqueError, match="timeout"):
+            attempt_offsets(1, 3, 8)
+        with pytest.raises(CliqueError, match="max_attempts"):
+            attempt_offsets(2, 0, 8)
+        with pytest.raises(CliqueError, match="backoff_cap"):
+            attempt_offsets(4, 3, 2)
+
+
+class TestFrames:
+    @pytest.mark.parametrize("parity", (0, 1))
+    @pytest.mark.parametrize("payload", (None, BitString(0b101, 3)))
+    @pytest.mark.parametrize("has_ack", (False, True))
+    def test_roundtrip(self, parity, payload, has_ack):
+        frame = _encode_frame(parity, payload, has_ack)
+        assert len(frame) == HEADER_BITS + (len(payload) if payload else 0)
+        assert _decode_frame(frame) == (parity, payload, has_ack)
+
+    def test_garbled_frames_decode_to_none(self):
+        assert _decode_frame(BitString(1, 2)) is None  # shorter than header
+        # has_data set but no data bits follow: corruption artifact.
+        assert _decode_frame(BitString(0b010, 3)) is None
+
+
+class TestWrapperContract:
+    def test_needs_headroom_for_the_header(self):
+        # n=8 gives a 3-bit default bandwidth == HEADER_BITS: too small.
+        with pytest.raises(CliqueError, match="bandwidth"):
+            run_algorithm(resilient(exchange), _graph(8))
+
+    def test_bulk_channel_is_rejected(self):
+        def bulk_prog(node):
+            node._bulk_send(1, BitString(1, 1))
+            yield
+
+        with pytest.raises(ProtocolViolation, match="bulk"):
+            run_algorithm(
+                resilient(bulk_prog), _graph(8), bandwidth_multiplier=2
+            )
+
+    def test_proxy_validates_sends(self):
+        def self_send(node):
+            node.send(node.id, BitString(1, 1))
+            yield
+
+        with pytest.raises(InvalidAddress):
+            run_algorithm(
+                resilient(self_send), _graph(8), bandwidth_multiplier=2
+            )
+
+    def test_wrapped_name_is_derived(self):
+        assert resilient(exchange).__name__ == "resilient_exchange"
+
+
+class TestMasking:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_reliable_network_matches_plain_run(self, engine):
+        g = _graph(8)
+        plain = run_algorithm(exchange, g, bandwidth_multiplier=2)
+        wrapped = run_algorithm(
+            resilient(exchange, strict=True),
+            g,
+            bandwidth_multiplier=2,
+            engine=engine,
+        )
+        assert wrapped.outputs == plain.outputs
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_drops_are_masked_at_honest_cost(self, engine):
+        g = _graph(8)
+        plain = run_algorithm(exchange, g, bandwidth_multiplier=2)
+        wrapped = run_algorithm(
+            resilient(exchange, max_attempts=6),
+            g,
+            bandwidth_multiplier=2,
+            engine=engine,
+            fault_plan="drop=0.3,seed=2",
+        )
+        # Same logical outcome as a fault-free unwrapped run...
+        assert wrapped.outputs == plain.outputs
+        # ... paid for with real rounds and real bits, all metered.
+        assert wrapped.rounds > plain.rounds
+        assert wrapped.total_message_bits > plain.total_message_bits
+        assert wrapped.metrics.faults["drop"] > 0
+        retransmits = sum(
+            c.get("resilient_retransmits", 0) for c in wrapped.counters
+        )
+        assert retransmits > 0
+
+    def test_masking_is_deterministic(self):
+        g = _graph(8)
+        kwargs = dict(
+            bandwidth_multiplier=2, engine="fast", fault_plan="drop=0.3,seed=2"
+        )
+        a = run_algorithm(resilient(exchange), g, **kwargs)
+        b = run_algorithm(resilient(exchange), g, **kwargs)
+        assert a.outputs == b.outputs
+        assert a.total_message_bits == b.total_message_bits
+
+    def test_strict_mode_surfaces_unmaskable_faults(self):
+        # A permanently dead link defeats any retransmission schedule.
+        with pytest.raises(FaultInjected, match="unacknowledged") as excinfo:
+            run_algorithm(
+                resilient(exchange, max_attempts=2, strict=True),
+                _graph(8),
+                bandwidth_multiplier=2,
+                fault_plan="link=1.0,seed=0",
+            )
+        assert excinfo.value.kind == "unacked"
+
+
+class TestCatalogDifferential:
+    def test_resilient_catalog_matches_fault_free_reference(self):
+        reports = diff_resilient(
+            config={"n": 9, "seed": 3}, fault_plan="drop=0.25,seed=11"
+        )
+        assert [r.label.split(":", 1)[1] for r in reports] == list(
+            RESILIENT_CATALOG
+        )
+        for report in reports:
+            assert report.ok, report.summary()
+            # The masking overhead is real and visible per backend.
+            for name in report.engines:
+                assert report.rounds[name] > report.rounds["fault-free"]
+
+    def test_bulk_algorithms_are_rejected(self):
+        with pytest.raises(ProtocolViolation, match="bulk"):
+            diff_resilient(
+                ["kds"], {"n": 9, "seed": 3}, fault_plan="drop=0.1"
+            )
