@@ -1,41 +1,22 @@
 """Engine micro-benchmarks — performance tracking for the simulator.
 
-Not a paper experiment: tracks the throughput of the engine's hot paths
-(message fan-out, bit packing, routing) so regressions show up in the
-benchmark history.  The exponent experiments (E9-E12) depend on being
-able to run n in the hundreds.
+Not a paper experiment: the acceptance gates here (fast engine >= 2x on
+fan-out, default-on metrics <= 10% overhead) guard the throughput the
+exponent experiments (E9-E12) depend on.  The timed workload and the
+timing loop both come from :mod:`repro.bench` — the same implementation
+the ``repro bench`` suite and the CI perf ratchet use — so there is one
+definition of "how we time the engine" in the repository.
 """
-
-import time
 
 import numpy as np
 
 from repro.algorithms.common import decode_bool_row, encode_bool_row
+from repro.bench import all_to_all_chatter, measure
 from repro.clique.bits import BitString
 from repro.clique.network import CongestedClique
 from repro.clique.routing import route
 from repro.engine import FastEngine
 from repro.problems import generators as gen
-
-
-def all_to_all_chatter(n: int, rounds: int, engine=None, observer=None):
-    def prog(node):
-        payload = BitString(node.id % 2, 1)
-        for _ in range(rounds):
-            node.send_to_all(payload)
-            yield
-        return None
-
-    return CongestedClique(n).run(prog, engine=engine, observer=observer)
-
-
-def _best_of(work, reps=5):
-    times = []
-    for _ in range(reps):
-        start = time.perf_counter()
-        result = work()
-        times.append(time.perf_counter() - start)
-    return min(times), result
 
 
 def test_message_fanout_throughput(benchmark):
@@ -82,19 +63,21 @@ def test_fast_engine_speedup_on_fanout():
     n, rounds = 64, 16
     engine = FastEngine(check="bandwidth")
 
-    ref_time, ref_result = _best_of(lambda: all_to_all_chatter(n, rounds))
-    fast_time, fast_result = _best_of(
-        lambda: all_to_all_chatter(n, rounds, engine=engine)
+    ref = measure(lambda: all_to_all_chatter(n, rounds), repeats=5, warmup=0)
+    fast = measure(
+        lambda: all_to_all_chatter(n, rounds, engine=engine),
+        repeats=5,
+        warmup=0,
     )
     # Identical observable results ...
-    assert fast_result.rounds == ref_result.rounds
-    assert fast_result.total_message_bits == ref_result.total_message_bits
-    assert fast_result.sent_bits == ref_result.sent_bits
-    assert fast_result.received_bits == ref_result.received_bits
+    assert fast.result.rounds == ref.result.rounds
+    assert fast.result.total_message_bits == ref.result.total_message_bits
+    assert fast.result.sent_bits == ref.result.sent_bits
+    assert fast.result.received_bits == ref.result.received_bits
     # ... at least twice as fast.
-    assert fast_time * 2 <= ref_time, (
-        f"fast engine not 2x faster: reference {ref_time*1e3:.1f}ms, "
-        f"fast {fast_time*1e3:.1f}ms"
+    assert fast.best * 2 <= ref.best, (
+        f"fast engine not 2x faster: reference {ref.best * 1e3:.1f}ms, "
+        f"fast {fast.best * 1e3:.1f}ms"
     )
 
 
@@ -105,20 +88,23 @@ def test_metrics_overhead_on_fanout():
     n, rounds = 64, 16
     engine = FastEngine(check="bandwidth")
 
-    off_time, off_result = _best_of(
+    off = measure(
         lambda: all_to_all_chatter(n, rounds, engine=engine, observer=False),
-        reps=9,
+        repeats=9,
+        warmup=0,
     )
-    on_time, on_result = _best_of(
-        lambda: all_to_all_chatter(n, rounds, engine=engine), reps=9
+    on = measure(
+        lambda: all_to_all_chatter(n, rounds, engine=engine),
+        repeats=9,
+        warmup=0,
     )
-    assert off_result.metrics is None
-    assert on_result.metrics is not None
-    assert on_result.metrics.rounds == rounds
-    assert on_result.metrics.message_bits == n * (n - 1) * rounds
-    assert on_time <= off_time * 1.10, (
-        f"default-on metrics cost > 10%: off {off_time*1e3:.2f}ms, "
-        f"on {on_time*1e3:.2f}ms"
+    assert off.result.metrics is None
+    assert on.result.metrics is not None
+    assert on.result.metrics.rounds == rounds
+    assert on.result.metrics.message_bits == n * (n - 1) * rounds
+    assert on.best <= off.best * 1.10, (
+        f"default-on metrics cost > 10%: off {off.best * 1e3:.2f}ms, "
+        f"on {on.best * 1e3:.2f}ms"
     )
 
 

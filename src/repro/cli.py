@@ -12,6 +12,11 @@ Commands
                 RunMetrics table (optionally link/phase breakdowns)
 ``trace``       run one catalog algorithm under the structured tracer
                 and print (or write to JSONL) the event stream
+``bench``       the engine benchmark suite: ``bench run`` emits a
+                schema-versioned ``BENCH_<sha>.json``, ``bench compare``
+                ratchets two artifacts, ``bench update-baseline``
+                refreshes the committed baseline, ``bench list`` names
+                the workloads
 ``demo``        run one of the bundled example scenarios
 """
 
@@ -208,6 +213,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", default=None, metavar="FILE",
         help="stream all events to FILE as JSON lines instead of printing",
     )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="engine benchmark suite: run / compare / update-baseline",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser(
+        "run", help="time the workload suite and emit BENCH_<sha>.json"
+    )
+    b_run.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes/budgets (the CI configuration)",
+    )
+    b_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="artifact path (default: ./BENCH_<git-sha>.json)",
+    )
+    b_run.add_argument(
+        "--only", nargs="+", default=None, metavar="WORKLOAD",
+        help="run only these workloads (see 'repro bench list')",
+    )
+    b_run.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repetitions per workload (default: 5, quick: 3)",
+    )
+    b_run.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed warmup calls per workload",
+    )
+    b_run.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="override the per-workload time budget",
+    )
+
+    b_cmp = bench_sub.add_parser(
+        "compare",
+        help="ratchet NEW against OLD; exit 1 on any regression",
+    )
+    b_cmp.add_argument("old", help="baseline BENCH_*.json (or baseline.json)")
+    b_cmp.add_argument("new", help="candidate BENCH_*.json")
+    b_cmp.add_argument(
+        "--tolerance", type=float, default=1.25,
+        help="slowdown ratio that counts as a regression (default 1.25)",
+    )
+    b_cmp.add_argument(
+        "--markdown", action="store_true",
+        help="print a GitHub-flavoured markdown table (for job summaries)",
+    )
+
+    b_base = bench_sub.add_parser(
+        "update-baseline",
+        help="re-time the suite and rewrite the committed baseline",
+    )
+    b_base.add_argument(
+        "--out", default="benchmarks/baseline.json", metavar="FILE",
+        help="baseline path (default: benchmarks/baseline.json)",
+    )
+    b_base.add_argument(
+        "--full", action="store_true",
+        help="record full-size workloads (default: quick, matching CI)",
+    )
+    b_base.add_argument("--repeats", type=int, default=None)
+
+    bench_sub.add_parser("list", help="list the registered workloads")
 
     p_demo = sub.add_parser("demo", help="run a bundled example scenario")
     p_demo.add_argument(
@@ -638,6 +708,75 @@ def _cmd_sweep(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import SUITE, compare_bench, default_output_path, run_suite
+
+    if args.bench_command == "list":
+        print(
+            format_table(
+                [
+                    {
+                        "workload": w.name,
+                        "description": w.description,
+                        "budget (s)": w.time_budget,
+                        "quick budget (s)": w.quick_time_budget,
+                    }
+                    for w in SUITE.values()
+                ],
+                title=f"benchmark suite ({len(SUITE)} workloads)",
+            )
+        )
+        return 0
+
+    if args.bench_command == "compare":
+        comparison = compare_bench(
+            args.old, args.new, tolerance=args.tolerance
+        )
+        if args.markdown:
+            print(comparison.markdown_table())
+        else:
+            print(
+                format_table(comparison.rows(), title=comparison.summary())
+            )
+        return 0 if comparison.ok else 1
+
+    if args.bench_command == "update-baseline":
+        report = run_suite(
+            quick=not args.full,
+            repeats=args.repeats,
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
+        )
+        path = report.write(args.out)
+        print(
+            f"baseline: {len(report.results)} workloads "
+            f"({'full' if args.full else 'quick'} mode) -> {path}"
+        )
+        return 0
+
+    assert args.bench_command == "run"
+    report = run_suite(
+        args.only,
+        quick=args.quick,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        time_budget=args.budget,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    out = args.out if args.out else default_output_path(report.git_sha)
+    path = report.write(out)
+    print(
+        format_table(
+            report.rows(),
+            title=(
+                f"bench: {len(report.results)} workloads @ {report.git_sha}"
+                f"{' (quick)' if report.quick else ''}"
+            ),
+        )
+    )
+    print(f"\nwrote {path}")
+    return 0
+
+
 def _cmd_demo(args) -> int:
     import pathlib
     import runpy
@@ -676,6 +815,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
         "demo": _cmd_demo,
     }[args.command](args)
 

@@ -78,9 +78,7 @@ def register_engine(cls: type["Engine"]) -> type["Engine"]:
     return cls
 
 
-def resolve_engine(
-    spec: "str | Engine | None", check: Any = None
-) -> "Engine":
+def resolve_engine(spec: "str | Engine | None", check: Any = None) -> "Engine":
     """Turn an ``engine=`` argument into an :class:`Engine` instance.
 
     ``None`` means the reference backend; a string is looked up in

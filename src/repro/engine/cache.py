@@ -94,17 +94,13 @@ def _feed(h: "hashlib._Hash", obj: Any) -> None:
         import numpy as np
 
         arr = np.asarray(obj)
-        h.update(
-            b"\x00a" + str(arr.shape).encode() + str(arr.dtype).encode()
-        )
+        h.update(b"\x00a" + str(arr.shape).encode() + str(arr.dtype).encode())
         h.update(np.ascontiguousarray(arr).tobytes())
     else:
         # Last resort: a stable repr.  Callables hash by qualified name.
         name = getattr(obj, "__qualname__", None)
         if name is not None:
-            h.update(
-                b"\x00c" + (getattr(obj, "__module__", "") + "." + name).encode()
-            )
+            h.update(b"\x00c" + (getattr(obj, "__module__", "") + "." + name).encode())
         else:
             h.update(b"\x00r" + repr(obj).encode())
 
@@ -132,6 +128,10 @@ class RunCache:
 
     def __init__(self, root: "str | os.PathLike | None" = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: In-process lookup counters (benchmarks and sweep reports read
+        #: them; corrupt/evicted entries count as misses).
+        self.hits = 0
+        self.misses = 0
 
     # -- keys ------------------------------------------------------------
 
@@ -194,24 +194,34 @@ class RunCache:
             with open(path, "rb") as fh:
                 entry = pickle.load(fh)
         except FileNotFoundError:
+            self.misses += 1
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError) as exc:
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+        ) as exc:
+            self.misses += 1
             self._evict_corrupt(
                 key, path, f"unreadable: {type(exc).__name__}: {exc}", strict
             )
             return None
         if not isinstance(entry, dict) or entry.get("key") != key:
+            self.misses += 1
             self._evict_corrupt(
-                key, path, "malformed entry (missing or mismatched key)",
+                key,
+                path,
+                "malformed entry (missing or mismatched key)",
                 strict,
             )
             return None
+        self.hits += 1
         return entry.get("payload")
 
-    def _evict_corrupt(
-        self, key: str, path: Path, why: str, strict: bool
-    ) -> None:
+    def _evict_corrupt(self, key: str, path: Path, why: str, strict: bool) -> None:
         """Delete a bad entry and report it (warn, or raise when strict)."""
         try:
             path.unlink()

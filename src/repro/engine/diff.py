@@ -11,7 +11,8 @@ programs.  This module provides
   ``n``/``seed``/problem parameters;
 * :func:`catalog_factory` — a picklable sweep factory dispatching on
   ``config["algorithm"]`` (usable directly with
-  :func:`~repro.engine.pool.run_sweep`);
+  :func:`~repro.engine.pool.run_sweep`, and the source of the
+  ``catalog/*`` workloads in :mod:`repro.bench`);
 * :func:`diff_engines` / :func:`assert_engines_agree` — run one spec on
   several backends and compare outputs, round counts and bit totals;
 * :func:`diff_resilient` — run catalog algorithms wrapped in the

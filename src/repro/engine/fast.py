@@ -44,7 +44,13 @@ from ..clique.transcript import RoundRecord, Transcript
 from ..faults import FaultInjector, resolve_fault_plan
 from ..obs import RoundStats, resolve_observer
 from ..obs.profile import PhaseTimer
-from .base import CHECK_LEVELS, Engine, canonical_check, register_engine, spawn_generators
+from .base import (
+    CHECK_LEVELS,
+    Engine,
+    canonical_check,
+    register_engine,
+    spawn_generators,
+)
 
 __all__ = ["CHECK_LEVELS", "FastEngine"]
 
@@ -82,15 +88,11 @@ class _FastNode(Node):
         check = self._check
         if check == "bandwidth":
             if len(payload) > self.bandwidth:
-                raise BandwidthExceeded(
-                    self.id, dst, len(payload), self.bandwidth
-                )
+                raise BandwidthExceeded(self.id, dst, len(payload), self.bandwidth)
         elif check == "full":
             self._check_can_send(dst)
             if len(payload) > self.bandwidth:
-                raise BandwidthExceeded(
-                    self.id, dst, len(payload), self.bandwidth
-                )
+                raise BandwidthExceeded(self.id, dst, len(payload), self.bandwidth)
             if len(payload) == 0:
                 raise ProtocolViolation(
                     f"node {self.id} sent an empty message to {dst}; "
@@ -178,9 +180,7 @@ class FastEngine(Engine):
     ) -> None:
         check = canonical_check(check)
         if check not in CHECK_LEVELS:
-            raise CliqueError(
-                f"check must be one of {CHECK_LEVELS}, got {check!r}"
-            )
+            raise CliqueError(f"check must be one of {CHECK_LEVELS}, got {check!r}")
         self.check = check
         self.record_transcripts = record_transcripts
         self.shuffle_seed = shuffle_seed
@@ -222,13 +222,9 @@ class FastEngine(Engine):
         )
         obs = resolve_observer(observer)
         plan = resolve_fault_plan(fault_plan)
-        injector = (
-            FaultInjector(plan, n, obs) if plan is not None else None
-        )
+        injector = (FaultInjector(plan, n, obs) if plan is not None else None)
         per_message = obs is not None and obs.wants_messages
-        timer = (
-            PhaseTimer() if obs is not None and obs.wants_timing else None
-        )
+        timer = (PhaseTimer() if obs is not None and obs.wants_timing else None)
         if timer is not None:
             timer.start("spawn")
         rng = (
@@ -251,9 +247,7 @@ class FastEngine(Engine):
         sent_bits = [0] * n
         received_bits = [0] * n
         if obs is not None:
-            obs.on_run_start(
-                n=n, bandwidth=clique.bandwidth, engine=self.name
-            )
+            obs.on_run_start(n=n, bandwidth=clique.bandwidth, engine=self.name)
 
         def advance(v: int) -> None:
             try:
@@ -300,16 +294,19 @@ class FastEngine(Engine):
                 injector.inject_pending(this_round, inboxes, round_received)
             if rng is not None or record or per_message or injector is not None:
                 sent_records, bits = self._deliver_explicit(
-                    nodes, inboxes, rng, record,
-                    round_sent, round_received,
-                    obs if per_message else None, this_round,
+                    nodes,
+                    inboxes,
+                    rng,
+                    record,
+                    round_sent,
+                    round_received,
+                    obs if per_message else None,
+                    this_round,
                     injector,
                 )
             else:
                 sent_records = None
-                bits = self._deliver_batched(
-                    nodes, inboxes, round_sent, round_received
-                )
+                bits = self._deliver_batched(nodes, inboxes, round_sent, round_received)
             total_bits += bits[0]
             bulk_bits += bits[1]
             if full_check:
@@ -338,9 +335,7 @@ class FastEngine(Engine):
                 nodes[v]._round = rounds
                 if record:
                     records[v].append(
-                        RoundRecord(
-                            sent=sent_records[v], received=dict(inboxes[v])
-                        )
+                        RoundRecord(sent=sent_records[v], received=dict(inboxes[v]))
                     )
 
             if timer is not None:
@@ -447,9 +442,7 @@ class FastEngine(Engine):
         obs=None,
         this_round: int = 0,
         injector=None,
-    ) -> tuple[
-        list[dict[int, BitString]] | None, tuple[int, int, int, int, int]
-    ]:
+    ) -> tuple[list[dict[int, BitString]] | None, tuple[int, int, int, int, int]]:
         """Slow path: expand every message, optionally permute delivery
         order, record transcripts, emit per-message observer events, and
         apply fault injection (bulk messages are exempt — the privileged
@@ -498,9 +491,7 @@ class FastEngine(Engine):
             if sent_records is not None:
                 sent_records[src][dst] = payload
             if obs is not None and delivered is not None:
-                obs.on_message(
-                    round=this_round, src=src, dst=dst, bits=plen, kind=kind
-                )
+                obs.on_message(round=this_round, src=src, dst=dst, bits=plen, kind=kind)
         return sent_records, (
             total_bits,
             bulk_bits,

@@ -14,6 +14,10 @@ those grid points across worker processes:
 * an optional :class:`~repro.engine.cache.RunCache` makes re-running a
   sweep free: hits are returned without touching the pool.
 
+The benchmark suite (:mod:`repro.bench`) times sweeps through this same
+entry point — the ``sweep/*`` workloads call :func:`run_sweep` directly
+so the ratchet measures the code path experiments actually use.
+
 Resilience: a sweep survives individual bad grid points.  A point that
 raises is retried up to ``retries`` times with exponential backoff, then
 marked ``failed=True`` on its :class:`SweepOutcome` (carrying a
@@ -122,9 +126,7 @@ class SweepOutcome:
 def derive_seed(base_seed: int, index: int, config: dict) -> int:
     """Deterministic per-task seed from the sweep seed, the grid index
     and the config content (stable across processes and Python runs)."""
-    blob = json.dumps(
-        [base_seed, index, config], sort_keys=True, default=repr
-    ).encode()
+    blob = json.dumps([base_seed, index, config], sort_keys=True, default=repr).encode()
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
@@ -167,9 +169,7 @@ def _execute_point(
 ) -> tuple[RunResult, Any]:
     """Worker entry point: build the spec from the config and run it."""
     factory, config, engine, observer, fault_plan = task
-    return run_spec(
-        factory(config), engine, observer=observer, fault_plan=fault_plan
-    )
+    return run_spec(factory(config), engine, observer=observer, fault_plan=fault_plan)
 
 
 def _safe_execute_point(task: tuple) -> tuple[str, Any]:
@@ -179,16 +179,12 @@ def _safe_execute_point(task: tuple) -> tuple[str, Any]:
     so a bad grid point cannot take down a pool worker (or the whole
     ``pool.map``) with it.
     """
-    factory, config, engine, observer, fault_plan, index, retries, backoff = (
-        task
-    )
+    factory, config, engine, observer, fault_plan, index, retries, backoff = (task)
     attempt = 0
     while True:
         attempt += 1
         try:
-            return "ok", _execute_point(
-                (factory, config, engine, observer, fault_plan)
-            )
+            return "ok", _execute_point((factory, config, engine, observer, fault_plan))
         except Exception as exc:
             if attempt > retries:
                 return "error", SweepPointFailed(
@@ -244,9 +240,7 @@ def _guarded_entry(task: tuple, result_queue: Any) -> None:  # pragma: no cover
     result_queue.put(_safe_execute_point(task))
 
 
-def _run_point_guarded(
-    task: tuple, timeout: float, context: Any
-) -> tuple[str, Any]:
+def _run_point_guarded(task: tuple, timeout: float, context: Any) -> tuple[str, Any]:
     """One attempt in a watched child process with a hard deadline.
 
     Returns ``("ok", ...)``/``("error", ...)`` from the child, or
@@ -267,9 +261,7 @@ def _run_point_guarded(
             # Drain the queue before joining: a child blocked writing a
             # large result into a full pipe buffer never exits on its
             # own, so the result must be consumed first.
-            payload = result_queue.get(
-                timeout=max(0.0, min(remaining, 0.05))
-            )
+            payload = result_queue.get(timeout=max(0.0, min(remaining, 0.05)))
             got = True
             break
         except queue_mod.Empty:
@@ -420,17 +412,13 @@ def run_sweep(
             "run in worker processes, each with its own fresh collector"
         )
     if on_error not in ("fail", "raise"):
-        raise CliqueError(
-            f"on_error must be 'fail' or 'raise', not {on_error!r}"
-        )
+        raise CliqueError(f"on_error must be 'fail' or 'raise', not {on_error!r}")
     if retries < 0:
         raise CliqueError(f"retries must be >= 0, not {retries}")
     if timeout is not None and timeout <= 0:
         raise CliqueError(f"timeout must be positive, not {timeout}")
     if retry_backoff < 0:
-        raise CliqueError(
-            f"retry_backoff must be >= 0, not {retry_backoff}"
-        )
+        raise CliqueError(f"retry_backoff must be >= 0, not {retry_backoff}")
     plan = resolve_fault_plan(fault_plan)
     fault_desc = plan.describe() if plan is not None else None
     observer_desc = describe_observer(observer)
@@ -529,9 +517,7 @@ def run_sweep(
     for (index, config), (status, payload) in zip(pending, statuses):
         if status == "ok":
             result, value = payload
-            outcomes[index] = SweepOutcome(
-                config=config, result=result, value=value
-            )
+            outcomes[index] = SweepOutcome(config=config, result=result, value=value)
             if cache is not None:
                 cache.put(
                     _point_key(

@@ -36,7 +36,13 @@ from ..clique.transcript import RoundRecord, Transcript
 from ..faults import FaultInjector, resolve_fault_plan
 from ..obs import RoundStats, resolve_observer
 from ..obs.profile import PhaseTimer
-from .base import CHECK_LEVELS, Engine, canonical_check, register_engine, spawn_generators
+from .base import (
+    CHECK_LEVELS,
+    Engine,
+    canonical_check,
+    register_engine,
+    spawn_generators,
+)
 
 __all__ = ["ReferenceEngine"]
 
@@ -141,9 +147,7 @@ class ReferenceEngine(Engine):
         n = clique.n
         obs = resolve_observer(observer)
         plan = resolve_fault_plan(fault_plan)
-        injector = (
-            FaultInjector(plan, n, obs) if plan is not None else None
-        )
+        injector = (FaultInjector(plan, n, obs) if plan is not None else None)
         timing = obs is not None and obs.wants_timing
         per_message = obs is not None and obs.wants_messages
         timer = PhaseTimer() if timing else None
@@ -156,9 +160,7 @@ class ReferenceEngine(Engine):
             ]
         else:
             nodes = [
-                _LaxNode(
-                    v, n, clique.bandwidth, inputs[v], auxes[v], self.check
-                )
+                _LaxNode(v, n, clique.bandwidth, inputs[v], auxes[v], self.check)
                 for v in range(n)
             ]
         gens = spawn_generators(program, nodes)
@@ -177,9 +179,7 @@ class ReferenceEngine(Engine):
             else clique.record_transcripts
         )
         if obs is not None:
-            obs.on_run_start(
-                n=n, bandwidth=clique.bandwidth, engine=self.name
-            )
+            obs.on_run_start(n=n, bandwidth=clique.bandwidth, engine=self.name)
 
         def advance(v: int) -> None:
             try:
@@ -200,9 +200,7 @@ class ReferenceEngine(Engine):
             obs.on_phases(round=0, seconds=timer.flush())
 
         while True:
-            pending = any(
-                nodes[v]._outbox or nodes[v]._bulk_outbox for v in range(n)
-            )
+            pending = any(nodes[v]._outbox or nodes[v]._bulk_outbox for v in range(n))
             if not live and not pending:
                 break
             if rounds >= clique.max_rounds:
@@ -320,9 +318,7 @@ class ReferenceEngine(Engine):
                 nodes[v]._round = rounds
                 if record_transcripts:
                     records[v].append(
-                        RoundRecord(
-                            sent=sent_records[v], received=dict(inboxes[v])
-                        )
+                        RoundRecord(sent=sent_records[v], received=dict(inboxes[v]))
                     )
 
             if timer is not None:

@@ -55,9 +55,7 @@ class FaultInjector:
         duplicate redelivery.
     """
 
-    def __init__(
-        self, plan: FaultPlan, n: int, observer: Any = None
-    ) -> None:
+    def __init__(self, plan: FaultPlan, n: int, observer: Any = None) -> None:
         self.plan = plan
         self.n = n
         self.observer = observer
@@ -117,7 +115,10 @@ class FaultInjector:
             received_bits[dst] += plen
             if per_message:
                 obs.on_message(
-                    round=round, src=src, dst=dst, bits=plen,
+                    round=round,
+                    src=src,
+                    dst=dst,
+                    bits=plen,
                     kind="duplicate",
                 )
 
@@ -150,10 +151,6 @@ class FaultInjector:
             self._emit(round, src, dst, "duplicate", plen)
         return payload
 
-    def _emit(
-        self, round: int, src: int, dst: int, kind: str, bits: int
-    ) -> None:
+    def _emit(self, round: int, src: int, dst: int, kind: str, bits: int) -> None:
         if self.observer is not None:
-            self.observer.on_fault(
-                round=round, src=src, dst=dst, kind=kind, bits=bits
-            )
+            self.observer.on_fault(round=round, src=src, dst=dst, kind=kind, bits=bits)

@@ -52,8 +52,13 @@ __all__ = ["FaultPlan"]
 
 #: Rate fields of a plan, also the spelling accepted by
 #: :meth:`FaultPlan.from_spec` (short aliases included).
-_RATE_FIELDS = ("drop_rate", "corrupt_rate", "duplicate_rate",
-                "link_failure_rate", "crash_rate")
+_RATE_FIELDS = (
+    "drop_rate",
+    "corrupt_rate",
+    "duplicate_rate",
+    "link_failure_rate",
+    "crash_rate",
+)
 
 _SPEC_ALIASES = {
     "drop": "drop_rate",
@@ -95,9 +100,7 @@ class FaultPlan:
         for name in _RATE_FIELDS:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
-                raise CliqueError(
-                    f"FaultPlan.{name} must be in [0, 1], got {rate!r}"
-                )
+                raise CliqueError(f"FaultPlan.{name} must be in [0, 1], got {rate!r}")
         if self.crash_restart_rounds is not None and self.crash_restart_rounds < 1:
             raise CliqueError(
                 f"crash_restart_rounds must be >= 1 (or None for permanent "
@@ -131,9 +134,7 @@ class FaultPlan:
                 else:
                     kwargs[field] = float(value)
             except ValueError:
-                raise CliqueError(
-                    f"bad fault-plan value in {part!r}"
-                ) from None
+                raise CliqueError(f"bad fault-plan value in {part!r}") from None
         return cls(**kwargs)
 
     # -- introspection ---------------------------------------------------
@@ -192,9 +193,7 @@ class FaultPlan:
             first = 1
         else:
             first = max(1, round - self.crash_restart_rounds + 1)
-        return any(
-            self.crashes_at(r0, node) for r0 in range(first, round + 1)
-        )
+        return any(self.crashes_at(r0, node) for r0 in range(first, round + 1))
 
     # -- per-message decisions -------------------------------------------
 

@@ -92,9 +92,7 @@ def attempt_offsets(
             f"take one round), got {timeout}"
         )
     if max_attempts < 1:
-        raise CliqueError(
-            f"resilient max_attempts must be >= 1, got {max_attempts}"
-        )
+        raise CliqueError(f"resilient max_attempts must be >= 1, got {max_attempts}")
     if backoff_cap < timeout:
         raise CliqueError(
             f"resilient backoff_cap ({backoff_cap}) must be >= the "
@@ -106,9 +104,7 @@ def attempt_offsets(
     return tuple(offsets)
 
 
-def _encode_frame(
-    parity: int, payload: BitString | None, has_ack: bool
-) -> BitString:
+def _encode_frame(parity: int, payload: BitString | None, has_ack: bool) -> BitString:
     w = BitWriter()
     w.write_bit(parity)
     w.write_bit(1 if payload is not None else 0)
@@ -147,8 +143,17 @@ class _ResilientNode:
     ``RunResult`` unchanged.
     """
 
-    __slots__ = ("_node", "id", "n", "bandwidth", "input", "aux",
-                 "_out", "_inbox", "_round")
+    __slots__ = (
+        "_node",
+        "id",
+        "n",
+        "bandwidth",
+        "input",
+        "aux",
+        "_out",
+        "_inbox",
+        "_round",
+    )
 
     def __init__(self, node: Any) -> None:
         if node.bandwidth <= HEADER_BITS:
@@ -216,9 +221,7 @@ class _ResilientNode:
         return self._round
 
     def __repr__(self) -> str:
-        return (
-            f"ResilientNode(id={self.id}, n={self.n}, round={self._round})"
-        )
+        return (f"ResilientNode(id={self.id}, n={self.n}, round={self._round})")
 
 
 def _run_window(

@@ -111,6 +111,14 @@ class RunMetrics:
         """Total injected faults over the whole run (all kinds)."""
         return sum(self.faults.values())
 
+    @property
+    def total_bits(self) -> int:
+        """All bits the run moved: messages plus the bulk channel.
+
+        The one-number volume figure benchmark artifacts record per
+        workload (see :mod:`repro.bench`)."""
+        return self.message_bits + self.bulk_bits
+
     def max_node_load(self) -> tuple[int, int]:
         """``(node, bits)`` for the node with the largest total traffic."""
         if not self.sent_bits:
@@ -142,9 +150,7 @@ class RunMetrics:
         """
         if not self.link_bits:
             return []
-        ranked = sorted(
-            self.link_bits.items(), key=lambda kv: (-kv[1], kv[0])
-        )
+        ranked = sorted(self.link_bits.items(), key=lambda kv: (-kv[1], kv[0]))
         return [(src, dst, bits) for (src, dst), bits in ranked[:limit]]
 
     def per_round_rows(self) -> list[dict]:
@@ -192,9 +198,7 @@ class RunMetrics:
             unicast_messages=data["unicast_messages"],
             broadcast_messages=data["broadcast_messages"],
             bulk_messages=data["bulk_messages"],
-            per_round=tuple(
-                RoundMetrics.from_dict(r) for r in data["per_round"]
-            ),
+            per_round=tuple(RoundMetrics.from_dict(r) for r in data["per_round"]),
             sent_bits=tuple(data["sent_bits"]),
             received_bits=tuple(data["received_bits"]),
             counters=tuple(dict(c) for c in data.get("counters", ())),
@@ -294,9 +298,7 @@ class MetricsCollector(Observer):
             key = (src, dst)
             self._link_bits[key] = self._link_bits.get(key, 0) + bits
 
-    def on_fault(
-        self, *, round: int, src: int, dst: int, kind: str, bits: int
-    ) -> None:
+    def on_fault(self, *, round: int, src: int, dst: int, kind: str, bits: int) -> None:
         self._faults[kind] = self._faults.get(kind, 0) + 1
         self._round_faults += 1
 
@@ -315,9 +317,7 @@ class MetricsCollector(Observer):
             message_bits=sum(r.message_bits for r in self._rounds),
             bulk_bits=sum(r.bulk_bits for r in self._rounds),
             unicast_messages=sum(r.unicast_messages for r in self._rounds),
-            broadcast_messages=sum(
-                r.broadcast_messages for r in self._rounds
-            ),
+            broadcast_messages=sum(r.broadcast_messages for r in self._rounds),
             bulk_messages=sum(r.bulk_messages for r in self._rounds),
             per_round=tuple(self._rounds),
             sent_bits=tuple(self._sent),
@@ -355,8 +355,6 @@ def summarise_metrics(all_metrics: Iterable[RunMetrics]) -> dict[str, Any]:
         "total_message_bits": total_bits,
         "total_bulk_bits": total_bulk,
         "mean_message_bits": total_bits / len(metrics),
-        "max_routed_payload_load": max(
-            m.routed_payload_load() for m in metrics
-        ),
+        "max_routed_payload_load": max(m.routed_payload_load() for m in metrics),
         "max_node_load_bits": max(m.max_node_load()[1] for m in metrics),
     }

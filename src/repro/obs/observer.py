@@ -96,9 +96,7 @@ class Observer:
         event covers both sides.
         """
 
-    def on_fault(
-        self, *, round: int, src: int, dst: int, kind: str, bits: int
-    ) -> None:
+    def on_fault(self, *, round: int, src: int, dst: int, kind: str, bits: int) -> None:
         """One fault was injected into the message ``src -> dst``.
 
         ``kind`` is one of ``link_down`` / ``crash`` / ``drop`` /

@@ -178,9 +178,7 @@ class Tracer(Observer):
             )
         )
 
-    def on_fault(
-        self, *, round: int, src: int, dst: int, kind: str, bits: int
-    ) -> None:
+    def on_fault(self, *, round: int, src: int, dst: int, kind: str, bits: int) -> None:
         # Fault events are never sampled away: like round boundaries,
         # they are part of the run's skeleton, and there are at most as
         # many of them as injected faults.

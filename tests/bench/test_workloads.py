@@ -1,0 +1,100 @@
+"""The suite registry: coverage, determinism, and registration rules."""
+
+import pytest
+
+from repro.bench import SUITE, Workload, get_workloads, register_workload
+from repro.clique.errors import CliqueError
+
+
+def run_once(workload, quick=True):
+    """Execute one workload iteration (setup included), with cleanup."""
+    params = workload.resolved_params(quick)
+    ctx = workload.setup(params) if workload.setup is not None else {}
+    try:
+        return workload.run(params, ctx)
+    finally:
+        cleanup = ctx.get("cleanup")
+        if cleanup is not None:
+            cleanup()
+
+
+class TestRegistry:
+    def test_expected_workloads_present(self):
+        expected = {
+            "fanout/reference",
+            "fanout/fast",
+            "fanout/fast-noobs",
+            "route/relay",
+            "codec/bool-row",
+            "catalog/kds",
+            "catalog/kvc",
+            "catalog/matmul",
+            "catalog/sorting",
+            "sweep/uncached",
+            "sweep/cached",
+            "faults/drop-overhead",
+        }
+        assert expected <= set(SUITE)
+
+    def test_suite_spans_both_engines(self):
+        engines = {
+            w.params.get("engine")
+            for w in SUITE.values()
+            if "engine" in w.params
+        }
+        assert "reference" in engines and "fast" in engines
+
+    def test_get_workloads_preserves_selection_order(self):
+        names = ["codec/bool-row", "fanout/fast"]
+        assert [w.name for w in get_workloads(names)] == names
+
+    def test_get_workloads_default_is_whole_suite(self):
+        assert [w.name for w in get_workloads()] == list(SUITE)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(CliqueError, match="unknown workload"):
+            get_workloads(["nope/never"])
+
+    def test_duplicate_registration_rejected(self):
+        name = next(iter(SUITE))
+        with pytest.raises(CliqueError, match="already registered"):
+            register_workload(
+                Workload(name=name, description="dup", run=lambda p, c: {})
+            )
+
+    def test_quick_params_merge_over_full(self):
+        workload = SUITE["fanout/fast"]
+        full = workload.resolved_params(quick=False)
+        quick = workload.resolved_params(quick=True)
+        assert quick["engine"] == full["engine"]
+        assert quick["n"] < full["n"]
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_runs_in_quick_mode_with_deterministic_payload(self, name):
+        workload = SUITE[name]
+        first = run_once(workload)
+        second = run_once(workload)
+        assert "rounds" in first and "total_bits" in first
+        assert first == second  # the payload the determinism gate relies on
+
+    def test_cached_sweep_is_served_from_cache(self):
+        info = run_once(SUITE["sweep/cached"])
+        params = SUITE["sweep/cached"].resolved_params(quick=True)
+        grid_size = len(params["ns"]) * params["seeds"]
+        assert info["cache_hits"] == grid_size
+
+    def test_uncached_sweep_executes_every_point(self):
+        info = run_once(SUITE["sweep/uncached"])
+        assert info["cache_hits"] == 0
+        assert info["rounds"] > 0
+
+    def test_fanout_engines_agree_on_payload(self):
+        reference = run_once(SUITE["fanout/reference"])
+        fast = run_once(SUITE["fanout/fast"])
+        assert reference == fast
+
+    def test_drop_overhead_workload_injects_faults(self):
+        info = run_once(SUITE["faults/drop-overhead"])
+        assert info["faults"] > 0

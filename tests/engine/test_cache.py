@@ -11,9 +11,7 @@ from repro.problems import generators as gen
 
 class TestContentDigest:
     def test_equal_content_equal_digest(self):
-        assert content_digest({"n": 4, "p": 0.3}) == content_digest(
-            {"p": 0.3, "n": 4}
-        )
+        assert content_digest({"n": 4, "p": 0.3}) == content_digest({"p": 0.3, "n": 4})
 
     def test_scalars_are_type_tagged(self):
         assert content_digest(1) != content_digest(True)
@@ -41,9 +39,7 @@ class TestContentDigest:
         assert content_digest(BitString(5, 4)) != content_digest(BitString(5, 8))
 
     def test_callables_hash_by_qualified_name(self):
-        assert content_digest(gen.random_graph) == content_digest(
-            gen.random_graph
-        )
+        assert content_digest(gen.random_graph) == content_digest(gen.random_graph)
         assert content_digest(gen.random_graph) != content_digest(gen.rng_from)
 
 
@@ -76,9 +72,7 @@ class TestRunCache:
         assert self.key(cache, bandwidth=4) != base
         assert self.key(cache, program="tests.other") != base
         assert self.key(cache, engine={"engine": "reference"}) != base
-        assert (
-            self.key(cache, input_digest=content_digest({"seed": 1})) != base
-        )
+        assert (self.key(cache, input_digest=content_digest({"seed": 1})) != base)
         assert self.key(cache, extra="v2") != base
 
     def test_observer_config_is_part_of_the_key(self, tmp_path):
@@ -93,9 +87,7 @@ class TestRunCache:
         assert self.key(cache, observer=False) != default
         assert self.key(cache, observer="metrics") == default
         assert self.key(cache, observer=MetricsCollector()) == default
-        assert (
-            self.key(cache, observer=MetricsCollector(links=True)) != default
-        )
+        assert (self.key(cache, observer=MetricsCollector(links=True)) != default)
         assert self.key(cache, observer=Tracer()) != default
         # Pre-normalised dict descriptions are accepted as-is.
         assert (

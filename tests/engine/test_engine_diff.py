@@ -39,8 +39,14 @@ class TestCatalogAgreement:
         # The acceptance criterion: at least eight distinct families.
         assert len(CATALOG) >= 8
         for name in (
-            "broadcast", "bfs", "apsp", "matmul",
-            "kds", "kvc", "subgraph", "sorting",
+            "broadcast",
+            "bfs",
+            "apsp",
+            "matmul",
+            "kds",
+            "kvc",
+            "subgraph",
+            "sorting",
         ):
             assert name in CATALOG
 

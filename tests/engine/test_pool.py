@@ -161,9 +161,7 @@ class TestCacheIntegration:
         cache = RunCache(tmp_path)
         configs = [{"n": 4, "seed": 0}]
         run_sweep(echo_factory, configs, workers=1, cache=cache, engine="fast")
-        run_sweep(
-            echo_factory, configs, workers=1, cache=cache, engine="reference"
-        )
+        run_sweep(echo_factory, configs, workers=1, cache=cache, engine="reference")
         assert len(cache) == 2  # one entry per engine config
 
     def test_config_change_misses(self, tmp_path):
@@ -179,7 +177,10 @@ class TestCacheIntegration:
         configs = [{"n": 4, "seed": 0}]
         run_sweep(echo_factory, configs, workers=1, cache=cache)
         outcomes = run_sweep(
-            echo_factory, configs, workers=1, cache=cache,
+            echo_factory,
+            configs,
+            workers=1,
+            cache=cache,
             fault_plan="drop=0.5,seed=1",
         )
         assert not outcomes[0].from_cache
@@ -240,8 +241,11 @@ class TestFailureContainment:
     def test_retries_recover_a_transient_failure(self):
         _FLAKY_STATE["failures_left"] = 2
         outcomes = run_sweep(
-            flaky_factory, [{"mode": "ok", "seed": 0}], workers=1,
-            retries=2, retry_backoff=0.0,
+            flaky_factory,
+            [{"mode": "ok", "seed": 0}],
+            workers=1,
+            retries=2,
+            retry_backoff=0.0,
         )
         assert not outcomes[0].failed
         assert outcomes[0].result.rounds == 1
@@ -249,17 +253,18 @@ class TestFailureContainment:
     def test_retries_exhausted_still_fails(self):
         _FLAKY_STATE["failures_left"] = 10
         outcomes = run_sweep(
-            flaky_factory, [{"mode": "ok", "seed": 0}], workers=1,
-            retries=1, retry_backoff=0.0,
+            flaky_factory,
+            [{"mode": "ok", "seed": 0}],
+            workers=1,
+            retries=1,
+            retry_backoff=0.0,
         )
         _FLAKY_STATE["failures_left"] = 0
         assert outcomes[0].failed
         assert "2 attempt(s)" in str(outcomes[0].error)
 
     def test_aggregate_reports_failures_without_raising(self):
-        outcomes = run_sweep(
-            chaos_factory, self.CONFIGS, workers=1, observer=True
-        )
+        outcomes = run_sweep(chaos_factory, self.CONFIGS, workers=1, observer=True)
         summary = aggregate_sweep_metrics(outcomes)
         assert summary["runs"] == 2
         assert summary["failed_points"] == 1
@@ -267,7 +272,9 @@ class TestFailureContainment:
 
     def test_aggregate_shape_unchanged_without_failures(self):
         outcomes = run_sweep(
-            chaos_factory, [{"mode": "ok", "seed": 0}], workers=1,
+            chaos_factory,
+            [{"mode": "ok", "seed": 0}],
+            workers=1,
             observer=False,
         )
         assert aggregate_sweep_metrics(outcomes) == {"runs": 0}

@@ -20,9 +20,7 @@ def chatter(node):
             if dst != node.id:
                 node.send(dst, BitString(node.id, node.bandwidth))
         yield
-        log.append(
-            tuple(sorted((src, msg.value) for src, msg in node.inbox.items()))
-        )
+        log.append(tuple(sorted((src, msg.value) for src, msg in node.inbox.items())))
     return tuple(log)
 
 
@@ -45,9 +43,7 @@ class TestDrops:
     def test_drops_lose_messages_but_charge_the_sender(self, engine):
         g = _graph()
         clean = run_algorithm(chatter, g, engine=engine)
-        faulty = run_algorithm(
-            chatter, g, engine=engine, fault_plan="drop=0.4,seed=1"
-        )
+        faulty = run_algorithm(chatter, g, engine=engine, fault_plan="drop=0.4,seed=1")
         # The sender pays for what it queued, delivered or not.
         assert faulty.total_message_bits == clean.total_message_bits
         assert faulty.sent_bits == clean.sent_bits
@@ -56,10 +52,7 @@ class TestDrops:
         drops = faulty.metrics.faults["drop"]
         assert drops > 0
         bits = faulty.metrics.bandwidth
-        assert (
-            sum(clean.received_bits) - sum(faulty.received_bits)
-            == drops * bits
-        )
+        assert (sum(clean.received_bits) - sum(faulty.received_bits) == drops * bits)
 
     def test_replay_is_identical(self, engine):
         g = _graph()
@@ -125,9 +118,7 @@ class TestFaultKinds:
     def test_duplicates_arrive_one_round_late(self, engine):
         g = _graph()
         clean = run_algorithm(chatter, g, engine=engine)
-        faulty = run_algorithm(
-            chatter, g, engine=engine, fault_plan="dup=0.5,seed=4"
-        )
+        faulty = run_algorithm(chatter, g, engine=engine, fault_plan="dup=0.5,seed=4")
         assert faulty.metrics.faults["duplicate"] > 0
         # Duplicates only add received traffic, never sent traffic.
         assert faulty.sent_bits == clean.sent_bits
@@ -187,9 +178,7 @@ class TestObservability:
         from repro.obs import summarise_metrics
 
         g = _graph()
-        faulty = run_algorithm(
-            chatter, g, engine="fast", fault_plan="drop=0.4,seed=1"
-        )
+        faulty = run_algorithm(chatter, g, engine="fast", fault_plan="drop=0.4,seed=1")
         clean = run_algorithm(chatter, g, engine="fast")
         summary = summarise_metrics([faulty.metrics, clean.metrics])
         assert summary["total_faults"] == faulty.metrics.total_faults

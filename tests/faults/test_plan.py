@@ -76,10 +76,7 @@ class TestDeterminism:
 
     def test_decisions_replay_exactly(self):
         plan = FaultPlan(seed=3, drop_rate=0.3, corrupt_rate=0.3)
-        first = [
-            (plan.drops(r, s, d), plan.corrupts(r, s, d))
-            for r, s, d in self.GRID
-        ]
+        first = [(plan.drops(r, s, d), plan.corrupts(r, s, d)) for r, s, d in self.GRID]
         second = [
             (plan.drops(r, s, d), plan.corrupts(r, s, d))
             for r, s, d in self.GRID
@@ -89,9 +86,7 @@ class TestDeterminism:
     def test_seed_changes_the_schedule(self):
         a = FaultPlan(seed=0, drop_rate=0.5)
         b = FaultPlan(seed=1, drop_rate=0.5)
-        assert [a.drops(*p) for p in self.GRID] != [
-            b.drops(*p) for p in self.GRID
-        ]
+        assert [a.drops(*p) for p in self.GRID] != [b.drops(*p) for p in self.GRID]
 
     def test_empirical_rate_is_roughly_honoured(self):
         plan = FaultPlan(seed=7, drop_rate=0.5)

@@ -26,9 +26,7 @@ def exchange(node):
             if dst != node.id:
                 node.send(dst, BitString(node.id, node.bandwidth))
         yield
-        heard.append(
-            tuple(sorted((src, msg.value) for src, msg in node.inbox.items()))
-        )
+        heard.append(tuple(sorted((src, msg.value) for src, msg in node.inbox.items())))
     return tuple(heard)
 
 
@@ -78,9 +76,7 @@ class TestWrapperContract:
             yield
 
         with pytest.raises(ProtocolViolation, match="bulk"):
-            run_algorithm(
-                resilient(bulk_prog), _graph(8), bandwidth_multiplier=2
-            )
+            run_algorithm(resilient(bulk_prog), _graph(8), bandwidth_multiplier=2)
 
     def test_proxy_validates_sends(self):
         def self_send(node):
@@ -88,9 +84,7 @@ class TestWrapperContract:
             yield
 
         with pytest.raises(InvalidAddress):
-            run_algorithm(
-                resilient(self_send), _graph(8), bandwidth_multiplier=2
-            )
+            run_algorithm(resilient(self_send), _graph(8), bandwidth_multiplier=2)
 
     def test_wrapped_name_is_derived(self):
         assert resilient(exchange).__name__ == "resilient_exchange"
@@ -126,9 +120,7 @@ class TestMasking:
         assert wrapped.rounds > plain.rounds
         assert wrapped.total_message_bits > plain.total_message_bits
         assert wrapped.metrics.faults["drop"] > 0
-        retransmits = sum(
-            c.get("resilient_retransmits", 0) for c in wrapped.counters
-        )
+        retransmits = sum(c.get("resilient_retransmits", 0) for c in wrapped.counters)
         assert retransmits > 0
 
     def test_masking_is_deterministic(self):
@@ -158,9 +150,7 @@ class TestCatalogDifferential:
         reports = diff_resilient(
             config={"n": 9, "seed": 3}, fault_plan="drop=0.25,seed=11"
         )
-        assert [r.label.split(":", 1)[1] for r in reports] == list(
-            RESILIENT_CATALOG
-        )
+        assert [r.label.split(":", 1)[1] for r in reports] == list(RESILIENT_CATALOG)
         for report in reports:
             assert report.ok, report.summary()
             # The masking overhead is real and visible per backend.
@@ -169,6 +159,4 @@ class TestCatalogDifferential:
 
     def test_bulk_algorithms_are_rejected(self):
         with pytest.raises(ProtocolViolation, match="bulk"):
-            diff_resilient(
-                ["kds"], {"n": 9, "seed": 3}, fault_plan="drop=0.1"
-            )
+            diff_resilient(["kds"], {"n": 9, "seed": 3}, fault_plan="drop=0.1")

@@ -47,9 +47,7 @@ def test_zero_rate_plan_is_the_identity(name, n, seed, plan_seed, engine):
     plan = FaultPlan(seed=plan_seed)
     assert plan.is_zero
     bare, _ = run_spec(catalog_factory(dict(config)), engine)
-    planned, _ = run_spec(
-        catalog_factory(dict(config)), engine, fault_plan=plan
-    )
+    planned, _ = run_spec(catalog_factory(dict(config)), engine, fault_plan=plan)
     assert_observationally_identical(bare, planned)
     assert planned.metrics.faults == {}
 

@@ -32,12 +32,8 @@ class TestTranscriptAgreement:
         m, ts = result.metrics, result.transcripts
         assert m is not None and ts is not None
         for v, t in enumerate(ts):
-            sent = sum(
-                len(b) for rec in t.rounds for b in rec.sent.values()
-            )
-            received = sum(
-                len(b) for rec in t.rounds for b in rec.received.values()
-            )
+            sent = sum(len(b) for rec in t.rounds for b in rec.sent.values())
+            received = sum(len(b) for rec in t.rounds for b in rec.received.values())
             assert m.sent_bits[v] == sent == result.sent_bits[v]
             assert m.received_bits[v] == received == result.received_bits[v]
         assert m.message_bits + m.bulk_bits == sum(m.sent_bits)
@@ -73,9 +69,7 @@ class TestConsistency:
         assert sum(r.message_bits for r in m.per_round) == m.message_bits
         assert sum(r.bulk_bits for r in m.per_round) == m.bulk_bits
         assert sum(r.messages for r in m.per_round) == m.messages
-        assert [r.round for r in m.per_round] == list(
-            range(1, m.rounds + 1)
-        )
+        assert [r.round for r in m.per_round] == list(range(1, m.rounds + 1))
 
     def test_matches_run_result_accounting(self):
         result, _ = run_spec(
@@ -138,9 +132,7 @@ class TestLinksAndProfile:
 
     def test_profile_collects_phase_totals(self):
         obs = MetricsCollector(profile=True)
-        result = CongestedClique(4).run(
-            ring_prog, engine="reference", observer=obs
-        )
+        result = CongestedClique(4).run(ring_prog, engine="reference", observer=obs)
         phases = result.metrics.phases
         assert phases is not None
         assert {"spawn", "validate", "deliver", "advance"} <= set(phases)
@@ -150,9 +142,7 @@ class TestLinksAndProfile:
 class TestSerialisation:
     def test_round_trip_through_json(self):
         obs = MetricsCollector(links=True, profile=True)
-        result = CongestedClique(5).run(
-            ring_prog, engine="reference", observer=obs
-        )
+        result = CongestedClique(5).run(ring_prog, engine="reference", observer=obs)
         m = result.metrics
         back = RunMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
         assert back == m
@@ -179,15 +169,11 @@ class TestSummarise:
         assert summarise_metrics([None]) == {"runs": 0}
 
     def test_aggregates(self):
-        results = [
-            CongestedClique(n).run(ring_prog).metrics for n in (4, 6)
-        ]
+        results = [CongestedClique(n).run(ring_prog).metrics for n in (4, 6)]
         summary = summarise_metrics(results)
         assert summary["runs"] == 2
         assert summary["total_rounds"] == sum(m.rounds for m in results)
-        assert summary["total_message_bits"] == sum(
-            m.message_bits for m in results
-        )
+        assert summary["total_message_bits"] == sum(m.message_bits for m in results)
         assert summary["max_node_load_bits"] == max(
             m.max_node_load()[1] for m in results
         )

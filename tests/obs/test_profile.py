@@ -34,13 +34,9 @@ class TestPhaseTimer:
 class TestProfiler:
     def test_collects_rounds_and_totals(self, engine):
         profiler = Profiler()
-        result = CongestedClique(4).run(
-            prog, engine=engine, observer=profiler
-        )
+        result = CongestedClique(4).run(prog, engine=engine, observer=profiler)
         # Round 0 is the pre-round spawn phase; then one entry per round.
-        assert [r for r, _ in profiler.rounds] == list(
-            range(result.rounds + 1)
-        )
+        assert [r for r, _ in profiler.rounds] == list(range(result.rounds + 1))
         assert "spawn" in profiler.rounds[0][1]
         assert {"deliver", "advance"} <= set(profiler.totals)
         assert profiler.total_seconds() == pytest.approx(

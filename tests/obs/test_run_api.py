@@ -65,9 +65,7 @@ class TestObserverSpecs:
     @pytest.mark.parametrize("engine", ["reference", "fast"])
     def test_run_metrics_on_by_default_off_on_request(self, engine):
         on = CongestedClique(4).run(ring_prog, engine=engine)
-        off = CongestedClique(4).run(
-            ring_prog, engine=engine, observer=False
-        )
+        off = CongestedClique(4).run(ring_prog, engine=engine, observer=False)
         assert on.metrics is not None
         assert on.metrics.engine == engine
         assert off.metrics is None
@@ -168,9 +166,7 @@ class TestDeprecatedForms:
             yield
 
         with pytest.raises(TypeError):
-            run_algorithm(
-                prog, g, record_transcripts=True, transcripts=False
-            )
+            run_algorithm(prog, g, record_transcripts=True, transcripts=False)
 
     def test_transcripts_keyword_overrides_clique_default(self):
         clique = CongestedClique(4, record_transcripts=True)
@@ -200,9 +196,7 @@ class TestSweepIntegration:
             )
 
     def test_metrics_flow_through_sweep(self):
-        outcomes = run_sweep(
-            ring_factory, [{"n": 4}, {"n": 6}], workers=1
-        )
+        outcomes = run_sweep(ring_factory, [{"n": 4}, {"n": 6}], workers=1)
         assert all(o.result.metrics is not None for o in outcomes)
         summary = aggregate_sweep_metrics(outcomes)
         assert summary["runs"] == 2
@@ -211,8 +205,6 @@ class TestSweepIntegration:
         )
 
     def test_observer_off_in_sweep(self):
-        outcomes = run_sweep(
-            ring_factory, [{"n": 4}], workers=1, observer=False
-        )
+        outcomes = run_sweep(ring_factory, [{"n": 4}], workers=1, observer=False)
         assert outcomes[0].result.metrics is None
         assert aggregate_sweep_metrics(outcomes) == {"runs": 0}

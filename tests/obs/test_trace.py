@@ -82,9 +82,7 @@ class TestRingBufferSink:
 class TestJSONLSink:
     def test_writes_parseable_lines(self, tmp_path):
         path = tmp_path / "trace.jsonl"
-        CongestedClique(3).run(
-            chatter(1), observer=Tracer(JSONLSink(path))
-        )
+        CongestedClique(3).run(chatter(1), observer=Tracer(JSONLSink(path)))
         lines = path.read_text().strip().splitlines()
         records = [json.loads(line) for line in lines]
         assert records[0]["kind"] == "run_start"

@@ -161,6 +161,55 @@ class TestCommands:
         assert records[0]["kind"] == "run_start"
         assert records[-1]["kind"] == "run_end"
 
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark suite" in out
+        assert "fanout/fast" in out and "sweep/cached" in out
+
+    def test_bench_run_writes_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_dev.json"
+        code = main(
+            ["bench", "run", "--quick", "--only", "codec/bool-row",
+             "--repeats", "1", "--warmup", "0", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench: 1 workloads" in out
+        assert out_path.exists()
+        import json
+
+        assert "codec/bool-row" in json.loads(out_path.read_text())["results"]
+
+    def test_bench_compare_ok_round_trip(self, capsys, tmp_path):
+        out_path = tmp_path / "b.json"
+        main(
+            ["bench", "run", "--quick", "--only", "codec/bool-row",
+             "--repeats", "1", "--warmup", "0", "--out", str(out_path)]
+        )
+        capsys.readouterr()
+        code = main(
+            ["bench", "compare", str(out_path), str(out_path), "--markdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Benchmark ratchet" in out and "stable" in out
+
+    def test_bench_update_baseline(self, capsys, tmp_path, monkeypatch):
+        from repro.bench import SUITE
+
+        for name in list(SUITE):
+            if name != "codec/bool-row":
+                monkeypatch.delitem(SUITE, name)
+        out_path = tmp_path / "baseline.json"
+        code = main(
+            ["bench", "update-baseline", "--out", str(out_path),
+             "--repeats", "1"]
+        )
+        assert code == 0
+        assert "baseline: 1 workloads (quick mode)" in capsys.readouterr().out
+        assert out_path.exists()
+
     def test_demo_unknown_rejected(self):
         with pytest.raises(SystemExit):
             main(["demo", "nope"])

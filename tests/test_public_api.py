@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.clique",
     "repro.obs",
     "repro.engine",
+    "repro.bench",
     "repro.algorithms",
     "repro.core",
     "repro.reductions",
@@ -61,11 +62,24 @@ def test_obs_does_not_import_engines():
     protocol, never the other way around."""
     import sys
 
+    # Re-import repro.obs from scratch, then restore the original module
+    # objects: tests running later hold references to the original
+    # classes, and a permanently re-imported tree would break their
+    # isinstance checks (class identity, not just equality).
+    saved = {}
     for name in list(sys.modules):
         if name.startswith("repro.obs") or name.startswith("repro.engine"):
-            del sys.modules[name]
-    importlib.import_module("repro.obs")
-    assert not any(n.startswith("repro.engine") for n in sys.modules)
+            saved[name] = sys.modules.pop(name)
+    try:
+        importlib.import_module("repro.obs")
+        assert not any(n.startswith("repro.engine") for n in sys.modules)
+    finally:
+        for name in list(sys.modules):
+            if name.startswith("repro.obs") or name.startswith(
+                "repro.engine"
+            ):
+                del sys.modules[name]
+        sys.modules.update(saved)
 
 
 def test_run_result_field_set_is_frozen():
