@@ -12,7 +12,14 @@ from typing import Generator, Sequence
 
 import numpy as np
 
-from ..clique.bits import BitReader, BitString, BitWriter, uint_width
+from ..clique.bits import (
+    BitReader,
+    BitString,
+    BitWriter,
+    decode_uint_array,
+    encode_uint_array,
+    uint_width,
+)
 from ..clique.node import Node
 from ..clique.primitives import all_broadcast
 
@@ -105,13 +112,11 @@ def decode_bool_row(bits: BitString, n: int) -> np.ndarray:
 
 
 def encode_uint_row(row: Sequence[int], width: int) -> BitString:
-    w = BitWriter()
-    w.write_uint_seq([int(x) for x in row], width)
-    return w.finish()
+    return encode_uint_array(row, width)
 
 
 def decode_uint_row(bits: BitString, count: int, width: int) -> list[int]:
-    return BitReader(bits).read_uint_seq(count, width)
+    return decode_uint_array(bits, count, width)
 
 
 # ---------------------------------------------------------------------------

@@ -27,7 +27,14 @@ from typing import Callable, Generator
 
 import numpy as np
 
-from ..clique.bits import BitReader, BitString, BitWriter, uint_width
+from ..clique.bits import (
+    BitReader,
+    BitString,
+    BitWriter,
+    decode_uint_array,
+    encode_uint_array,
+    uint_width,
+)
 from ..clique.graph import INF
 from ..clique.network import CongestedClique
 from ..clique.node import Node
@@ -64,29 +71,29 @@ class Semiring:
 
     def encode_entries(self, values: np.ndarray, width: int) -> BitString:
         """Pack entries at ``width`` bits each (INF -> the all-ones code)."""
-        w = BitWriter()
-        sentinel = (1 << width) - 1
-        for x in np.asarray(values).ravel():
-            x = int(x)
-            if self.uses_inf and x >= INF:
-                w.write_uint(sentinel, width)
-            else:
-                if self.uses_inf and x >= sentinel:
-                    raise ValueError(
-                        f"{self.name}: finite entry {x} collides with the "
-                        f"{width}-bit INF sentinel"
-                    )
-                w.write_uint(x, width)
-        return w.finish()
+        arr = np.asarray(values, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return BitString.empty()
+        if self.uses_inf:
+            sentinel = (1 << width) - 1
+            infinite = arr >= INF
+            colliding = ~infinite & (arr >= sentinel)
+            if colliding.any():
+                bad = int(arr[int(np.argmax(colliding))])
+                raise ValueError(
+                    f"{self.name}: finite entry {bad} collides with the "
+                    f"{width}-bit INF sentinel"
+                )
+            arr = np.where(infinite, np.int64(sentinel), arr)
+        return encode_uint_array(arr, width)
 
     def decode_entries(self, bits: BitString, count: int, width: int) -> np.ndarray:
         """Unpack ``count`` entries of ``width`` bits each."""
-        r = BitReader(bits)
-        sentinel = (1 << width) - 1
-        out = np.empty(count, dtype=np.int64)
-        for i in range(count):
-            x = r.read_uint(width)
-            out[i] = INF if (self.uses_inf and x == sentinel) else x
+        out = np.fromiter(
+            decode_uint_array(bits, count, width), dtype=np.int64, count=count
+        )
+        if self.uses_inf:
+            out[out == (1 << width) - 1] = INF
         return out
 
 

@@ -185,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
             "fault counts, e.g. 'drop=0.1,seed=7'"
         ),
     )
+    p_stats.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help=(
+            "run-cache directory (shared with 'repro sweep'; a repeated "
+            "invocation serves the metrics from disk)"
+        ),
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -468,22 +475,46 @@ def _catalog_config(args) -> dict:
 
 
 def _cmd_stats(args) -> int:
+    from .engine import RunCache
+    from .engine.base import resolve_engine
     from .engine.diff import CATALOG, catalog_factory
-    from .engine.pool import run_spec
-    from .obs import MetricsCollector
+    from .engine.pool import _point_key, run_spec
+    from .faults import resolve_fault_plan
+    from .obs import MetricsCollector, describe_observer
 
     assert args.algorithm in CATALOG  # parser choices mirror the catalog
     config = _catalog_config(args)
     collector = MetricsCollector(
         links=args.links > 0, profile=args.profile
     )
-    result, _ = run_spec(
-        catalog_factory(config),
-        args.engine,
-        check=args.check,
-        observer=collector,
-        fault_plan=args.fault_plan,
-    )
+    cache = RunCache(args.cache) if args.cache else None
+    key = None
+    result = None
+    if cache is not None:
+        # Key-compatible with run_sweep so a sweep-warmed cache serves
+        # stats lookups (and vice versa) when the configs line up.
+        plan = resolve_fault_plan(args.fault_plan)
+        key = _point_key(
+            cache,
+            catalog_factory,
+            config,
+            resolve_engine(args.engine, check=args.check).describe(),
+            describe_observer(collector),
+            plan.describe() if plan is not None else None,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            result, _ = hit
+    if result is None:
+        result, value = run_spec(
+            catalog_factory(config),
+            args.engine,
+            check=args.check,
+            observer=collector,
+            fault_plan=args.fault_plan,
+        )
+        if cache is not None:
+            cache.put(key, (result, value))
     metrics = result.metrics
     columns = [
         "round",
@@ -558,6 +589,12 @@ def _cmd_stats(args) -> int:
                 ],
                 title="phase profile (wall clock)",
             )
+        )
+    if cache is not None:
+        print()
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"({cache.root})"
         )
     return 0
 
@@ -663,6 +700,11 @@ def _cmd_sweep(args) -> int:
             f"{len(configs)} grid points)",
         )
     )
+    if cache is not None:
+        print(
+            f"\ncache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"({cache.root})"
+        )
     failures = [o for o in outcomes if o.failed]
     for o in failures:
         print(f"FAILED: {o.error}", file=sys.stderr)
@@ -710,6 +752,7 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .bench import SUITE, compare_bench, default_output_path, run_suite
+    from .clique.errors import CliqueError
 
     if args.bench_command == "list":
         print(
@@ -754,14 +797,20 @@ def _cmd_bench(args) -> int:
         return 0
 
     assert args.bench_command == "run"
-    report = run_suite(
-        args.only,
-        quick=args.quick,
-        repeats=args.repeats,
-        warmup=args.warmup,
-        time_budget=args.budget,
-        progress=lambda line: print(f"  {line}", file=sys.stderr),
-    )
+    try:
+        report = run_suite(
+            args.only,
+            quick=args.quick,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            time_budget=args.budget,
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
+        )
+    except CliqueError as exc:
+        # Typically an unknown --only name; the message carries the
+        # valid workload list, so surface it instead of a traceback.
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
     out = args.out if args.out else default_output_path(report.git_sha)
     path = report.write(out)
     print(

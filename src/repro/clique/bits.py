@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from .errors import EncodingError
 
 __all__ = [
@@ -26,7 +28,18 @@ __all__ = [
     "uint_width",
     "encode_uint",
     "decode_uint",
+    "encode_uint_array",
+    "decode_uint_array",
 ]
+
+#: Widest lane the numpy bulk kernels handle; wider values take the
+#: big-int divide-and-conquer path.
+_U64_WIDTH = 64
+
+#: Below this many lanes the fixed numpy dispatch cost exceeds a plain
+#: shift loop (which is quadratic, but bounded here), so the bulk
+#: kernels drop to scalar code.
+_SMALL_COUNT = 32
 
 
 def uint_width(max_value: int) -> int:
@@ -47,7 +60,7 @@ class BitString:
     hashing, so bit strings can be dict keys (e.g. transcript tables).
     """
 
-    __slots__ = ("_value", "_length")
+    __slots__ = ("_value", "_length", "_hash")
 
     def __init__(self, value: int = 0, length: int = 0) -> None:
         if length < 0:
@@ -87,6 +100,35 @@ class BitString:
     @classmethod
     def empty(cls) -> "BitString":
         return _EMPTY
+
+    @classmethod
+    def concat(cls, chunks: "Sequence[BitString]") -> "BitString":
+        """Concatenate many bit strings in one pass.
+
+        Equivalent to summing with ``+`` (or a ``write_bits`` loop) but
+        merges by divide and conquer, so the big-int work is
+        O(L log m) for m chunks totalling L bits instead of O(L * m).
+        """
+        if not chunks:
+            return _EMPTY
+        if len(chunks) <= _SMALL_COUNT:
+            value = 0
+            length = 0
+            for chunk in chunks:
+                value = (value << chunk._length) | chunk._value
+                length += chunk._length
+            return cls(value, length)
+
+        def rec(lo: int, hi: int) -> tuple[int, int]:
+            if hi - lo == 1:
+                chunk = chunks[lo]
+                return chunk._value, chunk._length
+            mid = (lo + hi) // 2
+            v1, l1 = rec(lo, mid)
+            v2, l2 = rec(mid, hi)
+            return (v1 << l2) | v2, l1 + l2
+
+        return cls(*rec(0, len(chunks)))
 
     # -- accessors -------------------------------------------------------
 
@@ -141,7 +183,16 @@ class BitString:
         return self._value == other._value and self._length == other._length
 
     def __hash__(self) -> int:
-        return hash((self._value, self._length))
+        # Hashing a big-int payload is O(bits); cache it so transcript
+        # tables and payload interning pay that cost once per object.
+        # The slot stays unset until first use, keeping construction
+        # (the truly hot operation) free of the extra store.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self._value, self._length))
+            self._hash = h
+            return h
 
     def __repr__(self) -> str:
         if self._length <= 64:
@@ -156,8 +207,155 @@ class BitString:
         """The bits as a list of 0/1 ints (MSB first)."""
         return list(self)
 
+    def split(self, width: int) -> "list[BitString]":
+        """Split into consecutive ``width``-bit chunks (MSB first).
+
+        The final chunk is shorter when the length is not a multiple of
+        ``width``.  Equivalent to ``[self[i : i + width] for i in
+        range(0, len(self), width)]`` but avoids the per-slice big-int
+        shifts, which are quadratic in the total length.
+        """
+        if width < 1:
+            raise EncodingError(f"split width must be >= 1, got {width}")
+        length = self._length
+        if length == 0:
+            return []
+        if length <= width:
+            return [self]
+        full, tail = divmod(length, width)
+        value = self._value
+        chunks = (
+            [BitString(v, width) for v in _split_uints(value >> tail, full, width)]
+            if full
+            else []
+        )
+        if tail:
+            chunks.append(BitString(value & ((1 << tail) - 1), tail))
+        return chunks
+
 
 _EMPTY = BitString(0, 0)
+
+
+def _merge_uints(values: Sequence[int], lo: int, hi: int, width: int) -> int:
+    """Concatenate ``values[lo:hi]`` (each ``width`` bits) into one int
+    by divide and conquer, so total work is O(L log m) big-int bit ops
+    instead of the O(L * m) of a shift-per-value loop."""
+    if hi - lo == 1:
+        return int(values[lo])
+    mid = (lo + hi) // 2
+    return (_merge_uints(values, lo, mid, width) << ((hi - mid) * width)) | (
+        _merge_uints(values, mid, hi, width)
+    )
+
+
+def _split_uints(value: int, count: int, width: int) -> list[int]:
+    """Split ``value`` (``count * width`` bits, MSB first) into ``count``
+    unsigned ints.  Lanes of at most 64 bits go through numpy
+    (bytes -> unpackbits -> per-row dot with powers of two); wider lanes
+    recurse on big-int halves."""
+    if count <= _SMALL_COUNT:
+        mask = (1 << width) - 1
+        return [(value >> ((count - 1 - i) * width)) & mask for i in range(count)]
+    if width <= _U64_WIDTH:
+        total = count * width
+        raw = (value << (-total % 8)).to_bytes((total + 7) // 8, "big")
+        bit_matrix = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), count=total)
+        powers = np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64)
+        return (bit_matrix.reshape(count, width).astype(np.uint64) @ powers).tolist()
+    hi_count = count // 2
+    lo_bits = (count - hi_count) * width
+    return _split_uints(value >> lo_bits, hi_count, width) + _split_uints(
+        value & ((1 << lo_bits) - 1), count - hi_count, width
+    )
+
+
+def _encode_uint_seq_scalar(values: Sequence[int], width: int) -> BitString:
+    """Arbitrary-precision fallback for :func:`encode_uint_array`."""
+    if isinstance(values, np.ndarray):
+        vals = values.tolist()
+    else:
+        vals = [int(v) for v in values]
+    for v in vals:
+        if v < 0 or v.bit_length() > width:
+            raise EncodingError(f"value {v} does not fit in {width} bits")
+    if not vals:
+        return _EMPTY
+    return BitString(_merge_uints(vals, 0, len(vals), width), len(vals) * width)
+
+
+def encode_uint_array(values: Sequence[int], width: int) -> BitString:
+    """Encode a sequence of unsigned ints, each as ``width`` bits.
+
+    Bulk counterpart of repeated :meth:`BitWriter.write_uint` calls:
+    bit-exact with the scalar path, but vectorised through numpy
+    (values -> bit matrix -> ``packbits`` -> one big int) so the cost is
+    linear in the output length instead of quadratic.  Values wider than
+    64 bits, and inputs numpy cannot hold, fall back to an
+    arbitrary-precision divide-and-conquer merge.
+
+    Unlike ``write_uint``, a width of 0 is rejected: a zero-bit lane
+    cannot carry a value and is reserved for "no message".
+    """
+    if width < 1:
+        raise EncodingError(f"bulk encode width must be >= 1, got {width}")
+    try:
+        small = len(values) <= _SMALL_COUNT
+    except TypeError:
+        values = list(values)
+        small = len(values) <= _SMALL_COUNT
+    if small:
+        return _encode_uint_seq_scalar(values, width)
+    arr: "np.ndarray | None"
+    if isinstance(values, np.ndarray) and values.dtype.kind in "iu":
+        arr = values.ravel()
+    else:
+        try:
+            arr = np.asarray(values, dtype=np.int64).ravel()
+        except (OverflowError, TypeError, ValueError):
+            arr = None  # values beyond int64 (or odd types): big-int path
+    if arr is None:
+        return _encode_uint_seq_scalar(values, width)
+    count = int(arr.size)
+    if count == 0:
+        return _EMPTY
+    if width > _U64_WIDTH:
+        return _encode_uint_seq_scalar(arr.tolist(), width)
+    if arr.dtype.kind == "i" and int(arr.min()) < 0:
+        bad = int(arr[int(np.argmax(arr < 0))])
+        raise EncodingError(f"value {bad} does not fit in {width} bits")
+    lanes = arr.astype(np.uint64, copy=False)
+    if width < _U64_WIDTH:
+        over = lanes >> np.uint64(width)
+        if over.any():
+            bad = int(lanes[int(np.argmax(over != 0))])
+            raise EncodingError(f"value {bad} does not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bit_matrix = ((lanes[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    total = count * width
+    packed = np.packbits(bit_matrix.ravel())
+    value = int.from_bytes(packed.tobytes(), "big") >> (-total % 8)
+    return BitString(value, total)
+
+
+def decode_uint_array(bits: BitString, count: int, width: int) -> list[int]:
+    """Decode the first ``count * width`` bits of ``bits`` as ``count``
+    unsigned ``width``-bit ints (bulk counterpart of
+    :meth:`BitReader.read_uint_seq`; bit-exact with it).  Like
+    :func:`encode_uint_array`, a width of 0 is rejected.
+    """
+    if width < 1:
+        raise EncodingError(f"bulk decode width must be >= 1, got {width}")
+    if count < 0:
+        raise EncodingError(f"negative decode count {count}")
+    total = count * width
+    if total > len(bits):
+        raise EncodingError(
+            f"read of {total} bits at offset 0 overruns {len(bits)}-bit message"
+        )
+    if count == 0:
+        return []
+    return _split_uints(bits.value >> (len(bits) - total), count, width)
 
 
 def encode_uint(value: int, width: int) -> BitString:
@@ -217,11 +415,25 @@ class BitWriter:
         self._length += len(bits)
         return self
 
+    def write_uints(self, values: Sequence[int], width: int) -> "BitWriter":
+        """Append each value as ``width`` unsigned bits in one bulk pass.
+
+        Bit-exact with a :meth:`write_uint` loop but linear in the output
+        length (see :func:`encode_uint_array`).  Rejects ``width == 0``.
+        """
+        chunk = encode_uint_array(values, width)
+        self._value = (self._value << chunk._length) | chunk._value
+        self._length += chunk._length
+        return self
+
     def write_uint_seq(self, values: Sequence[int], width: int) -> "BitWriter":
         """Append each value as ``width`` unsigned bits."""
-        for v in values:
-            self.write_uint(v, width)
-        return self
+        if width == 0:
+            # Scalar semantics: a zero-width write of 0 is a no-op.
+            for v in values:
+                self.write_uint(v, width)
+            return self
+        return self.write_uints(values, width)
 
     def __len__(self) -> int:
         return self._length
@@ -279,9 +491,33 @@ class BitReader:
         self._pos += width
         return chunk
 
+    def read_uints(self, count: int, width: int) -> list[int]:
+        """Read ``count`` unsigned ``width``-bit integers in one bulk
+        pass (bit-exact with a :meth:`read_uint` loop; rejects
+        ``width == 0`` — see :func:`decode_uint_array`)."""
+        if width < 1:
+            raise EncodingError(f"bulk read width must be >= 1, got {width}")
+        if count < 0:
+            raise EncodingError(f"negative read count {count}")
+        total = count * width
+        bits = self._bits
+        if self._pos + total > len(bits):
+            raise EncodingError(
+                f"read of {total} bits at offset {self._pos} overruns "
+                f"{len(bits)}-bit message"
+            )
+        if count == 0:
+            return []
+        end = self._pos + total
+        value = (bits.value >> (len(bits) - end)) & ((1 << total) - 1)
+        self._pos = end
+        return _split_uints(value, count, width)
+
     def read_uint_seq(self, count: int, width: int) -> list[int]:
         """Read ``count`` unsigned ``width``-bit integers."""
-        return [self.read_uint(width) for _ in range(count)]
+        if width == 0:
+            return [self.read_uint(width) for _ in range(count)]
+        return self.read_uints(count, width)
 
     def read_rest(self) -> BitString:
         """Read all remaining bits."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import Generator
 
-from .bits import BitString, BitWriter
+from .bits import BitString
 from .errors import ProtocolViolation
 from .node import Node
 
@@ -82,18 +82,18 @@ def all_broadcast(
     b = node.bandwidth
     k = len(payload)
     rounds = chunks_needed(k, b)
-    collected: dict[int, BitWriter] = {v: BitWriter() for v in range(node.n)}
+    chunks = payload.split(b)
+    collected: dict[int, list[BitString]] = {v: [] for v in range(node.n)}
     for r in range(rounds):
-        chunk = payload[r * b : min((r + 1) * b, k)]
-        if len(chunk) > 0:
-            node.send_to_all(chunk)
+        chunk = chunks[r]
+        node.send_to_all(chunk)
         yield
         for src, msg in node.inbox.items():
-            collected[src].write_bits(msg)
-        collected[node.id].write_bits(chunk)
+            collected[src].append(msg)
+        collected[node.id].append(chunk)
     result = []
     for v in range(node.n):
-        got = collected[v].finish()
+        got = BitString.concat(collected[v])
         if len(got) != k:
             raise ProtocolViolation(
                 f"all_broadcast: node {node.id} reassembled {len(got)} bits "
@@ -136,56 +136,57 @@ def broadcast_from(
     # Phase 1: root scatters segment i to others[i], chunked.
     max_seg = max((hi - lo for lo, hi in bounds), default=0)
     p1_rounds = chunks_needed(max_seg, b)
-    my_segment = BitWriter()
+    if node.id == root:
+        segments = payload.split(seg)
+        segments += [BitString.empty()] * (n - 1 - len(segments))
+        scatter = [segment.split(b) for segment in segments]
+    my_segment: list[BitString] = []
     for r in range(p1_rounds):
         if node.id == root:
             for i, dst in enumerate(others):
-                lo, hi = bounds[i]
-                chunk = payload[lo + r * b : min(lo + (r + 1) * b, hi)]
-                if len(chunk) > 0:
-                    node.send(dst, chunk)
+                if r < len(scatter[i]):
+                    node.send(dst, scatter[i][r])
         yield
         if node.id != root:
             msg = node.recv(root)
             if msg is not None:
-                my_segment.write_bits(msg)
+                my_segment.append(msg)
 
     # Phase 2: everyone (except root) broadcasts its segment; lengths are
     # derivable from the common layout, so all_broadcast-style chunking
     # works per segment.
     p2_rounds = chunks_needed(max_seg, b)
-    segment_bits = my_segment.finish() if node.id != root else BitString.empty()
-    collected: dict[int, BitWriter] = {v: BitWriter() for v in others}
+    segment_bits = (
+        BitString.concat(my_segment) if node.id != root else BitString.empty()
+    )
+    my_chunks = segment_bits.split(b)
+    collected: dict[int, list[BitString]] = {v: [] for v in others}
     for r in range(p2_rounds):
-        if node.id != root:
-            chunk = segment_bits[r * b : min((r + 1) * b, len(segment_bits))]
-            if len(chunk) > 0:
-                node.send_to_all(chunk)
+        if node.id != root and r < len(my_chunks):
+            node.send_to_all(my_chunks[r])
         yield
         for src, msg in node.inbox.items():
             if src != root:
-                collected[src].write_bits(msg)
-        if node.id != root:
-            collected[node.id].write_bits(
-                segment_bits[r * b : min((r + 1) * b, len(segment_bits))]
-            )
+                collected[src].append(msg)
+        if node.id != root and r < len(my_chunks):
+            collected[node.id].append(my_chunks[r])
 
     if node.id == root:
         return payload  # root already has it
-    w = BitWriter()
+    parts: list[BitString] = []
     for i, owner in enumerate(others):
         lo, hi = bounds[i]
         if owner == node.id:
-            w.write_bits(segment_bits)
+            parts.append(segment_bits)
         else:
-            got = collected[owner].finish()
+            got = BitString.concat(collected[owner])
             if len(got) != hi - lo:
                 raise ProtocolViolation(
                     f"broadcast_from: segment {i} from {owner} has "
                     f"{len(got)} bits, expected {hi - lo}"
                 )
-            w.write_bits(got)
-    return w.finish()
+            parts.append(got)
+    return BitString.concat(parts)
 
 
 def all_gather_bits(

@@ -42,7 +42,7 @@ import math
 from collections import deque
 from typing import Generator
 
-from .bits import BitString, BitWriter, uint_width
+from .bits import BitString, uint_width
 from .errors import ProtocolViolation
 from .node import Node
 from .primitives import agree_uint_max, chunks_needed
@@ -97,17 +97,16 @@ def route(
     # node (which would otherwise swamp sub-linear load profiles).
     b = node.bandwidth
     hdr_rounds = chunks_needed(_LEN_WIDTH, b)
-    headers = {d: BitString(len(p), _LEN_WIDTH) for d, p in flows.items()}
-    in_len: dict[int, BitWriter] = {}
+    headers = {d: BitString(len(p), _LEN_WIDTH).split(b) for d, p in flows.items()}
+    in_len: dict[int, list[BitString]] = {}
     for r in range(hdr_rounds):
-        for d, hdr in headers.items():
-            chunk = hdr[r * b : min((r + 1) * b, _LEN_WIDTH)]
-            if len(chunk) > 0:
-                node.send(d, chunk)
+        for d, hdr_chunks in headers.items():
+            if r < len(hdr_chunks):
+                node.send(d, hdr_chunks[r])
         yield
         for s, msg in node.inbox.items():
-            in_len.setdefault(s, BitWriter()).write_bits(msg)
-    in_lengths = {s: w.finish().value for s, w in in_len.items()}
+            in_len.setdefault(s, []).append(msg)
+    in_lengths = {s: BitString.concat(parts).value for s, parts in in_len.items()}
 
     # Record the payload load profile — the quantity the routing
     # theorems bound (headers and agreement bits excluded).
@@ -141,27 +140,27 @@ def _route_direct(
         my_rounds = max(my_rounds, chunks_needed(length, b))
     total_rounds = yield from agree_uint_max(node, my_rounds, _LEN_WIDTH)
 
-    incoming: dict[int, BitWriter] = {
-        s: BitWriter() for s, length in in_lengths.items() if length > 0
+    incoming: dict[int, list[BitString]] = {
+        s: [] for s, length in in_lengths.items() if length > 0
     }
+    chunked = {d: payload.split(b) for d, payload in flows.items()}
     for r in range(total_rounds):
-        for d, payload in flows.items():
-            chunk = payload[r * b : min((r + 1) * b, len(payload))]
-            if len(chunk) > 0:
-                node.send(d, chunk)
+        for d, chunks in chunked.items():
+            if r < len(chunks):
+                node.send(d, chunks[r])
         yield
         for s, msg in node.inbox.items():
-            incoming[s].write_bits(msg)
+            incoming[s].append(msg)
 
     return _finish_incoming(node, incoming, in_lengths)
 
 
 def _finish_incoming(
-    node: Node, incoming: dict[int, BitWriter], in_lengths: dict[int, int]
+    node: Node, incoming: dict[int, list[BitString]], in_lengths: dict[int, int]
 ) -> dict[int, BitString]:
     result: dict[int, BitString] = {}
-    for s, w in incoming.items():
-        got = w.finish()
+    for s, parts in incoming.items():
+        got = BitString.concat(parts)
         expected = in_lengths[s]
         if len(got) < expected:
             raise ProtocolViolation(
@@ -260,11 +259,13 @@ def _route_relay(
     # starts at the destination itself (so the direct link carries an even
     # 1/(n-1) share like every other link; see _relay_of/_chunk_index).
     for d, payload in flows.items():
-        m = math.ceil(len(payload) / payload_w)
-        for i in range(m):
-            chunk = payload[i * payload_w : min((i + 1) * payload_w, len(payload))]
-            if len(chunk) < payload_w:  # pad the tail chunk
-                chunk = chunk + BitString.zeros(payload_w - len(chunk))
+        chunks = payload.split(payload_w)
+        tail = chunks[-1] if chunks else None
+        if tail is not None and len(tail) < payload_w:  # pad the tail chunk
+            chunks[-1] = BitString(
+                tail.value << (payload_w - len(tail)), payload_w
+            )
+        for i, chunk in enumerate(chunks):
             w = _relay_of(me, d, i, n)
             spread[w].append((d, chunk))
 
@@ -290,23 +291,33 @@ def _route_relay(
             continue
 
         # Data round: per link, forward traffic has priority over spread.
+        # Messages are [tag:1][peer:node_w][payload:payload_w], assembled
+        # with one shift instead of two BitString concatenations.
         for peer in range(n):
             if peer == me:
                 continue
             if forward[peer]:
                 src, chunk = forward[peer].popleft()
-                msg = BitString(1, 1) + BitString(src, node_w) + chunk
+                msg = BitString(
+                    (((1 << node_w) | src) << payload_w) | chunk.value,
+                    1 + node_w + payload_w,
+                )
                 node.send(peer, msg)
             elif spread[peer]:
                 dst, chunk = spread[peer].popleft()
-                msg = BitString(0, 1) + BitString(dst, node_w) + chunk
+                msg = BitString(
+                    (dst << payload_w) | chunk.value,
+                    1 + node_w + payload_w,
+                )
                 node.send(peer, msg)
         yield
         data_round += 1
         for sender, msg in node.inbox.items():
-            tag = msg[0]
-            peer_id = msg[1 : 1 + node_w].value
-            chunk = msg[1 + node_w :]
+            raw = msg.value
+            chunk_w = len(msg) - 1 - node_w
+            tag = raw >> (len(msg) - 1)
+            peer_id = (raw >> chunk_w) & ((1 << node_w) - 1)
+            chunk = BitString(raw & ((1 << chunk_w) - 1), chunk_w)
             if tag == 0:
                 # We are the relay; ``peer_id`` is the final destination.
                 if peer_id == me:
@@ -332,15 +343,14 @@ def _route_relay(
     result: dict[int, BitString] = {}
     for s, chunks in store.items():
         m = expect_chunks[s]
-        w = BitWriter()
         for i in range(m):
             if i not in chunks:
                 raise ProtocolViolation(
                     f"route(relay): node {me} missing chunk {i} of flow "
                     f"from {s}"
                 )
-            w.write_bits(chunks[i])
-        result[s] = w.finish()[: in_lengths[s]]
+        merged = BitString.concat([chunks[i] for i in range(m)])
+        result[s] = merged[: in_lengths[s]]
     return result
 
 

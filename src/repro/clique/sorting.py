@@ -36,14 +36,15 @@ __all__ = ["distributed_sort"]
 def _pack_keys(keys: list[int], width: int) -> BitString:
     w = BitWriter()
     w.write_uint(len(keys), 32)
-    w.write_uint_seq(keys, width)
+    if keys:
+        w.write_uints(keys, width)
     return w.finish()
 
 
 def _unpack_keys(bits: BitString, width: int) -> list[int]:
     r = BitReader(bits)
     count = r.read_uint(32)
-    return r.read_uint_seq(count, width)
+    return r.read_uints(count, width)
 
 
 def distributed_sort(
@@ -78,12 +79,12 @@ def distributed_sort(
         samples = [local[min(i * step, len(local) - 1)] for i in range(n)]
     else:
         samples = [pad] * n
-    sample_payload = BitWriter().write_uint_seq(samples, key_width).finish()
+    sample_payload = BitWriter().write_uints(samples, key_width).finish()
     all_samples_bits = yield from all_broadcast(node, sample_payload)
     all_samples = sorted(
         s
         for bits in all_samples_bits
-        for s in BitReader(bits).read_uint_seq(n, key_width)
+        for s in BitReader(bits).read_uints(n, key_width)
     )
     # n-1 splitters: every n-th order statistic.
     splitters = [all_samples[(j + 1) * n - 1] for j in range(n - 1)]

@@ -63,6 +63,7 @@ from .pool import (
     derive_seed,
     run_spec,
     run_sweep,
+    shutdown_pool,
 )
 from .reference import ReferenceEngine
 
@@ -92,4 +93,5 @@ __all__ = [
     "resolve_engine",
     "run_spec",
     "run_sweep",
+    "shutdown_pool",
 ]

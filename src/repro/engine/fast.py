@@ -30,6 +30,8 @@ from __future__ import annotations
 import random
 from typing import Any, Sequence
 
+import numpy as np
+
 from ..clique.bits import BitString
 from ..clique.errors import (
     BandwidthExceeded,
@@ -42,7 +44,7 @@ from ..clique.network import NodeProgram, RunResult
 from ..clique.node import Node
 from ..clique.transcript import RoundRecord, Transcript
 from ..faults import FaultInjector, resolve_fault_plan
-from ..obs import RoundStats, resolve_observer
+from ..obs import MetricsCollector, RoundStats, resolve_observer
 from ..obs.profile import PhaseTimer
 from .base import (
     CHECK_LEVELS,
@@ -224,6 +226,7 @@ class FastEngine(Engine):
         plan = resolve_fault_plan(fault_plan)
         injector = (FaultInjector(plan, n, obs) if plan is not None else None)
         per_message = obs is not None and obs.wants_messages
+        track_halts = obs is not None and obs.wants_halts
         timer = (PhaseTimer() if obs is not None and obs.wants_timing else None)
         if timer is not None:
             timer.start("spawn")
@@ -246,6 +249,14 @@ class FastEngine(Engine):
         bulk_bits = 0
         sent_bits = [0] * n
         received_bits = [0] * n
+        # The default collector computes the same per-node totals the
+        # engine needs for RunResult (vectorised at run end); reuse them
+        # instead of keeping a duplicate per-round log.  Custom
+        # observers cannot be trusted for engine accounting.
+        reuse_totals = type(obs) is MetricsCollector
+        round_sent_log: list[list[int]] = []
+        round_received_log: list[list[int]] = []
+        intern: dict[BitString, BitString] = {}
         if obs is not None:
             obs.on_run_start(n=n, bandwidth=clique.bandwidth, engine=self.name)
 
@@ -256,7 +267,7 @@ class FastEngine(Engine):
                 outputs[v] = stop.value
                 nodes[v]._halted = True
                 live.discard(v)
-                if obs is not None:
+                if track_halts:
                     obs.on_halt(round=rounds, node=v)
 
         # Initial local-computation phase (before the first round).
@@ -306,7 +317,9 @@ class FastEngine(Engine):
                 )
             else:
                 sent_records = None
-                bits = self._deliver_batched(nodes, inboxes, round_sent, round_received)
+                bits = self._deliver_batched(
+                    nodes, inboxes, round_sent, round_received, intern
+                )
             total_bits += bits[0]
             bulk_bits += bits[1]
             if full_check:
@@ -314,19 +327,27 @@ class FastEngine(Engine):
                     node._sent_to.clear()
             rounds = this_round
             if obs is not None:
-                for v in range(n):
-                    sent_bits[v] += round_sent[v]
-                    received_bits[v] += round_received[v]
+                # Totals are summed once at run end (numpy column sum)
+                # instead of per round, keeping the observed path close
+                # to the unobserved one.
+                if not reuse_totals:
+                    round_sent_log.append(round_sent)
+                    round_received_log.append(round_received)
+                # Positional construction: the dataclass ctor is ~2x
+                # faster without keyword matching, and this runs once
+                # per round on the observed hot path.  Field order is
+                # (round, unicast, broadcast, bulk, message_bits,
+                # bulk_bits, sent_bits, received_bits).
                 obs.on_round(
                     RoundStats(
-                        round=this_round,
-                        unicast_messages=bits[2],
-                        broadcast_messages=bits[3],
-                        bulk_messages=bits[4],
-                        message_bits=bits[0],
-                        bulk_bits=bits[1],
-                        sent_bits=round_sent,
-                        received_bits=round_received,
+                        this_round,
+                        bits[2],
+                        bits[3],
+                        bits[4],
+                        bits[0],
+                        bits[1],
+                        round_sent,
+                        round_received,
                     )
                 )
 
@@ -354,8 +375,30 @@ class FastEngine(Engine):
         counters = tuple(dict(nodes[v].counters) for v in range(n))
         metrics = None
         if obs is not None:
+            if round_sent_log:
+                try:
+                    sent_bits = (
+                        np.asarray(round_sent_log, dtype=np.int64)
+                        .sum(axis=0)
+                        .tolist()
+                    )
+                    received_bits = (
+                        np.asarray(round_received_log, dtype=np.int64)
+                        .sum(axis=0)
+                        .tolist()
+                    )
+                except OverflowError:  # pragma: no cover - >int64 bits
+                    for row in round_sent_log:
+                        sent_bits = [a + b for a, b in zip(sent_bits, row)]
+                    for row in round_received_log:
+                        received_bits = [
+                            a + b for a, b in zip(received_bits, row)
+                        ]
             obs.on_run_end(rounds=rounds, counters=counters)
             metrics = obs.run_metrics()
+            if reuse_totals and metrics is not None and rounds:
+                sent_bits = list(metrics.sent_bits)
+                received_bits = list(metrics.received_bits)
         return RunResult(
             outputs=outputs,
             rounds=rounds,
@@ -374,14 +417,23 @@ class FastEngine(Engine):
         inboxes: list[dict[int, BitString]],
         sent_bits: list[int],
         received_bits: list[int],
+        intern: dict[BitString, BitString],
     ) -> tuple[int, int, int, int, int]:
         """Hot path: drain all flat outboxes into the inboxes.
 
-        Broadcast entries are expanded with a plain slot store per
-        recipient; their received-bit accounting is applied in bulk
-        after the loop.  Returns ``(message_bits, bulk_bits,
-        unicast_messages, broadcast_messages, bulk_messages)`` where
-        broadcast messages are counted per recipient.
+        A sender whose round consists of exactly one broadcast — the
+        dominant shape in the catalog — lands in a shared
+        ``{sender: payload}`` bucket; each receiver then gets a C-speed
+        ``dict`` copy of that bucket (minus its own slot, plus any
+        directly-stored unicast/bulk slots) instead of ``n * (n - 1)``
+        interpreted per-recipient stores.  Mixed outboxes fall back to
+        explicit expansion with the same accounting.  Small repeated
+        broadcast payloads are interned so identical bit strings share
+        one object (and one cached hash) across senders and rounds.
+
+        Returns ``(message_bits, bulk_bits, unicast_messages,
+        broadcast_messages, bulk_messages)`` where broadcast messages
+        are counted per recipient.
         """
         n = len(nodes)
         total_bits = 0
@@ -389,32 +441,48 @@ class FastEngine(Engine):
         unicast_msgs = 0
         broadcast_msgs = 0
         bulk_msgs = 0
-        bcast_total = 0
-        bcast_sent = [0] * n
+        base: dict[int, BitString] = {}
+        base_bits = 0
+        mixed_total = 0
+        mixed_sent: list[int] | None = None
         for v, node in enumerate(nodes):
             out = node._flat_out
             if out:
-                sent = 0
-                for dst, payload in out:
+                if len(out) == 1 and out[0][0] == _BROADCAST:
+                    payload = out[0][1]
                     plen = len(payload)
-                    if dst == _BROADCAST:
-                        for u in range(v):
-                            inboxes[u][v] = payload
-                        for u in range(v + 1, n):
-                            inboxes[u][v] = payload
-                        fanned = plen * (n - 1)
-                        sent += fanned
-                        total_bits += fanned
-                        broadcast_msgs += n - 1
-                        bcast_total += plen
-                        bcast_sent[v] += plen
-                    else:
-                        inboxes[dst][v] = payload
-                        sent += plen
-                        total_bits += plen
-                        unicast_msgs += 1
-                        received_bits[dst] += plen
-                sent_bits[v] += sent
+                    if plen <= 64:
+                        payload = intern.setdefault(payload, payload)
+                    base[v] = payload
+                    base_bits += plen
+                    fanned = plen * (n - 1)
+                    sent_bits[v] += fanned
+                    total_bits += fanned
+                    broadcast_msgs += n - 1
+                else:
+                    sent = 0
+                    for dst, payload in out:
+                        plen = len(payload)
+                        if dst == _BROADCAST:
+                            for u in range(v):
+                                inboxes[u][v] = payload
+                            for u in range(v + 1, n):
+                                inboxes[u][v] = payload
+                            fanned = plen * (n - 1)
+                            sent += fanned
+                            total_bits += fanned
+                            broadcast_msgs += n - 1
+                            mixed_total += plen
+                            if mixed_sent is None:
+                                mixed_sent = [0] * n
+                            mixed_sent[v] += plen
+                        else:
+                            inboxes[dst][v] = payload
+                            sent += plen
+                            total_bits += plen
+                            unicast_msgs += 1
+                            received_bits[dst] += plen
+                    sent_bits[v] += sent
                 node._flat_out = []
             bulk = node._flat_bulk
             if bulk:
@@ -426,9 +494,26 @@ class FastEngine(Engine):
                     received_bits[dst] += plen
                     inboxes[dst][v] = payload
                 node._flat_bulk = []
-        if bcast_total:
+        if base:
+            base_get = base.get
             for u in range(n):
-                received_bits[u] += bcast_total - bcast_sent[u]
+                merged = dict(base)
+                own = base_get(u)
+                if own is not None:
+                    del merged[u]
+                    received_bits[u] += base_bits - len(own)
+                else:
+                    received_bits[u] += base_bits
+                direct = inboxes[u]
+                if direct:
+                    # Direct slots (unicast/bulk) win over the shared
+                    # broadcast bucket, matching explicit-store order.
+                    merged.update(direct)
+                inboxes[u] = merged
+        if mixed_total:
+            assert mixed_sent is not None
+            for u in range(n):
+                received_bits[u] += mixed_total - mixed_sent[u]
         return total_bits, bulk_bits, unicast_msgs, broadcast_msgs, bulk_msgs
 
     @staticmethod

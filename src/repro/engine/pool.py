@@ -23,17 +23,25 @@ raises is retried up to ``retries`` times with exponential backoff, then
 marked ``failed=True`` on its :class:`SweepOutcome` (carrying a
 :class:`~repro.clique.errors.SweepPointFailed`) while the rest of the
 grid completes — or, with ``on_error="raise"``, aborts the sweep.  With
-``timeout=`` each point runs in its own watched child process and is
-killed at the deadline, so a hung point cannot wedge the sweep.
+``timeout=`` the parent watches every in-flight point and kills (then
+replaces) the worker holding a point past its deadline, so a hung point
+cannot wedge the sweep.
 
-Workers use the ``fork`` start method (required so factories defined in
-scripts and test modules resolve); on platforms without ``fork``, or
-when ``workers <= 1``, the sweep runs serially in-process with identical
-results.
+Parallel sweeps run on a process-wide *persistent pool*
+(:class:`PersistentPool`): warm ``fork`` workers that survive across
+:func:`run_sweep` calls, so interpreter start-up and imports are paid
+once per process rather than once per sweep.  Tasks cross the boundary
+as explicit pickle-protocol-5 blobs and, without a timeout, ship in
+chunks to amortise queue traffic.  ``fork`` is required so factories
+defined in scripts and test modules resolve; on platforms without
+``fork``, or when ``workers <= 1``, the sweep runs serially in-process
+with identical results.  :func:`shutdown_pool` stops the warm workers
+(they restart lazily on the next sweep).
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
@@ -41,6 +49,7 @@ import pickle
 import queue as queue_mod
 import time
 import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -59,6 +68,7 @@ __all__ = [
     "derive_seed",
     "run_spec",
     "run_sweep",
+    "shutdown_pool",
 ]
 
 #: Ceiling on one retry-backoff sleep, seconds.
@@ -235,106 +245,327 @@ def _fork_context():
         return None
 
 
-def _guarded_entry(task: tuple, result_queue: Any) -> None:  # pragma: no cover
+def _pool_worker_main(task_q: Any, result_q: Any) -> None:  # pragma: no cover
     # Child-process entry point (covered indirectly: runs post-fork).
-    result_queue.put(_safe_execute_point(task))
-
-
-def _run_point_guarded(task: tuple, timeout: float, context: Any) -> tuple[str, Any]:
-    """One attempt in a watched child process with a hard deadline.
-
-    Returns ``("ok", ...)``/``("error", ...)`` from the child, or
-    ``("timeout", None)`` / ``("died", exitcode)`` when it produced no
-    result.
-    """
-    result_queue = context.Queue()
-    proc = context.Process(
-        target=_guarded_entry, args=(task, result_queue), daemon=True
-    )
-    proc.start()
-    deadline = time.monotonic() + timeout
-    payload = None
-    got = False
+    # Items are chunks: lists of (task_id, pickled-task) pairs; ``None``
+    # is the shutdown sentinel.  Results stream back one per task so the
+    # parent can rebalance and watch deadlines mid-chunk.
     while True:
-        remaining = deadline - time.monotonic()
-        try:
-            # Drain the queue before joining: a child blocked writing a
-            # large result into a full pipe buffer never exits on its
-            # own, so the result must be consumed first.
-            payload = result_queue.get(timeout=max(0.0, min(remaining, 0.05)))
-            got = True
-            break
-        except queue_mod.Empty:
-            if not proc.is_alive():
-                break
-            if remaining <= 0:
-                break
-    if got:
-        proc.join(timeout=5.0)
-        if proc.is_alive():  # pragma: no cover - child wedged post-result
-            proc.terminate()
-        return payload
-    if proc.is_alive():
-        proc.terminate()
-        proc.join(timeout=5.0)
-        if proc.is_alive():  # pragma: no cover - terminate ignored
-            proc.kill()
-            proc.join(timeout=5.0)
-        return "timeout", None
-    exitcode = proc.exitcode
-    proc.join()
-    return "died", exitcode
+        item = task_q.get()
+        if item is None:
+            return
+        for task_id, blob in item:
+            try:
+                task = pickle.loads(blob)
+            except BaseException as exc:
+                # Stale fork: the factory's module is not importable in
+                # this worker (e.g. it was defined after the pool warmed
+                # up).  The parent respawns a fresh worker and retries.
+                result_q.put((task_id, "load-error", f"{type(exc).__name__}: {exc}"))
+                continue
+            status, payload = _safe_execute_point(task)
+            try:
+                out = pickle.dumps((status, payload), protocol=5)
+            except Exception as exc:
+                out = pickle.dumps(
+                    (
+                        "error",
+                        SweepPointFailed(
+                            f"sweep point result could not be pickled: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    ),
+                    protocol=5,
+                )
+            result_q.put((task_id, "done", out))
 
 
-def _run_point_guarded_with_retries(
-    base_task: tuple,
-    index: int,
-    config: dict,
-    timeout: float,
-    retries: int,
-    backoff: float,
-    context: Any,
-) -> tuple[str, Any]:
-    """Retry loop around :func:`_run_point_guarded`.
+class _PoolWorker:
+    """One warm worker process with its own task and result queues.
 
-    Retries live in the parent here (each attempt needs a fresh child
-    and a fresh deadline), so the child runs with ``retries=0``.
+    Per-worker queues keep failure domains separate: killing a hung
+    worker can only corrupt its own result pipe (discarded with it),
+    never a neighbour's pending results.
     """
-    attempt = 0
-    while True:
-        attempt += 1
-        status, payload = _run_point_guarded(
-            base_task + (index, 0, backoff), timeout, context
+
+    __slots__ = ("proc", "task_q", "result_q", "outstanding")
+
+    def __init__(self, context: Any) -> None:
+        self.task_q = context.Queue()
+        self.result_q = context.Queue()
+        #: task_id -> deadline (monotonic seconds) or None.
+        self.outstanding: dict[int, float | None] = {}
+        self.proc = context.Process(
+            target=_pool_worker_main,
+            args=(self.task_q, self.result_q),
+            daemon=True,
         )
-        if status == "ok":
-            return status, payload
-        if attempt <= retries:
-            time.sleep(min(backoff * (1 << (attempt - 1)), _BACKOFF_CAP))
-            continue
-        if status == "timeout":
-            return "error", SweepPointFailed(
-                f"sweep point {index} (config {config!r}) exceeded the "
-                f"{timeout:g}s timeout on all {attempt} attempt(s) and was "
-                f"killed",
-                index=index,
-                config=config,
-            )
-        if status == "died":
-            return "error", SweepPointFailed(
-                f"sweep point {index} (config {config!r}) worker died "
-                f"without a result (exit code {payload}) on attempt "
-                f"{attempt}",
-                index=index,
-                config=config,
-            )
-        # "error" from the child, already wrapped; note parent retries.
-        if attempt > 1:
-            return "error", SweepPointFailed(
-                f"{payload} [{attempt} guarded attempt(s) total]",
-                index=index,
-                config=config,
-            )
-        return status, payload
+        self.proc.start()
+
+    def kill(self) -> None:
+        self.proc.terminate()
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():  # pragma: no cover - terminate ignored
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+
+    def retire(self) -> None:
+        """Ask the worker to exit after draining its queue."""
+        try:
+            self.task_q.put(None)
+        except (OSError, ValueError):  # pragma: no cover - queue torn down
+            self.kill()
+
+
+@dataclass
+class _PoolJob:
+    """Parent-side state of one grid point travelling through the pool."""
+
+    slot: int  # position in the pending list (result ordering)
+    index: int  # grid index (error messages)
+    config: dict
+    blob: bytes
+    attempt: int = 0
+    load_errors: int = 0
+    eligible_at: float = 0.0
+
+
+class PersistentPool:
+    """A reusable pool of warm ``fork`` worker processes.
+
+    Workers outlive a single :func:`run_sweep` call: interpreter
+    start-up and imports are paid once, then every sweep dispatches
+    pickled ``(factory, config)`` tasks (pickle protocol 5) to whatever
+    subset of workers it needs.  Without a timeout, tasks ship in
+    chunks and each worker retries failures in-process; with a timeout,
+    tasks go one at a time so the parent can kill a worker at its
+    deadline and respawn a fresh one for the retry.
+    """
+
+    def __init__(self, context: Any) -> None:
+        self._context = context
+        self._workers: list[_PoolWorker] = []
+        self._task_counter = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def ensure(self, size: int) -> None:
+        """Grow (never shrink) the pool to at least ``size`` live workers."""
+        self._workers = [w for w in self._workers if w.proc.is_alive()]
+        while len(self._workers) < size:
+            self._workers.append(_PoolWorker(self._context))
+
+    def shutdown(self) -> None:
+        for worker in self._workers:
+            worker.retire()
+        for worker in self._workers:
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                worker.kill()
+        self._workers = []
+
+    def _replace(self, position: int, *, kill: bool) -> None:
+        worker = self._workers[position]
+        if kill:
+            worker.kill()
+        else:
+            worker.retire()
+        self._workers[position] = _PoolWorker(self._context)
+
+    def run(
+        self,
+        jobs: "list[_PoolJob]",
+        *,
+        max_workers: int,
+        timeout: float | None,
+        retries: int,
+        backoff: float,
+    ) -> list[tuple[str, Any]]:
+        """Run every job; returns ``(status, payload)`` pairs by slot.
+
+        Without ``timeout``, child-side retries have already been baked
+        into the task blobs, so any ``"error"`` coming back is final.
+        With ``timeout``, the children run single attempts and the
+        retry/backoff/deadline loop lives here (each attempt needs a
+        fresh deadline, and a kill needs a fresh worker).
+        """
+        self.ensure(max_workers)
+        ready: deque[_PoolJob] = deque(jobs)
+        waiting: list[_PoolJob] = []
+        results: dict[int, tuple[str, Any]] = {}
+        in_flight: dict[int, _PoolJob] = {}
+        chunk = 1
+        if timeout is None:
+            chunk = max(1, min(16, -(-len(jobs) // (max_workers * 4))))
+
+        def finish(job: _PoolJob, status: str, payload: Any) -> None:
+            results[job.slot] = (status, payload)
+
+        def retry_or_fail(job: _PoolJob, kind: str, detail: Any) -> None:
+            job.attempt += 1
+            if timeout is not None and job.attempt <= retries:
+                job.eligible_at = time.monotonic() + min(
+                    backoff * (1 << (job.attempt - 1)), _BACKOFF_CAP
+                )
+                waiting.append(job)
+                return
+            if kind == "timeout":
+                finish(
+                    job,
+                    "error",
+                    SweepPointFailed(
+                        f"sweep point {job.index} (config {job.config!r}) "
+                        f"exceeded the {timeout:g}s timeout on all "
+                        f"{job.attempt} attempt(s) and was killed",
+                        index=job.index,
+                        config=job.config,
+                    ),
+                )
+            else:  # kind == "died"
+                finish(
+                    job,
+                    "error",
+                    SweepPointFailed(
+                        f"sweep point {job.index} (config {job.config!r}) "
+                        f"worker died without a result (exit code "
+                        f"{detail}) on attempt {job.attempt}",
+                        index=job.index,
+                        config=job.config,
+                    ),
+                )
+
+        def handle_done(job: _PoolJob, blob: bytes) -> None:
+            status, payload = pickle.loads(blob)
+            if status == "ok" or timeout is None:
+                # Chunk mode: the child already ran the retry loop and
+                # wrapped the final error; nothing to add here.
+                finish(job, status, payload)
+                return
+            job.attempt += 1
+            if job.attempt <= retries:
+                job.eligible_at = time.monotonic() + min(
+                    backoff * (1 << (job.attempt - 1)), _BACKOFF_CAP
+                )
+                waiting.append(job)
+                return
+            if job.attempt > 1:
+                finish(
+                    job,
+                    "error",
+                    SweepPointFailed(
+                        f"{payload} [{job.attempt} guarded attempt(s) total]",
+                        index=job.index,
+                        config=job.config,
+                    ),
+                )
+            else:
+                finish(job, "error", payload)
+
+        while len(results) < len(jobs):
+            now = time.monotonic()
+            progressed = False
+            if waiting:
+                still: list[_PoolJob] = []
+                for job in waiting:
+                    if job.eligible_at <= now:
+                        ready.append(job)
+                    else:
+                        still.append(job)
+                waiting[:] = still
+            for position in range(min(max_workers, len(self._workers))):
+                worker = self._workers[position]
+                # Drain whatever this worker has finished.
+                try:
+                    while True:
+                        task_id, kind, payload = worker.result_q.get_nowait()
+                        worker.outstanding.pop(task_id, None)
+                        job = in_flight.pop(task_id, None)
+                        progressed = True
+                        if job is None:  # pragma: no cover - stale result
+                            continue
+                        if kind == "done":
+                            handle_done(job, payload)
+                        else:  # "load-error": stale fork, respawn + retry
+                            job.load_errors += 1
+                            if job.load_errors > 2:
+                                finish(
+                                    job,
+                                    "error",
+                                    SweepPointFailed(
+                                        f"sweep point {job.index} (config "
+                                        f"{job.config!r}) could not be "
+                                        f"loaded in a pool worker: {payload}",
+                                        index=job.index,
+                                        config=job.config,
+                                    ),
+                                )
+                            else:
+                                ready.appendleft(job)
+                            self._replace(position, kill=False)
+                            worker = self._workers[position]
+                except queue_mod.Empty:
+                    pass
+                if worker.outstanding:
+                    if not worker.proc.is_alive():
+                        # Hard death (e.g. segfault): every task still
+                        # assigned to this worker is charged one attempt.
+                        exitcode = worker.proc.exitcode
+                        for task_id in list(worker.outstanding):
+                            job = in_flight.pop(task_id, None)
+                            if job is not None:
+                                retry_or_fail(job, "died", exitcode)
+                        worker.outstanding.clear()
+                        self._replace(position, kill=True)
+                        progressed = True
+                    elif timeout is not None:
+                        task_id, deadline = next(iter(worker.outstanding.items()))
+                        if deadline is not None and now >= deadline:
+                            job = in_flight.pop(task_id, None)
+                            worker.outstanding.clear()
+                            self._replace(position, kill=True)
+                            if job is not None:
+                                retry_or_fail(job, "timeout", None)
+                            progressed = True
+                    continue
+                if not ready:
+                    continue
+                # Idle worker + ready jobs: dispatch the next chunk.
+                batch: list[tuple[int, bytes]] = []
+                deadline = now + timeout if timeout is not None else None
+                while ready and len(batch) < chunk:
+                    job = ready.popleft()
+                    task_id = self._task_counter
+                    self._task_counter += 1
+                    in_flight[task_id] = job
+                    worker.outstanding[task_id] = deadline
+                    batch.append((task_id, job.blob))
+                worker.task_q.put(batch)
+                progressed = True
+            if not progressed:
+                time.sleep(0.003)
+        return [results[slot] for slot in range(len(jobs))]
+
+
+_WARM_POOL: "PersistentPool | None" = None
+
+
+def _warm_pool(context: Any) -> PersistentPool:
+    """The process-wide warm pool, created on first use."""
+    global _WARM_POOL
+    if _WARM_POOL is None:
+        _WARM_POOL = PersistentPool(context)
+        atexit.register(shutdown_pool)
+    return _WARM_POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the warm sweep worker pool (it restarts lazily on next use)."""
+    global _WARM_POOL
+    if _WARM_POOL is not None:
+        _WARM_POOL.shutdown()
+        _WARM_POOL = None
 
 
 def run_sweep(
@@ -364,9 +595,9 @@ def run_sweep(
         with a deterministic ``"seed"`` entry when it has none.
     workers:
         Process count; ``None`` picks ``min(len(grid), cpu_count)``;
-        values ``<= 1`` run serially in-process.  Ignored when
-        ``timeout`` is set (guarded points run serially, one watched
-        child at a time).
+        values ``<= 1`` run serially in-process (except with
+        ``timeout``, where the deadline kill needs a separate worker
+        process).
     engine:
         Engine name or instance used for every point (default: fast).
     cache:
@@ -388,8 +619,8 @@ def run_sweep(
         or a :class:`~repro.faults.FaultPlan`) applied to every point;
         enters the cache key so faulty and fault-free sweeps never mix.
     timeout:
-        Per-point wall-clock deadline in seconds.  Each attempt runs in
-        its own watched child process and is killed at the deadline
+        Per-point wall-clock deadline in seconds.  Each attempt runs on
+        a pool worker that is killed and replaced at the deadline
         (requires the ``fork`` start method; without it the guard
         degrades to unguarded execution with a warning).
     retries:
@@ -467,52 +698,64 @@ def run_sweep(
         for index, config in pending
     ]
     statuses: list[tuple[str, Any]]
-    if timeout is not None:
-        context = _fork_context()
-        if context is None:  # pragma: no cover - non-POSIX platforms
+    context = _fork_context()
+    if context is None:  # pragma: no cover - non-POSIX platforms
+        if timeout is not None:
             warnings.warn(
                 "per-point timeouts need the 'fork' start method; running "
                 "without a timeout guard",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            statuses = [_safe_execute_point(task) for task in tasks]
-        else:
-            statuses = [
-                _run_point_guarded_with_retries(
-                    (program_factory, config, engine, observer, plan),
-                    index,
-                    config,
-                    timeout,
-                    retries,
-                    retry_backoff,
-                    context,
-                )
-                for index, config in pending
-            ]
+        statuses = [_safe_execute_point(task) for task in tasks]
+    elif not pending or (timeout is None and (workers <= 1 or len(pending) <= 1)):
+        # Serial in-process: same results, no processes.  A timeout
+        # always goes through the pool (the deadline kill needs a
+        # separate process), even for a single point or worker.
+        statuses = [_safe_execute_point(task) for task in tasks]
     else:
-        context = _fork_context() if workers > 1 and len(pending) > 1 else None
-        if context is not None:
-            from concurrent.futures import ProcessPoolExecutor
-
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(pending)), mp_context=context
-                ) as pool:
-                    statuses = list(pool.map(_safe_execute_point, tasks))
-            except (pickle.PicklingError, AttributeError) as exc:
-                # Unpicklable factory (e.g. a closure): degrade to serial.
-                warnings.warn(
-                    f"sweep factory {_factory_name(program_factory)} (or its"
-                    f" configs) is not picklable"
-                    f" ({type(exc).__name__}: {exc}); running"
-                    f" {len(tasks)} pending point(s) serially in-process",
-                    RuntimeWarning,
-                    stacklevel=2,
+        # With a timeout the children run single attempts and the
+        # parent owns the retry loop (each retry needs a fresh deadline
+        # and possibly a fresh worker after a kill).
+        child_retries = 0 if timeout is not None else retries
+        jobs: list[_PoolJob] = []
+        try:
+            for slot, (index, config) in enumerate(pending):
+                blob = pickle.dumps(
+                    (
+                        program_factory,
+                        config,
+                        engine,
+                        observer,
+                        plan,
+                        index,
+                        child_retries,
+                        retry_backoff,
+                    ),
+                    protocol=5,
                 )
-                statuses = [_safe_execute_point(task) for task in tasks]
-        else:
+                jobs.append(
+                    _PoolJob(slot=slot, index=index, config=config, blob=blob)
+                )
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # Unpicklable factory (e.g. a closure): degrade to serial.
+            warnings.warn(
+                f"sweep factory {_factory_name(program_factory)} (or its"
+                f" configs) is not picklable"
+                f" ({type(exc).__name__}: {exc}); running"
+                f" {len(tasks)} pending point(s) serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             statuses = [_safe_execute_point(task) for task in tasks]
+        else:
+            statuses = _warm_pool(context).run(
+                jobs,
+                max_workers=max(1, min(workers, len(pending))),
+                timeout=timeout,
+                retries=retries,
+                backoff=retry_backoff,
+            )
 
     for (index, config), (status, payload) in zip(pending, statuses):
         if status == "ok":

@@ -150,6 +150,7 @@ class ReferenceEngine(Engine):
         injector = (FaultInjector(plan, n, obs) if plan is not None else None)
         timing = obs is not None and obs.wants_timing
         per_message = obs is not None and obs.wants_messages
+        track_halts = obs is not None and obs.wants_halts
         timer = PhaseTimer() if timing else None
         if timer is not None:
             timer.start("spawn")
@@ -188,7 +189,7 @@ class ReferenceEngine(Engine):
                 outputs[v] = stop.value
                 nodes[v]._halted = True
                 live.discard(v)
-                if obs is not None:
+                if track_halts:
                     obs.on_halt(round=rounds, node=v)
 
         # Initial local-computation phase (before the first round).

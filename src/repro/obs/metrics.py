@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import numpy as np
+
 from .observer import Observer, RoundStats
 
 __all__ = [
@@ -67,6 +69,19 @@ class RoundMetrics:
     @classmethod
     def from_dict(cls, data: dict) -> "RoundMetrics":
         return cls(**data)
+
+    @classmethod
+    def _build(cls, fields: dict) -> "RoundMetrics":
+        """Fast construction for the collector's batch crunch.
+
+        Bypasses the frozen ``__init__`` (one ``object.__setattr__``
+        per field) with a direct ``__dict__`` fill — same attributes,
+        same immutability afterwards, a fraction of the cost on the
+        default-metrics hot path.
+        """
+        self = object.__new__(cls)
+        self.__dict__.update(fields)
+        return self
 
 
 @dataclass(frozen=True)
@@ -236,6 +251,8 @@ class MetricsCollector(Observer):
         self._n = 0
         self._bandwidth = 0
         self._engine = ""
+        self._pending: list[tuple[RoundStats, int]] = []
+        self._totals = [0, 0, 0, 0, 0]
         self._rounds: list[RoundMetrics] = []
         self._sent: list[int] = []
         self._received: list[int] = []
@@ -263,33 +280,80 @@ class MetricsCollector(Observer):
         self._received = [0] * n
 
     def on_round(self, stats: RoundStats) -> None:
-        sent = stats.sent_bits
-        received = stats.received_bits
-        max_node = 0
-        max_load = -1
-        for v in range(len(sent)):
-            s = sent[v]
-            r = received[v]
-            self._sent[v] += s
-            self._received[v] += r
-            load = s + r
-            if load > max_load:
-                max_load = load
-                max_node = v
-        self._rounds.append(
-            RoundMetrics(
-                round=stats.round,
-                unicast_messages=stats.unicast_messages,
-                broadcast_messages=stats.broadcast_messages,
-                bulk_messages=stats.bulk_messages,
-                message_bits=stats.message_bits,
-                bulk_bits=stats.bulk_bits,
-                max_load_node=max_node,
-                max_load_bits=max(max_load, 0),
-                faults=self._round_faults,
-            )
-        )
+        # Hot path: just retain the stats (the engines hand over fresh
+        # round-local lists and never touch them again).  All per-round
+        # and per-node aggregation happens vectorised in one batch at
+        # run end, keeping default-on metrics within the overhead gate.
+        self._pending.append((stats, self._round_faults))
         self._round_faults = 0
+
+    def _crunch_rounds(self) -> None:
+        """Batch-aggregate the retained round stats (one numpy pass)."""
+        pending = self._pending
+        if not pending or not pending[0][0].sent_bits:
+            max_nodes = [0] * len(pending)
+            max_bits = [0] * len(pending)
+        else:
+            try:
+                sent = np.asarray(
+                    [s.sent_bits for s, _ in pending], dtype=np.int64
+                )
+                received = np.asarray(
+                    [s.received_bits for s, _ in pending], dtype=np.int64
+                )
+                loads = sent + received
+                # argmax is the first occurrence: ties break to lowest id.
+                max_nodes = loads.argmax(axis=1).tolist()
+                max_bits = loads.max(axis=1).tolist()
+                self._sent = sent.sum(axis=0).tolist()
+                self._received = received.sum(axis=0).tolist()
+            except OverflowError:  # pragma: no cover - >int64 bit counts
+                max_nodes, max_bits = [], []
+                for stats, _ in pending:
+                    round_loads = [
+                        s + r
+                        for s, r in zip(stats.sent_bits, stats.received_bits)
+                    ]
+                    top = max(round_loads)
+                    max_nodes.append(round_loads.index(top))
+                    max_bits.append(top)
+                    self._sent = [
+                        a + b for a, b in zip(self._sent, stats.sent_bits)
+                    ]
+                    self._received = [
+                        a + b for a, b in zip(self._received, stats.received_bits)
+                    ]
+        rounds = []
+        build = RoundMetrics._build
+        totals = [0, 0, 0, 0, 0]
+        for i, (stats, faults) in enumerate(pending):
+            unicast = stats.unicast_messages
+            broadcast = stats.broadcast_messages
+            bulk = stats.bulk_messages
+            message_bits = stats.message_bits
+            bulk_bits = stats.bulk_bits
+            totals[0] += message_bits
+            totals[1] += bulk_bits
+            totals[2] += unicast
+            totals[3] += broadcast
+            totals[4] += bulk
+            rounds.append(
+                build(
+                    {
+                        "round": stats.round,
+                        "unicast_messages": unicast,
+                        "broadcast_messages": broadcast,
+                        "bulk_messages": bulk,
+                        "message_bits": message_bits,
+                        "bulk_bits": bulk_bits,
+                        "max_load_node": max_nodes[i],
+                        "max_load_bits": max_bits[i],
+                        "faults": faults,
+                    }
+                )
+            )
+        self._rounds = rounds
+        self._totals = totals
 
     def on_message(
         self, *, round: int, src: int, dst: int, bits: int, kind: str
@@ -307,18 +371,22 @@ class MetricsCollector(Observer):
             self._phases[phase] = self._phases.get(phase, 0.0) + secs
 
     def on_run_end(self, *, rounds: int, counters: tuple) -> None:
+        self._crunch_rounds()
         self._final_rounds = rounds
-        self._counters = tuple(dict(c) for c in counters)
+        # Engines hand over freshly-built per-node dicts at run end (the
+        # observer protocol gives the collector ownership); copying all
+        # n of them again would cost more than the rest of this method.
+        self._counters = counters
         self._metrics = RunMetrics(
             n=self._n,
             bandwidth=self._bandwidth,
             engine=self._engine,
             rounds=rounds,
-            message_bits=sum(r.message_bits for r in self._rounds),
-            bulk_bits=sum(r.bulk_bits for r in self._rounds),
-            unicast_messages=sum(r.unicast_messages for r in self._rounds),
-            broadcast_messages=sum(r.broadcast_messages for r in self._rounds),
-            bulk_messages=sum(r.bulk_messages for r in self._rounds),
+            message_bits=self._totals[0],
+            bulk_bits=self._totals[1],
+            unicast_messages=self._totals[2],
+            broadcast_messages=self._totals[3],
+            bulk_messages=self._totals[4],
             per_round=tuple(self._rounds),
             sent_bits=tuple(self._sent),
             received_bits=tuple(self._received),

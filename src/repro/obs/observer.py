@@ -79,6 +79,8 @@ class Observer:
     wants_messages = False
     #: The engine must time its phases and call :meth:`on_phases`.
     wants_timing = False
+    #: The engine must report node halts via :meth:`on_halt`.
+    wants_halts = False
 
     def on_run_start(self, *, n: int, bandwidth: int, engine: str) -> None:
         """A run begins on ``n`` nodes with per-link budget ``bandwidth``."""
@@ -119,7 +121,12 @@ class Observer:
         """
 
     def on_run_end(self, *, rounds: int, counters: tuple) -> None:
-        """The run finished after ``rounds`` rounds with per-node counters."""
+        """The run finished after ``rounds`` rounds with per-node counters.
+
+        ``counters`` is handed over to the observer: engines pass a
+        freshly-built tuple of dicts and never touch it again, so
+        observers may retain it without copying.
+        """
 
     def run_metrics(self):
         """The :class:`~repro.obs.metrics.RunMetrics` this observer
@@ -142,6 +149,7 @@ class CompositeObserver(Observer):
         self.observers = tuple(observers)
         self.wants_messages = any(o.wants_messages for o in self.observers)
         self.wants_timing = any(o.wants_timing for o in self.observers)
+        self.wants_halts = any(o.wants_halts for o in self.observers)
 
     def on_run_start(self, **kw) -> None:
         for o in self.observers:

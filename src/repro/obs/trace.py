@@ -136,6 +136,7 @@ class Tracer(Observer):
     """
 
     wants_messages = True
+    wants_halts = True
 
     def __init__(self, sink: TraceSink | None = None, sample: int = 1) -> None:
         if sample < 1:

@@ -114,10 +114,32 @@ class TestCommands:
         argv = ["sweep", "bfs", "--ns", "8", "--seeds", "1", "--workers", "1",
                 "--cache", str(tmp_path)]
         assert main(argv) == 0
-        capsys.readouterr()
+        out = capsys.readouterr().out
+        assert "cache: 0 hit(s), 1 miss(es)" in out
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "yes" in out  # the cached column on the second run
+        assert "cache: 1 hit(s), 0 miss(es)" in out
+
+    def test_stats_cache_round_trip(self, capsys, tmp_path):
+        argv = ["stats", "bfs", "--n", "8", "--cache", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-round metrics: bfs" in out
+        assert "cache: 0 hit(s), 1 miss(es)" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-round metrics: bfs" in out  # served from the cache
+        assert "cache: 1 hit(s), 0 miss(es)" in out
+
+    def test_stats_cache_shared_with_sweep(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "bfs", "--ns", "8", "--seeds", "1", "--workers", "1",
+             "--cache", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", "bfs", "--n", "8", "--cache", str(tmp_path)]) == 0
+        assert "cache: 1 hit(s), 0 miss(es)" in capsys.readouterr().out
 
     def test_stats_prints_per_round_table(self, capsys):
         assert main(["stats", "broadcast", "--n", "32"]) == 0
@@ -180,6 +202,19 @@ class TestCommands:
         import json
 
         assert "codec/bool-row" in json.loads(out_path.read_text())["results"]
+
+    def test_bench_run_unknown_workload_lists_valid_names(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            ["bench", "run", "--only", "nope/bogus",
+             "--out", str(tmp_path / "b.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown workload(s)" in err
+        assert "codec/bool-row" in err  # the valid names are listed
+        assert not (tmp_path / "b.json").exists()
 
     def test_bench_compare_ok_round_trip(self, capsys, tmp_path):
         out_path = tmp_path / "b.json"
