@@ -225,6 +225,86 @@ def _run_bulk_uint_codec(params: dict, ctx: dict) -> dict:
     }
 
 
+def _setup_service(params: dict) -> dict:
+    """Start a throwaway ``repro serve`` daemon with a warm cache.
+
+    The daemon, its socket and its cache live in a temp directory; one
+    priming request per grid point is issued here (the cold path), so
+    the timed region measures warm request latency through the full
+    client/socket/server/cache stack.
+    """
+    import os
+
+    from ..service import ReproServer, ServiceClient
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-service-")
+    server = ReproServer(
+        os.path.join(tmp.name, "serve.sock"),
+        workers=2,
+        cache_root=os.path.join(tmp.name, "cache"),
+    )
+    server.start()
+    client = ServiceClient(server.socket_path, timeout=120.0)
+    client.wait_until_ready()
+    for seed in range(params["seeds"]):
+        client.run(params["algorithm"], {"n": params["n"], "seed": seed})
+
+    def cleanup() -> None:
+        server.stop()
+        tmp.cleanup()
+
+    return {"client": client, "cleanup": cleanup}
+
+
+def _run_service_warm(params: dict, ctx: dict) -> dict:
+    """One warm pass over the primed grid through the service client."""
+    client = ctx["client"]
+    rounds = 0
+    total_bits = 0
+    cache_hits = 0
+    for seed in range(params["seeds"]):
+        reply = client.run(params["algorithm"], {"n": params["n"], "seed": seed})
+        rounds += reply["rounds"]
+        total_bits += reply["total_message_bits"] + reply["bulk_bits"]
+        cache_hits += 1 if reply["cached"] else 0
+    return {
+        "rounds": rounds,
+        "total_bits": total_bits,
+        "cache_hits": cache_hits,
+    }
+
+
+def _run_shard_sweep(params: dict, ctx: dict) -> dict:
+    """Large-``n`` fan-out grid on the sharded backend via the pool."""
+    from ..engine import run_sweep
+    from ..service.kernel import fanout_spec
+
+    outcomes = run_sweep(
+        fanout_spec,
+        [
+            {
+                "n": params["n"],
+                "rounds": params["rounds"],
+                "senders": params["senders"],
+                "seed": seed,
+            }
+            for seed in range(params["seeds"])
+        ],
+        workers=params.get("workers", 1),
+        engine="sharded",
+    )
+    failed = [o for o in outcomes if o.failed]
+    if failed:  # pragma: no cover - pinned grids never fail
+        raise CliqueError(f"benchmark sweep had {len(failed)} failed points")
+    return {
+        "rounds": sum(o.result.rounds for o in outcomes),
+        "total_bits": sum(
+            o.result.total_message_bits + o.result.bulk_bits
+            for o in outcomes
+        ),
+    }
+
+
 def _setup_warm_cache(params: dict) -> dict:
     """Pre-warm a throwaway :class:`RunCache` so the timed runs measure
     the hit path (lookup + deserialise), not first execution."""
@@ -415,6 +495,34 @@ register_workload(
         run=_run_bulk_uint_codec,
         params={"count": 4096, "width": 24, "iters": 100, "seed": 3},
         quick_params={"iters": 25},
+    )
+)
+register_workload(
+    Workload(
+        name="service-warm-run",
+        description="warm run requests through the repro serve daemon "
+        "(client + socket + resident cache)",
+        run=_run_service_warm,
+        setup=_setup_service,
+        params={"algorithm": "bfs", "n": 16, "seeds": 4},
+        quick_params={"n": 12, "seeds": 2},
+    )
+)
+register_workload(
+    Workload(
+        name="shard-sweep",
+        description="n=1024 broadcast fan-out grid on the sharded "
+        "coroutine-kernel backend",
+        run=_run_shard_sweep,
+        setup=_setup_pool_shutdown,
+        params={
+            "n": 1024,
+            "rounds": 4,
+            "senders": 64,
+            "seeds": 2,
+            "workers": 2,
+        },
+        quick_params={"rounds": 2, "senders": 8, "seeds": 1, "workers": 1},
     )
 )
 register_workload(

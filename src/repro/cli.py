@@ -17,7 +17,14 @@ Commands
                 ratchets two artifacts, ``bench update-baseline``
                 refreshes the committed baseline, ``bench list`` names
                 the workloads
+``serve``       run the long-lived service daemon on a local socket
+                (warm worker pool + resident run cache); ``--status``
+                and ``--stop`` talk to a running daemon
 ``demo``        run one of the bundled example scenarios
+
+``repro run --remote`` sends the run to a ``repro serve`` daemon instead
+of executing in-process, skipping interpreter cold-start and reusing the
+daemon's cache.
 """
 
 from __future__ import annotations
@@ -81,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
         "--engine",
-        choices=["reference", "fast"],
+        choices=["reference", "fast", "sharded"],
         default=None,
         help="execution backend (default: reference)",
     )
@@ -90,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["full", "bandwidth", "off"],
         default=None,
         help="validation level (default: the engine's own default)",
+    )
+    p_run.add_argument(
+        "--remote", action="store_true",
+        help=(
+            "send the run to a 'repro serve' daemon instead of executing "
+            "in-process (catalog algorithms only)"
+        ),
+    )
+    p_run.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon socket for --remote (default: the serve default)",
     )
 
     # Keep in sync with repro.engine.diff.CATALOG (guarded by a test;
@@ -125,7 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: auto; 1 = serial)",
     )
     p_sweep.add_argument(
-        "--engine", choices=["reference", "fast"], default="fast"
+        "--engine",
+        choices=["reference", "fast", "sharded"],
+        default="fast",
     )
     p_sweep.add_argument(
         "--check", choices=["full", "bandwidth", "off"], default="bandwidth",
@@ -165,7 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--k", type=int, default=None)
     p_stats.add_argument("--p", type=float, default=None)
     p_stats.add_argument(
-        "--engine", choices=["reference", "fast"], default="fast"
+        "--engine",
+        choices=["reference", "fast", "sharded"],
+        default="fast",
     )
     p_stats.add_argument(
         "--check", choices=["full", "bandwidth", "off"], default=None
@@ -203,7 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--k", type=int, default=None)
     p_trace.add_argument("--p", type=float, default=None)
     p_trace.add_argument(
-        "--engine", choices=["reference", "fast"], default="fast"
+        "--engine",
+        choices=["reference", "fast", "sharded"],
+        default="fast",
     )
     p_trace.add_argument(
         "--check", choices=["full", "bandwidth", "off"], default=None
@@ -286,6 +310,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_sub.add_parser("list", help="list the registered workloads")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the service daemon (warm pool + resident run cache)",
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listening socket path (default: a per-user temp path)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="concurrent request worker threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=32,
+        help="pending-request bound before 'busy' rejections (default: 32)",
+    )
+    p_serve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="resident run-cache directory (default: the cache default)",
+    )
+    p_serve.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="LRU bound on cache entries (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--cache-max-entry-bytes", type=int, default=None, metavar="BYTES",
+        help="admission bound on one pickled entry (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--status", action="store_true",
+        help="print a running daemon's status and exit",
+    )
+    p_serve.add_argument(
+        "--stop", action="store_true",
+        help="ask a running daemon to shut down and exit",
+    )
+
     p_demo = sub.add_parser("demo", help="run a bundled example scenario")
     p_demo.add_argument(
         "name",
@@ -363,9 +424,59 @@ def _cmd_counting(args) -> int:
     return 0
 
 
+#: ``repro run`` algorithm names -> diff-catalog names for ``--remote``
+#: (the daemon speaks the catalog; algorithms without a catalog entry
+#: cannot run remotely).
+_REMOTE_ALGORITHMS = {
+    "triangle": "subgraph",
+    "kds": "kds",
+    "kvc": "kvc",
+    "kis": "kis",
+    "bfs": "bfs",
+}
+
+
+def _cmd_run_remote(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    catalog_name = _REMOTE_ALGORITHMS.get(args.algorithm)
+    if catalog_name is None:
+        print(
+            f"repro run --remote: {args.algorithm!r} has no catalog entry; "
+            f"remote-capable algorithms: {sorted(_REMOTE_ALGORITHMS)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = {"n": args.n, "p": args.p, "seed": args.seed}
+    if args.algorithm in ("kds", "kvc", "kis"):
+        config["k"] = args.k
+    client = ServiceClient(args.socket)
+    try:
+        reply = client.run(
+            catalog_name, config, engine=args.engine or "fast"
+        )
+    except ServiceError as exc:
+        print(f"repro run --remote: {exc}", file=sys.stderr)
+        return 2
+    print(f"daemon: {client.socket_path}")
+    print(f"cached: {'yes' if reply['cached'] else 'no'}")
+    print(f"output: {reply['common_output']}")
+    print(f"rounds: {reply['rounds']}")
+    if "metrics" in reply:
+        m = reply["metrics"]
+        print(
+            f"bits: {m['total_bits']} total "
+            f"(max node load {m['max_load_bits']})"
+        )
+    return 0
+
+
 def _cmd_run(args) -> int:
     from .clique.algorithm import run_algorithm
     from .problems import generators as gen
+
+    if args.remote:
+        return _cmd_run_remote(args)
 
     g = gen.random_graph(args.n, args.p, args.seed)
     k = args.k
@@ -664,9 +775,14 @@ def _cmd_sweep(args) -> int:
                 config["p"] = args.p
             configs.append(config)
 
-    engine = (
-        FastEngine(check=args.check) if args.engine == "fast" else "reference"
-    )
+    if args.engine == "fast":
+        engine = FastEngine(check=args.check)
+    elif args.engine == "sharded":
+        from .service.kernel import ShardedEngine
+
+        engine = ShardedEngine(check=args.check)
+    else:
+        engine = "reference"
     cache = RunCache(args.cache) if args.cache else None
     outcomes = run_sweep(
         catalog_factory,
@@ -826,6 +942,57 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceClient, ServiceError, serve
+
+    if args.status or args.stop:
+        client = ServiceClient(args.socket)
+        try:
+            if args.status:
+                status = client.status()
+                cache = status.pop("cache")
+                pool = status.pop("pool")
+                counters = status.pop("counters")
+                rows = (
+                    [{"key": k, "value": v} for k, v in status.items()]
+                    + [
+                        {"key": f"counters.{k}", "value": v}
+                        for k, v in counters.items()
+                    ]
+                    + [
+                        {"key": f"cache.{k}", "value": v}
+                        for k, v in cache.items()
+                    ]
+                    + [
+                        {"key": f"pool.{k}", "value": v}
+                        for k, v in pool.items()
+                    ]
+                )
+                print(format_table(rows, title="repro serve status"))
+            if args.stop:
+                client.shutdown()
+                print("daemon stopping")
+        except ServiceError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    try:
+        serve(
+            args.socket,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_root=args.cache,
+            cache_max_entries=args.cache_max_entries,
+            cache_max_entry_bytes=args.cache_max_entry_bytes,
+        )
+    except ServiceError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
 def _cmd_demo(args) -> int:
     import pathlib
     import runpy
@@ -865,6 +1032,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "demo": _cmd_demo,
     }[args.command](args)
 

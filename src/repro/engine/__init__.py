@@ -61,6 +61,7 @@ from .pool import (
     SweepOutcome,
     aggregate_sweep_metrics,
     derive_seed,
+    pool_stats,
     run_spec,
     run_sweep,
     shutdown_pool,
@@ -89,6 +90,7 @@ __all__ = [
     "diff_catalog",
     "diff_engines",
     "diff_resilient",
+    "pool_stats",
     "register_engine",
     "resolve_engine",
     "run_spec",

@@ -46,6 +46,12 @@ CHECK_LEVELS = ("full", "bandwidth", "off")
 #: Registry of engine names to engine classes (see :func:`register_engine`).
 ENGINES: dict[str, type["Engine"]] = {}
 
+#: Engines that live *above* this package (the service layer) and are
+#: imported on first resolve, keeping the engine -> service layering
+#: acyclic: ``repro.service`` imports ``repro.engine`` freely, while the
+#: engine registry only learns the module path of the lazy backend.
+_LAZY_ENGINES: dict[str, str] = {"sharded": "repro.service.kernel"}
+
 
 def canonical_check(spec: Any) -> str | None:
     """Normalise a ``check=`` argument to the canonical vocabulary.
@@ -100,11 +106,16 @@ def resolve_engine(spec: "str | Engine | None", check: Any = None) -> "Engine":
             )
         return spec
     if isinstance(spec, str):
+        if spec not in ENGINES and spec in _LAZY_ENGINES:
+            import importlib
+
+            importlib.import_module(_LAZY_ENGINES[spec])
         try:
             cls = ENGINES[spec]
         except KeyError:
+            known = sorted(set(ENGINES) | set(_LAZY_ENGINES))
             raise CliqueError(
-                f"unknown engine {spec!r}; known engines: {sorted(ENGINES)}"
+                f"unknown engine {spec!r}; known engines: {known}"
             ) from None
         return cls() if check is None else cls(check=check)
     raise CliqueError(

@@ -124,14 +124,40 @@ class RunCache:
     root:
         Cache directory; defaults to :func:`default_cache_dir`.  Created
         lazily on first write.
+    max_entries:
+        Optional LRU bound: after every write the oldest entries (by
+        file mtime — a hit refreshes it) are evicted until at most this
+        many remain.  ``None`` (the default) means unbounded, the
+        historical behaviour.
+    max_entry_bytes:
+        Optional admission control: a payload whose pickled size exceeds
+        this many bytes is not stored (``put`` returns ``False`` and
+        counts a rejection).  Keeps one huge transcript-laden result
+        from evicting thousands of small sweep points.
     """
 
-    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+    def __init__(
+        self,
+        root: "str | os.PathLike | None" = None,
+        *,
+        max_entries: "int | None" = None,
+        max_entry_bytes: "int | None" = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_entry_bytes is not None and max_entry_bytes < 1:
+            raise ValueError(f"max_entry_bytes must be >= 1, got {max_entry_bytes}")
+        self.max_entries = max_entries
+        self.max_entry_bytes = max_entry_bytes
         #: In-process lookup counters (benchmarks and sweep reports read
         #: them; corrupt/evicted entries count as misses).
         self.hits = 0
         self.misses = 0
+        #: Entries removed by the LRU bound (this process only).
+        self.evictions = 0
+        #: Payloads refused by the admission bound (this process only).
+        self.rejections = 0
 
     # -- keys ------------------------------------------------------------
 
@@ -219,6 +245,11 @@ class RunCache:
             )
             return None
         self.hits += 1
+        try:
+            # Refresh the LRU clock: recently-hit entries survive longest.
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away after read
+            pass
         return entry.get("payload")
 
     def _evict_corrupt(self, key: str, path: Path, why: str, strict: bool) -> None:
@@ -233,18 +264,26 @@ class RunCache:
             raise CacheCorruption(message, key=key, path=str(path))
         warnings.warn(message, RuntimeWarning, stacklevel=3)
 
-    def put(self, key: str, payload: Any) -> None:
-        """Atomically store ``payload`` under ``key``."""
+    def put(self, key: str, payload: Any) -> bool:
+        """Atomically store ``payload`` under ``key``.
+
+        Returns ``True`` when the entry was written, ``False`` when the
+        admission bound refused it.  Writes go through a temp file and
+        ``os.replace``, so two processes racing on the same key leave
+        one intact winner, never a torn entry.
+        """
+        blob = pickle.dumps(
+            {"key": key, "payload": payload}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        if self.max_entry_bytes is not None and len(blob) > self.max_entry_bytes:
+            self.rejections += 1
+            return False
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(
-                    {"key": key, "payload": payload},
-                    fh,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -252,6 +291,28 @@ class RunCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None:
+            self._evict_lru()
+        return True
+
+    def _evict_lru(self) -> None:
+        """Unlink oldest-mtime entries until the LRU bound holds."""
+        entries = []
+        for path in self._entries():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:  # pragma: no cover - entry raced away
+                pass
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+                self.evictions += 1
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -274,6 +335,24 @@ class RunCache:
             except OSError:
                 pass
         return removed
+
+    def stats(self) -> dict:
+        """Counters and occupancy as a JSON-able dict.
+
+        ``entries`` is the current on-disk count (shared across
+        processes); the hit/miss/eviction/rejection counters are this
+        process's own.  ``repro serve --status`` prints this dict.
+        """
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rejections": self.rejections,
+            "max_entries": self.max_entries,
+            "max_entry_bytes": self.max_entry_bytes,
+        }
 
     def __repr__(self) -> str:
         return f"RunCache(root={str(self.root)!r})"

@@ -66,6 +66,7 @@ __all__ = [
     "SweepOutcome",
     "aggregate_sweep_metrics",
     "derive_seed",
+    "pool_stats",
     "run_spec",
     "run_sweep",
     "shutdown_pool",
@@ -556,7 +557,6 @@ def _warm_pool(context: Any) -> PersistentPool:
     global _WARM_POOL
     if _WARM_POOL is None:
         _WARM_POOL = PersistentPool(context)
-        atexit.register(shutdown_pool)
     return _WARM_POOL
 
 
@@ -566,6 +566,29 @@ def shutdown_pool() -> None:
     if _WARM_POOL is not None:
         _WARM_POOL.shutdown()
         _WARM_POOL = None
+
+
+# Registered at import time, not at first pool use: a sweep that crashes
+# between warming the pool and registering a hook could otherwise leak
+# forked workers past the parent's exit.
+atexit.register(shutdown_pool)
+
+
+def pool_stats() -> dict:
+    """State of the process-wide warm pool as a JSON-able dict.
+
+    ``workers`` counts pool processes (live or not yet reaped), ``alive``
+    the ones still running; both are 0 when no sweep has warmed the pool
+    (or after :func:`shutdown_pool`).
+    """
+    pool = _WARM_POOL
+    if pool is None:
+        return {"warm": False, "workers": 0, "alive": 0}
+    return {
+        "warm": True,
+        "workers": pool.size,
+        "alive": sum(1 for w in pool._workers if w.proc.is_alive()),
+    }
 
 
 def run_sweep(

@@ -172,6 +172,27 @@ class RunMetrics:
         """Table rows (one per round) for reports and the CLI."""
         return [r.to_dict() for r in self.per_round]
 
+    def summary(self) -> dict:
+        """Compact flat rollup of one run (JSON-able, no per-round data).
+
+        The shape the service daemon attaches to each reply: enough for
+        a client to report cost figures without shipping the per-round
+        and per-node arrays of :meth:`to_dict` over the socket.
+        """
+        node, bits = self.max_node_load()
+        return {
+            "n": self.n,
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "message_bits": self.message_bits,
+            "bulk_bits": self.bulk_bits,
+            "total_bits": self.total_bits,
+            "max_load_node": node,
+            "max_load_bits": bits,
+            "faults": self.total_faults,
+        }
+
     def to_dict(self) -> dict:
         """JSON-able representation (inverse of :meth:`from_dict`)."""
         return {

@@ -99,7 +99,7 @@ class TestBulkScalarParity:
     @settings(max_examples=100, deadline=None)
     def test_numpy_input_matches_list_input(self, case):
         values, width = case
-        if width > 64:
+        if width >= 64:
             values = [v & ((1 << 63) - 1) for v in values]  # int64-safe
         arr = np.asarray(values, dtype=np.int64)
         assert encode_uint_array(arr, width) == encode_uint_array(values, width)

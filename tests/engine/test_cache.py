@@ -174,3 +174,138 @@ class TestRunCache:
 
     def test_repr_names_the_root(self, tmp_path):
         assert str(tmp_path) in repr(RunCache(tmp_path))
+
+
+def _put_same_key_repeatedly(root, key, payload, count):
+    """Child-process body for the concurrent-writer test."""
+    cache = RunCache(root)
+    for _ in range(count):
+        assert cache.put(key, payload)
+        cache.get(key)
+
+
+class TestRunCacheBounds:
+    """LRU bound, admission control and the stats() rollup."""
+
+    def key(self, cache, **overrides):
+        fields = {
+            "program": "tests.echo",
+            "n": 8,
+            "bandwidth": 2,
+            "input_digest": content_digest({"seed": 0}),
+            "engine": {"engine": "fast", "check": "bandwidth"},
+        }
+        fields.update(overrides)
+        return cache.key_for(**fields)
+
+    def test_bounds_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            RunCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError, match="max_entry_bytes"):
+            RunCache(tmp_path, max_entry_bytes=0)
+
+    def test_lru_evicts_oldest(self, tmp_path):
+        import os
+
+        cache = RunCache(tmp_path, max_entries=2)
+        k1, k2 = self.key(cache, n=1), self.key(cache, n=2)
+        cache.put(k1, "one")
+        cache.put(k2, "two")
+        # Pin distinct mtimes so the LRU order is unambiguous.
+        os.utime(cache._path(k1), (100, 100))
+        os.utime(cache._path(k2), (200, 200))
+        k3 = self.key(cache, n=3)
+        cache.put(k3, "three")
+        assert k1 not in cache  # oldest mtime loses
+        assert k2 in cache and k3 in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_hit_refreshes_lru_clock(self, tmp_path):
+        import os
+
+        cache = RunCache(tmp_path, max_entries=2)
+        k1, k2 = self.key(cache, n=1), self.key(cache, n=2)
+        cache.put(k1, "one")
+        cache.put(k2, "two")
+        os.utime(cache._path(k1), (100, 100))
+        os.utime(cache._path(k2), (200, 200))
+        assert cache.get(k1) == "one"  # refreshes k1's mtime to now
+        cache.put(self.key(cache, n=3), "three")
+        assert k1 in cache  # survived because the hit refreshed it
+        assert k2 not in cache
+
+    def test_admission_rejects_oversize_payload(self, tmp_path):
+        cache = RunCache(tmp_path, max_entry_bytes=256)
+        small, big = self.key(cache, n=1), self.key(cache, n=2)
+        assert cache.put(small, "tiny") is True
+        assert cache.put(big, b"x" * 4096) is False
+        assert big not in cache
+        assert cache.rejections == 1
+        assert cache.get(big) is None  # a refusal is just a future miss
+
+    def test_stats_rollup(self, tmp_path):
+        cache = RunCache(tmp_path, max_entries=8, max_entry_bytes=1 << 20)
+        key = self.key(cache)
+        cache.get(key)
+        cache.put(key, "payload")
+        cache.get(key)
+        stats = cache.stats()
+        assert stats == {
+            "root": str(tmp_path),
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "rejections": 0,
+            "max_entries": 8,
+            "max_entry_bytes": 1 << 20,
+        }
+
+    def test_concurrent_same_key_writers_never_corrupt(self, tmp_path):
+        """Two processes hammering the same key must leave one intact
+        winner: every concurrent read sees either a miss or the full
+        payload, never a torn entry (atomic temp-file + rename)."""
+        import multiprocessing
+        import warnings
+
+        cache = RunCache(tmp_path)
+        key = self.key(cache)
+        payload = {"rounds": 7, "bits": list(range(64))}
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(
+                target=_put_same_key_repeatedly,
+                args=(tmp_path, key, payload, 100),
+            )
+            for _ in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # corruption would warn
+                for _ in range(200):
+                    value = cache.get(key)
+                    assert value is None or value == payload
+        finally:
+            for proc in workers:
+                proc.join(timeout=30)
+        assert all(proc.exitcode == 0 for proc in workers)
+        assert cache.get(key) == payload
+
+    def test_corrupt_eviction_race_is_a_clean_miss(self, tmp_path):
+        """Regression: when another process evicts a corrupt entry
+        between our read and our unlink, the failed unlink must not
+        escape — the lookup is still just a miss."""
+        cache = RunCache(tmp_path)
+        key = self.key(cache)
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        path.unlink()  # the other process won the eviction race
+        with pytest.warns(RuntimeWarning, match="eviction failed"):
+            cache._evict_corrupt(key, path, "unreadable", strict=False)
+        assert cache.get(key) is None  # plain miss afterwards
+        cache.put(key, "fresh")
+        assert cache.get(key) == "fresh"

@@ -1,0 +1,1 @@
+"""Tests for the service layer (sharded kernel + repro serve daemon)."""

@@ -1,0 +1,221 @@
+"""The sharded coroutine-kernel backend must be observationally
+equivalent to the reference engine — across shard counts, executors,
+transports, check levels, fault plans and observers."""
+
+import numpy as np
+import pytest
+
+from repro.clique.errors import CliqueError
+from repro.clique.network import CongestedClique
+from repro.engine import CATALOG, catalog_factory, diff_catalog, run_spec
+from repro.engine.base import resolve_engine
+from repro.engine.diff import assert_engines_agree
+from repro.service.kernel import (
+    Kernel,
+    ShardTransport,
+    ShardedEngine,
+    fanout_spec,
+    shard_ranges,
+)
+
+
+class TestKernel:
+    def test_spawn_rejects_non_generator(self):
+        kernel = Kernel()
+        with pytest.raises(CliqueError, match="generator"):
+            kernel.spawn(0, lambda: None)
+
+    def test_step_advances_in_spawn_order_and_collects_returns(self):
+        trace = []
+
+        def task(key, rounds):
+            for r in range(rounds):
+                trace.append((key, r))
+                yield
+            return key * 10
+
+        kernel = Kernel()
+        for key, rounds in ((0, 1), (1, 2), (2, 1)):
+            kernel.spawn(key, task(key, rounds))
+        assert len(kernel) == 3
+
+        assert kernel.step(0) == []  # everyone reaches its first yield
+        assert trace == [(0, 0), (1, 0), (2, 0)]
+        assert kernel.now == 0
+
+        finished = kernel.step(1)  # tasks 0 and 2 return, 1 sleeps again
+        assert finished == [(0, 0), (2, 20)]
+        assert len(kernel) == 1
+        assert kernel.step(2) == [(1, 10)]
+        assert len(kernel) == 0
+
+
+class TestShardTransport:
+    def test_roundtrip_plain_objects(self):
+        obj = {"a": [1, 2, 3], "b": ("x", None)}
+        assert ShardTransport.roundtrip(obj) == obj
+
+    def test_numpy_payloads_travel_out_of_band(self):
+        arr = np.arange(1024, dtype=np.int64)
+        body, buffers = ShardTransport.encode(arr)
+        assert buffers, "large arrays should use out-of-band buffers"
+        restored = ShardTransport.decode(body, buffers)
+        assert np.array_equal(restored, arr)
+
+    def test_shard_ranges_partition(self):
+        for n, shards in ((10, 3), (7, 7), (5, 16), (1, 1)):
+            ranges = shard_ranges(n, shards)
+            covered = [v for lo, hi in ranges for v in range(lo, hi)]
+            assert covered == list(range(n))
+        with pytest.raises(CliqueError, match="at least one shard"):
+            shard_ranges(4, 0)
+
+
+class TestCatalogAgreement:
+    @pytest.mark.parametrize("algorithm", sorted(CATALOG))
+    def test_reference_and_sharded_agree(self, algorithm):
+        report = assert_engines_agree(
+            catalog_factory,
+            {"algorithm": algorithm, "n": 8, "seed": 3},
+            engines=("reference", "sharded"),
+        )
+        assert report.ok
+        assert report.rounds["reference"] == report.rounds["sharded"]
+
+    def test_diff_catalog_all_ok(self):
+        reports = diff_catalog(
+            config={"n": 6, "seed": 1}, engines=("reference", "sharded")
+        )
+        assert len(reports) == len(CATALOG)
+        assert all(r.ok for r in reports), [r.summary() for r in reports]
+
+    @pytest.mark.parametrize("shards", [1, 3, 64])
+    def test_shard_count_is_invisible(self, shards):
+        assert_engines_agree(
+            catalog_factory,
+            {"algorithm": "sorting", "n": 8, "seed": 0},
+            engines=("fast", ShardedEngine(shards=shards)),
+            label=f"sorting/shards={shards}",
+        )
+
+    @pytest.mark.parametrize("check", ["full", "bandwidth", "off"])
+    def test_check_levels_agree(self, check):
+        assert_engines_agree(
+            catalog_factory,
+            {"algorithm": "bfs", "n": 8, "seed": 0},
+            engines=("reference", ShardedEngine(check=check)),
+            label=f"bfs/{check}",
+        )
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "kds", "matmul"])
+    def test_pickle_transport_agrees(self, algorithm):
+        assert_engines_agree(
+            catalog_factory,
+            {"algorithm": algorithm, "n": 8, "seed": 1},
+            engines=("reference", ShardedEngine(transport="pickle")),
+            label=f"{algorithm}/pickle",
+        )
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "subgraph"])
+    def test_process_executor_agrees(self, algorithm):
+        assert_engines_agree(
+            catalog_factory,
+            {"algorithm": algorithm, "n": 8, "seed": 1},
+            engines=("reference", ShardedEngine(executor="process", shards=2)),
+            label=f"{algorithm}/process",
+        )
+
+    def test_fault_plan_parity_with_fast(self):
+        # The fan-out program ignores its inbox, so dropped deliveries
+        # change the accounting but never the protocol.
+        config = {"n": 16, "rounds": 3, "senders": 16}
+        plan = "drop=0.4,seed=7"
+        r_fast, _ = run_spec(fanout_spec(config), "fast", fault_plan=plan)
+        r_sharded, _ = run_spec(
+            fanout_spec(config), ShardedEngine(), fault_plan=plan
+        )
+        assert r_sharded.rounds == r_fast.rounds
+        assert r_sharded.total_message_bits == r_fast.total_message_bits
+        assert r_sharded.received_bits == r_fast.received_bits
+
+    def test_metrics_parity_with_fast(self):
+        config = {"algorithm": "kvc", "n": 8, "seed": 0}
+        r_fast, _ = run_spec(catalog_factory(dict(config)), "fast")
+        r_sharded, _ = run_spec(catalog_factory(dict(config)), "sharded")
+        fast_dict = r_fast.metrics.to_dict()
+        sharded_dict = r_sharded.metrics.to_dict()
+        assert fast_dict.pop("engine") == "fast"
+        assert sharded_dict.pop("engine") == "sharded"
+        assert sharded_dict == fast_dict
+
+    def test_transcript_parity_with_fast(self):
+        spec = catalog_factory({"algorithm": "broadcast", "n": 6, "seed": 0})
+        spec_sh = catalog_factory({"algorithm": "broadcast", "n": 6, "seed": 0})
+        r_fast, _ = run_spec(spec, "fast", check="full")
+        r_sharded, _ = run_spec(
+            spec_sh, ShardedEngine(check="full", record_transcripts=True)
+        )
+        assert r_fast.rounds == r_sharded.rounds
+        assert r_sharded.transcripts is not None
+        for t in r_sharded.transcripts:
+            assert len(t.rounds) == r_sharded.rounds
+
+
+class TestEngineSurface:
+    def test_registered_lazily(self):
+        engine = resolve_engine("sharded")
+        assert isinstance(engine, ShardedEngine)
+        assert engine.describe()["engine"] == "sharded"
+
+    def test_unknown_engine_error_lists_sharded(self):
+        with pytest.raises(CliqueError, match="sharded"):
+            resolve_engine("warp")
+
+    def test_constructor_validation(self):
+        with pytest.raises(CliqueError, match="check"):
+            ShardedEngine(check="paranoid")
+        with pytest.raises(CliqueError, match="executor"):
+            ShardedEngine(executor="thread")
+        with pytest.raises(CliqueError, match="transport"):
+            ShardedEngine(transport="json")
+        with pytest.raises(CliqueError, match="shards"):
+            ShardedEngine(shards=0)
+
+    def test_describe_is_complete(self):
+        desc = ShardedEngine(
+            check="off", shards=2, executor="process", transport="pickle"
+        ).describe()
+        assert desc == {
+            "engine": "sharded",
+            "check": "off",
+            "shards": 2,
+            "executor": "process",
+            "transport": "pickle",
+        }
+
+    def test_rejects_broadcast_only_cliques(self):
+        clique = CongestedClique(4, broadcast_only=True)
+
+        def prog(node):
+            return None
+            yield
+
+        with pytest.raises(CliqueError, match="plain congested clique"):
+            ShardedEngine().execute(clique, prog, [None] * 4, [None] * 4)
+
+
+class TestFanoutSpec:
+    def test_load_scales_with_senders(self):
+        result, _ = run_spec(
+            fanout_spec({"n": 32, "rounds": 2, "senders": 4}), "sharded"
+        )
+        assert result.rounds == 2
+        # 4 senders broadcast one bit to 31 peers, twice.
+        assert result.total_message_bits == 4 * 31 * 2
+
+    def test_matches_fast_engine_at_scale(self):
+        config = {"n": 256, "rounds": 1, "senders": 8}
+        r_fast, _ = run_spec(fanout_spec(config), "fast")
+        r_sharded, _ = run_spec(fanout_spec(config), "sharded")
+        assert r_fast.rounds == r_sharded.rounds
+        assert r_fast.total_message_bits == r_sharded.total_message_bits

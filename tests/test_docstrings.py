@@ -28,6 +28,11 @@ MODULES = [
     "repro.engine.fast",
     "repro.engine.pool",
     "repro.engine.reference",
+    "repro.service",
+    "repro.service.client",
+    "repro.service.kernel",
+    "repro.service.protocol",
+    "repro.service.server",
     "repro.algorithms",
     "repro.core",
     "repro.core.counting",

@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.clique",
     "repro.obs",
     "repro.engine",
+    "repro.service",
     "repro.bench",
     "repro.algorithms",
     "repro.core",
