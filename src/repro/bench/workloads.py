@@ -41,6 +41,7 @@ def all_to_all_chatter(
     engine: Any = None,
     observer: Any = None,
     fault_plan: Any = None,
+    execution: Any = None,
 ):
     """The canonical fan-out microbenchmark: every node sends one bit to
     every other node, ``rounds`` times (also used by the throughput
@@ -56,7 +57,11 @@ def all_to_all_chatter(
         return None
 
     return CongestedClique(n).run(
-        prog, engine=engine, observer=observer, fault_plan=fault_plan
+        prog,
+        execution=execution,
+        engine=engine,
+        observer=observer,
+        fault_plan=fault_plan,
     )
 
 
@@ -79,27 +84,46 @@ def _info_from_result(result) -> dict:
     }
 
 
-def _resolve_engine(spec: str):
-    """Map a workload's engine spec to ``(engine, observer)`` arguments."""
-    from ..engine import FastEngine
+#: Legacy one-word engine specs of the workload registry, expressed as
+#: :class:`~repro.engine.ExecutionSpec` dicts.  New workloads carry a
+#: full ``"execution"`` dict in their params instead.
+_ENGINE_SPECS: dict[str, dict] = {
+    "reference": {"engine": "reference"},
+    "fast": {"engine": "fast", "check": "bandwidth"},
+    "fast-noobs": {"engine": "fast", "check": "bandwidth", "observer": False},
+    "columnar": {"engine": "columnar", "check": "bandwidth"},
+}
 
-    if spec == "reference":
-        return "reference", None
-    if spec == "fast":
-        return FastEngine(check="bandwidth"), None
-    if spec == "fast-noobs":
-        return FastEngine(check="bandwidth"), False
-    raise CliqueError(f"unknown workload engine spec {spec!r}")
+
+def _workload_execution(params: dict):
+    """The workload's :class:`~repro.engine.ExecutionSpec`.
+
+    Params may carry an ``"execution"`` dict (the ``to_dict`` form) or a
+    legacy one-word ``"engine"`` spec; a flat ``"fault_plan"`` key fills
+    the spec's unset fault-plan field either way.
+    """
+    from ..engine import ExecutionSpec
+
+    raw = params.get("execution")
+    if raw is None:
+        name = params.get("engine", "fast")
+        try:
+            raw = _ENGINE_SPECS[name]
+        except KeyError:
+            raise CliqueError(
+                f"unknown workload engine spec {name!r}; known: "
+                f"{sorted(_ENGINE_SPECS)} (or pass an 'execution' dict)"
+            ) from None
+    return ExecutionSpec.coerce(dict(raw)).merged(
+        fault_plan=params.get("fault_plan")
+    )
 
 
 def _run_fanout(params: dict, ctx: dict) -> dict:
-    engine, observer = _resolve_engine(params["engine"])
     result = all_to_all_chatter(
         params["n"],
         params["rounds"],
-        engine=engine,
-        observer=observer,
-        fault_plan=params.get("fault_plan"),
+        execution=_workload_execution(params),
     )
     info = _info_from_result(result)
     if params.get("fault_plan") is not None and result.metrics is not None:
@@ -147,12 +171,9 @@ def _run_catalog(params: dict, ctx: dict) -> dict:
     from ..engine.diff import catalog_factory
     from ..engine.pool import run_spec
 
-    engine, observer = _resolve_engine(params.get("engine", "fast"))
     result, _ = run_spec(
         catalog_factory(dict(params["config"])),
-        engine,
-        observer=observer,
-        fault_plan=params.get("fault_plan"),
+        execution=_workload_execution(params),
     )
     info = _info_from_result(result)
     if params.get("fault_plan") is not None and result.metrics is not None:
@@ -523,6 +544,51 @@ register_workload(
             "workers": 2,
         },
         quick_params={"rounds": 2, "senders": 8, "seeds": 1, "workers": 1},
+    )
+)
+register_workload(
+    Workload(
+        name="columnar-fanout",
+        description="n=1024 evolving-broadcast fan-out on the columnar "
+        "whole-round array engine",
+        run=_run_catalog,
+        params={
+            "execution": {"engine": "columnar", "check": "bandwidth"},
+            "config": {"algorithm": "fanout", "n": 1024, "rounds": 6, "seed": 0},
+        },
+        quick_params={
+            "config": {"algorithm": "fanout", "n": 256, "rounds": 3, "seed": 0},
+        },
+    )
+)
+register_workload(
+    Workload(
+        name="fanout-large/fast",
+        description="the same n=1024 fan-out on the fast per-message "
+        "engine (columnar speedup twin)",
+        run=_run_catalog,
+        params={
+            "execution": {"engine": "fast", "check": "bandwidth"},
+            "config": {"algorithm": "fanout", "n": 1024, "rounds": 6, "seed": 0},
+        },
+        quick_params={
+            "config": {"algorithm": "fanout", "n": 256, "rounds": 3, "seed": 0},
+        },
+    )
+)
+register_workload(
+    Workload(
+        name="columnar-matmul",
+        description="cube-partitioned matrix multiply via the columnar "
+        "array port (diff catalog)",
+        run=_run_catalog,
+        params={
+            "execution": {"engine": "columnar", "check": "bandwidth"},
+            "config": {"algorithm": "matmul", "n": 27, "seed": 0},
+        },
+        quick_params={
+            "config": {"algorithm": "matmul", "n": 12, "seed": 0},
+        },
     )
 )
 register_workload(

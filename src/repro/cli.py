@@ -38,6 +38,53 @@ from .analysis.report import format_table, magnitude
 __all__ = ["main", "build_parser"]
 
 
+class _LazyChoices:
+    """Argparse ``choices`` container that resolves on first use.
+
+    Parser construction stays free of the heavy engine/catalog imports;
+    the loader runs only when argparse checks membership or formats
+    help, i.e. when the relevant subcommand is actually exercised.
+    """
+
+    def __init__(self, load) -> None:
+        self._load = load
+        self._values: "list | None" = None
+
+    def _resolve(self) -> list:
+        if self._values is None:
+            self._values = list(self._load())
+        return self._values
+
+    def __iter__(self):
+        return iter(self._resolve())
+
+    def __contains__(self, item) -> bool:
+        return item in self._resolve()
+
+    def __len__(self) -> int:
+        return len(self._resolve())
+
+
+def _engine_choices() -> "list[str]":
+    """Every registered backend, lazily-registered ones included — the
+    registry is the single source of truth, not a hardcoded list."""
+    from .engine.base import engine_names
+
+    return engine_names()
+
+
+def _check_choices() -> "list[str]":
+    from .engine.base import CHECK_LEVELS
+
+    return list(CHECK_LEVELS)
+
+
+def _catalog_choices() -> "list[str]":
+    from .engine.diff import CATALOG
+
+    return sorted(CATALOG)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (see the module docstring)."""
     parser = argparse.ArgumentParser(
@@ -88,13 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
         "--engine",
-        choices=["reference", "fast", "sharded"],
+        choices=_LazyChoices(_engine_choices),
         default=None,
         help="execution backend (default: reference)",
     )
     p_run.add_argument(
         "--check",
-        choices=["full", "bandwidth", "off"],
+        choices=_LazyChoices(_check_choices),
         default=None,
         help="validation level (default: the engine's own default)",
     )
@@ -110,19 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="daemon socket for --remote (default: the serve default)",
     )
 
-    # Keep in sync with repro.engine.diff.CATALOG (guarded by a test;
-    # the catalog is imported lazily so parser construction stays cheap).
-    catalog_names = [
-        "apsp",
-        "bfs",
-        "broadcast",
-        "kds",
-        "kis",
-        "kvc",
-        "matmul",
-        "sorting",
-        "subgraph",
-    ]
+    # Derived from repro.engine.diff.CATALOG on first use, so new
+    # catalog entries appear here without any CLI change.
+    catalog_names = _LazyChoices(_catalog_choices)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -144,12 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--engine",
-        choices=["reference", "fast", "sharded"],
+        choices=_LazyChoices(_engine_choices),
         default="fast",
     )
     p_sweep.add_argument(
-        "--check", choices=["full", "bandwidth", "off"], default="bandwidth",
-        help="fast-engine validation level",
+        "--check", choices=_LazyChoices(_check_choices), default="bandwidth",
+        help="validation level",
     )
     p_sweep.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -186,11 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--p", type=float, default=None)
     p_stats.add_argument(
         "--engine",
-        choices=["reference", "fast", "sharded"],
+        choices=_LazyChoices(_engine_choices),
         default="fast",
     )
     p_stats.add_argument(
-        "--check", choices=["full", "bandwidth", "off"], default=None
+        "--check", choices=_LazyChoices(_check_choices), default=None
     )
     p_stats.add_argument(
         "--links", type=int, default=0, metavar="K",
@@ -226,11 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--p", type=float, default=None)
     p_trace.add_argument(
         "--engine",
-        choices=["reference", "fast", "sharded"],
+        choices=_LazyChoices(_engine_choices),
         default="fast",
     )
     p_trace.add_argument(
-        "--check", choices=["full", "bandwidth", "off"], default=None
+        "--check", choices=_LazyChoices(_check_choices), default=None
     )
     p_trace.add_argument(
         "--limit", type=int, default=40,
@@ -586,17 +623,21 @@ def _catalog_config(args) -> dict:
 
 
 def _cmd_stats(args) -> int:
-    from .engine import RunCache
-    from .engine.base import resolve_engine
+    from .engine import ExecutionSpec, RunCache
     from .engine.diff import CATALOG, catalog_factory
     from .engine.pool import _point_key, run_spec
-    from .faults import resolve_fault_plan
-    from .obs import MetricsCollector, describe_observer
+    from .obs import MetricsCollector
 
     assert args.algorithm in CATALOG  # parser choices mirror the catalog
     config = _catalog_config(args)
     collector = MetricsCollector(
         links=args.links > 0, profile=args.profile
+    )
+    execution = ExecutionSpec(
+        engine=args.engine,
+        check=args.check,
+        observer=collector,
+        fault_plan=args.fault_plan,
     )
     cache = RunCache(args.cache) if args.cache else None
     key = None
@@ -604,25 +645,21 @@ def _cmd_stats(args) -> int:
     if cache is not None:
         # Key-compatible with run_sweep so a sweep-warmed cache serves
         # stats lookups (and vice versa) when the configs line up.
-        plan = resolve_fault_plan(args.fault_plan)
+        desc = execution.describe()
         key = _point_key(
             cache,
             catalog_factory,
             config,
-            resolve_engine(args.engine, check=args.check).describe(),
-            describe_observer(collector),
-            plan.describe() if plan is not None else None,
+            desc["engine"],
+            desc["observer"],
+            desc["fault_plan"],
         )
         hit = cache.get(key)
         if hit is not None:
             result, _ = hit
     if result is None:
         result, value = run_spec(
-            catalog_factory(config),
-            args.engine,
-            check=args.check,
-            observer=collector,
-            fault_plan=args.fault_plan,
+            catalog_factory(config), execution=execution
         )
         if cache is not None:
             cache.put(key, (result, value))
@@ -711,6 +748,7 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    from .engine import ExecutionSpec
     from .engine.diff import CATALOG, catalog_factory
     from .engine.pool import run_spec
     from .obs import JSONLSink, RingBufferSink, Tracer
@@ -724,9 +762,9 @@ def _cmd_trace(args) -> int:
     tracer = Tracer(sink=sink, sample=args.sample)
     result, _ = run_spec(
         catalog_factory(config),
-        args.engine,
-        check=args.check,
-        observer=tracer,
+        execution=ExecutionSpec(
+            engine=args.engine, check=args.check, observer=tracer
+        ),
     )
     if args.jsonl:
         print(
@@ -760,7 +798,7 @@ def _cmd_trace(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .analysis.fitting import fit_exponent
-    from .engine import FastEngine, RunCache, run_sweep
+    from .engine import ExecutionSpec, RunCache, run_sweep
     from .engine.diff import CATALOG, catalog_factory
 
     assert args.algorithm in CATALOG  # parser choices mirror the catalog
@@ -775,23 +813,17 @@ def _cmd_sweep(args) -> int:
                 config["p"] = args.p
             configs.append(config)
 
-    if args.engine == "fast":
-        engine = FastEngine(check=args.check)
-    elif args.engine == "sharded":
-        from .service.kernel import ShardedEngine
-
-        engine = ShardedEngine(check=args.check)
-    else:
-        engine = "reference"
+    execution = ExecutionSpec(
+        engine=args.engine, check=args.check, fault_plan=args.fault_plan
+    )
     cache = RunCache(args.cache) if args.cache else None
     outcomes = run_sweep(
         catalog_factory,
         configs,
         workers=args.workers,
-        engine=engine,
+        execution=execution,
         cache=cache,
         base_seed=args.base_seed,
-        fault_plan=args.fault_plan,
         timeout=args.timeout,
         retries=args.retries,
     )

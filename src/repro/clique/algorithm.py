@@ -21,6 +21,7 @@ def run_algorithm(
     bandwidth_multiplier: int = 1,
     bandwidth: int | None = None,
     max_rounds: int | None = None,
+    execution: Any = None,
     engine: Any = None,
     check: Any = None,
     transcripts: bool | None = None,
@@ -32,9 +33,9 @@ def run_algorithm(
 
     This is a thin wrapper over :meth:`CongestedClique.run` — it builds
     the clique from the graph's size and forwards the *same* keyword-only
-    run options (``engine=``, ``check=``, ``transcripts=``,
-    ``observer=``, ``fault_plan=``); see that method for their
-    semantics.  Each node ``v``
+    run options (``execution=``, ``engine=``, ``check=``,
+    ``transcripts=``, ``observer=``, ``fault_plan=``); see that method
+    for their semantics.  Each node ``v``
     receives ``graph.local_view(v)`` as its input and ``aux``'s per-node
     resolution as auxiliary input.
 
@@ -63,6 +64,7 @@ def run_algorithm(
         program,
         graph,
         aux=aux,
+        execution=execution,
         engine=engine,
         check=check,
         transcripts=transcripts,

@@ -310,6 +310,7 @@ class CongestedClique:
         node_input: Any = None,
         *legacy_aux: Any,
         aux: Any = None,
+        execution: Any = None,
         engine: Any = None,
         check: Any = None,
         transcripts: bool | None = None,
@@ -326,10 +327,17 @@ class CongestedClique:
         :class:`CliqueGraph`.  Passing ``aux`` positionally is deprecated
         (it warns and keeps working); use the keyword.
 
+        ``execution`` bundles every "how does this run execute" setting
+        into one :class:`repro.engine.ExecutionSpec` (or a dict / engine
+        name shorthand); the per-field keywords below keep working and
+        may fill unset spec fields, but a field set both ways must agree
+        (see :func:`repro.engine.resolve_execution`).
+
         ``engine`` selects the execution backend: ``None`` (the default)
         or ``"reference"`` for the always-validating, transcript-capable
         reference engine, ``"fast"`` for the batched performance engine,
-        or any :class:`repro.engine.Engine` instance (e.g.
+        ``"columnar"`` for the vectorised whole-round array-program
+        engine, or any :class:`repro.engine.Engine` instance (e.g.
         ``FastEngine(check="off")``).  All backends are observationally
         equivalent on valid programs.
 
@@ -375,16 +383,24 @@ class CongestedClique:
         # Imported lazily: repro.engine sits above the clique substrate
         # in the layering, so the substrate must not load it at import
         # time.
-        from ..engine import resolve_engine
+        from ..engine import resolve_execution
 
+        resolved = resolve_execution(
+            execution,
+            engine=engine,
+            check=check,
+            observer=observer,
+            fault_plan=fault_plan,
+            transcripts=transcripts,
+        )
         inputs = _resolve_per_node(node_input, self.n)
         auxes = _resolve_per_node(aux, self.n)
-        return resolve_engine(engine, check=check).execute(
+        return resolved.engine.execute(
             self,
             program,
             inputs,
             auxes,
-            observer=observer,
-            transcripts=transcripts,
-            fault_plan=fault_plan,
+            observer=resolved.observer,
+            transcripts=resolved.transcripts,
+            fault_plan=resolved.fault_plan,
         )

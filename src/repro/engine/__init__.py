@@ -41,17 +41,22 @@ from .base import (
     ENGINES,
     Engine,
     canonical_check,
+    engine_names,
     register_engine,
     resolve_engine,
 )
 from .cache import RunCache, content_digest, default_cache_dir
+from .columnar import ArrayContext, ColumnarEngine, DualProgram, array_program
 from .diff import (
     CATALOG,
+    COLUMNAR_CATALOG,
     RESILIENT_CATALOG,
     EngineDiff,
+    algorithm,
     assert_engines_agree,
     catalog_factory,
     diff_catalog,
+    diff_columnar,
     diff_engines,
     diff_resilient,
 )
@@ -67,20 +72,29 @@ from .pool import (
     shutdown_pool,
 )
 from .reference import ReferenceEngine
+from .spec import ExecutionSpec, ResolvedExecution, resolve_execution
 
 __all__ = [
+    "ArrayContext",
     "CATALOG",
     "CHECK_LEVELS",
+    "COLUMNAR_CATALOG",
+    "ColumnarEngine",
+    "DualProgram",
     "ENGINES",
     "Engine",
     "EngineDiff",
+    "ExecutionSpec",
     "FastEngine",
     "RESILIENT_CATALOG",
     "ReferenceEngine",
+    "ResolvedExecution",
     "RunCache",
     "RunSpec",
     "SweepOutcome",
     "aggregate_sweep_metrics",
+    "algorithm",
+    "array_program",
     "assert_engines_agree",
     "canonical_check",
     "catalog_factory",
@@ -88,11 +102,14 @@ __all__ = [
     "default_cache_dir",
     "derive_seed",
     "diff_catalog",
+    "diff_columnar",
     "diff_engines",
     "diff_resilient",
+    "engine_names",
     "pool_stats",
     "register_engine",
     "resolve_engine",
+    "resolve_execution",
     "run_spec",
     "run_sweep",
     "shutdown_pool",

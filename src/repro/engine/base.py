@@ -31,6 +31,7 @@ __all__ = [
     "ENGINES",
     "Engine",
     "canonical_check",
+    "engine_names",
     "register_engine",
     "resolve_engine",
     "spawn_generators",
@@ -76,6 +77,17 @@ def canonical_check(spec: Any) -> str | None:
     raise CliqueError(f"check must be one of {CHECK_LEVELS}, got {spec!r}")
 
 
+def engine_names() -> list[str]:
+    """Sorted names of every known backend, lazily-registered ones included.
+
+    This is the single source of truth for user-facing engine choices
+    (``repro run/sweep/stats/trace --engine``): a backend registered via
+    :func:`register_engine` or listed in :data:`_LAZY_ENGINES` appears
+    here without any CLI change.
+    """
+    return sorted(set(ENGINES) | set(_LAZY_ENGINES))
+
+
 def register_engine(cls: type["Engine"]) -> type["Engine"]:
     """Class decorator: register an engine class under its ``name``."""
     if not cls.name or cls.name in ENGINES:
@@ -113,9 +125,13 @@ def resolve_engine(spec: "str | Engine | None", check: Any = None) -> "Engine":
         try:
             cls = ENGINES[spec]
         except KeyError:
-            known = sorted(set(ENGINES) | set(_LAZY_ENGINES))
+            import difflib
+
+            known = engine_names()
+            close = difflib.get_close_matches(spec, known, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
             raise CliqueError(
-                f"unknown engine {spec!r}; known engines: {known}"
+                f"unknown engine {spec!r}; known engines: {known}{hint}"
             ) from None
         return cls() if check is None else cls(check=check)
     raise CliqueError(

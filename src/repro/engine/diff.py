@@ -36,11 +36,14 @@ from .pool import RunSpec, run_spec
 
 __all__ = [
     "CATALOG",
+    "COLUMNAR_CATALOG",
     "EngineDiff",
     "RESILIENT_CATALOG",
+    "algorithm",
     "assert_engines_agree",
     "catalog_factory",
     "diff_catalog",
+    "diff_columnar",
     "diff_engines",
     "diff_resilient",
 ]
@@ -49,6 +52,38 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Algorithm catalog: name -> (config -> RunSpec)
 # ---------------------------------------------------------------------------
+
+#: Named spec builders: algorithm name -> (config -> RunSpec).  Populated
+#: by the :func:`algorithm` decorator below.
+CATALOG: dict[str, Callable[[dict], RunSpec]] = {}
+
+#: Catalog entries whose :class:`~repro.engine.columnar.DualProgram`
+#: carries a columnar form, i.e. the set :func:`diff_columnar` gates.
+COLUMNAR_CATALOG: tuple[str, ...] = ()
+
+
+def algorithm(
+    name: str, *, columnar: bool = False
+) -> Callable[[Callable[[dict], RunSpec]], Callable[[dict], RunSpec]]:
+    """Register a catalog entry: ``@algorithm("name")`` on a spec builder.
+
+    ``columnar=True`` declares that the builder's program is a
+    :class:`~repro.engine.columnar.DualProgram` carrying both the
+    generator form and a columnar array form, adding the entry to
+    :data:`COLUMNAR_CATALOG` so the columnar differential gate picks it
+    up automatically.
+    """
+
+    def register(builder: Callable[[dict], RunSpec]) -> Callable[[dict], RunSpec]:
+        global COLUMNAR_CATALOG
+        if name in CATALOG:
+            raise CliqueError(f"catalog algorithm {name!r} already registered")
+        CATALOG[name] = builder
+        if columnar:
+            COLUMNAR_CATALOG = COLUMNAR_CATALOG + (name,)
+        return builder
+
+    return register
 
 
 def _graph(config: dict, default_p: float = 0.3):
@@ -61,6 +96,7 @@ def _graph(config: dict, default_p: float = 0.3):
     )
 
 
+@algorithm("broadcast")
 def _spec_broadcast(config: dict) -> RunSpec:
     """Whole-graph gathering: every node learns the adjacency matrix."""
     from ..algorithms import gather_graph
@@ -72,6 +108,7 @@ def _spec_broadcast(config: dict) -> RunSpec:
     return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
 
 
+@algorithm("bfs")
 def _spec_bfs(config: dict) -> RunSpec:
     """BFS distances from node 0."""
     from ..algorithms import bfs_distances
@@ -87,6 +124,7 @@ def _spec_bfs(config: dict) -> RunSpec:
     )
 
 
+@algorithm("apsp")
 def _spec_apsp(config: dict) -> RunSpec:
     """APSP by repeated (min,+) squaring over the cube-partitioned MM."""
     from ..algorithms import apsp_minplus
@@ -112,6 +150,7 @@ def _spec_apsp(config: dict) -> RunSpec:
     )
 
 
+@algorithm("matmul", columnar=True)
 def _spec_matmul(config: dict) -> RunSpec:
     """Integer matrix product; node i holds rows A[i], B[i], returns C[i]."""
     from ..algorithms import RING, distributed_matmul
@@ -129,9 +168,19 @@ def _spec_matmul(config: dict) -> RunSpec:
         row = yield from distributed_matmul(node, a_row, b_row, RING, max_entry)
         return row
 
-    return RunSpec(program=prog, node_input=rows, n=n, bandwidth_multiplier=2)
+    from ..algorithms.columnar import matmul_array
+    from .columnar import DualProgram
+
+    return RunSpec(
+        program=DualProgram(prog, matmul_array, "matmul"),
+        node_input=rows,
+        aux=lambda v: {"max_entry": max_entry, "scheme": "lenzen"},
+        n=n,
+        bandwidth_multiplier=2,
+    )
 
 
+@algorithm("kds")
 def _spec_kds(config: dict) -> RunSpec:
     """Theorem 9: k-dominating set detection."""
     from ..algorithms import k_dominating_set
@@ -144,6 +193,7 @@ def _spec_kds(config: dict) -> RunSpec:
     return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
 
 
+@algorithm("kvc")
 def _spec_kvc(config: dict) -> RunSpec:
     """Theorem 11: k-vertex cover in O(k) rounds."""
     from ..algorithms import k_vertex_cover
@@ -156,6 +206,7 @@ def _spec_kvc(config: dict) -> RunSpec:
     return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
 
 
+@algorithm("subgraph")
 def _spec_subgraph(config: dict) -> RunSpec:
     """Dolev et al. subgraph detection (triangles)."""
     from ..algorithms import triangle_detection
@@ -166,6 +217,7 @@ def _spec_subgraph(config: dict) -> RunSpec:
     return RunSpec(program=prog, node_input=_graph(config), bandwidth_multiplier=2)
 
 
+@algorithm("kis")
 def _spec_kis(config: dict) -> RunSpec:
     """k-independent-set detection (the Theorem 10 source problem)."""
     from ..algorithms import k_independent_set_detection
@@ -182,6 +234,7 @@ def _spec_kis(config: dict) -> RunSpec:
     )
 
 
+@algorithm("sorting", columnar=True)
 def _spec_sorting(config: dict) -> RunSpec:
     """Distributed sorting of per-node key lists."""
     from ..clique.sorting import distributed_sort
@@ -199,21 +252,57 @@ def _spec_sorting(config: dict) -> RunSpec:
     def prog(node):
         return (yield from distributed_sort(node, node.input, key_width))
 
-    return RunSpec(program=prog, node_input=keys, n=n, bandwidth_multiplier=2)
+    from ..algorithms.columnar import sorting_array
+    from .columnar import DualProgram
+
+    return RunSpec(
+        program=DualProgram(prog, sorting_array, "sorting"),
+        node_input=keys,
+        aux=lambda v: {"key_width": key_width, "scheme": "lenzen"},
+        n=n,
+        bandwidth_multiplier=2,
+    )
 
 
-#: Named spec builders: algorithm name -> (config -> RunSpec).
-CATALOG: dict[str, Callable[[dict], RunSpec]] = {
-    "broadcast": _spec_broadcast,
-    "bfs": _spec_bfs,
-    "apsp": _spec_apsp,
-    "matmul": _spec_matmul,
-    "kds": _spec_kds,
-    "kvc": _spec_kvc,
-    "subgraph": _spec_subgraph,
-    "kis": _spec_kis,
-    "sorting": _spec_sorting,
-}
+@algorithm("fanout", columnar=True)
+def _spec_fanout(config: dict) -> RunSpec:
+    """All-to-all broadcast stress: R rounds of evolving broadcasts.
+
+    Each node's output is ``(messages received, xor fold of received
+    values)``, so the result is sensitive to every single delivery —
+    the entry the fault-plan parity diff leans on.
+    """
+    from ..algorithms.columnar import fanout_array, fanout_generator
+    from .columnar import DualProgram
+
+    n = int(config.get("n", 8))
+    rounds = int(config.get("rounds", 3))
+    seed = int(config.get("seed", 0))
+    inputs = [(seed * 7919 + 31 * v + 1) for v in range(n)]
+    return RunSpec(
+        program=DualProgram(fanout_generator, fanout_array, "fanout"),
+        node_input=inputs,
+        aux=rounds,
+        n=n,
+        bandwidth_multiplier=int(config.get("bandwidth_multiplier", 2)),
+    )
+
+
+@algorithm("routing", columnar=True)
+def _spec_routing(config: dict) -> RunSpec:
+    """Relay-scheme routing of pseudo-random variable-length flows."""
+    from ..algorithms.columnar import routing_array, routing_generator
+    from .columnar import DualProgram
+
+    n = int(config.get("n", 8))
+    scheme = str(config.get("scheme", "relay"))
+    return RunSpec(
+        program=DualProgram(routing_generator, routing_array, "routing"),
+        node_input=list(range(n)),
+        aux=scheme,
+        n=n,
+        bandwidth_multiplier=int(config.get("bandwidth_multiplier", 2)),
+    )
 
 
 def catalog_factory(config: dict) -> RunSpec:
@@ -405,6 +494,137 @@ def diff_resilient(
                         f"{engine_name}={result.outputs[v]!r}"
                     )
         reports.append(report)
+    return reports
+
+
+def _metrics_mismatches(name: str, base, other) -> list[str]:
+    """Compare two ``RunMetrics`` across backends.
+
+    Broadcasts are counted in different slots by design (the reference
+    engine expands them to unicasts), so per-slot message counts are
+    compared as totals; bit volumes, per-node load profiles, counters
+    and fault totals must match exactly.
+    """
+    issues: list[str] = []
+    if base is None or other is None:
+        if (base is None) != (other is None):
+            issues.append(f"metrics presence: reference={base} {name}={other}")
+        return issues
+    for field_name in ("rounds", "message_bits", "bulk_bits"):
+        a, b = getattr(base, field_name), getattr(other, field_name)
+        if a != b:
+            issues.append(f"metrics.{field_name}: reference={a} {name}={b}")
+    total_a = base.unicast_messages + base.broadcast_messages
+    total_b = other.unicast_messages + other.broadcast_messages
+    if total_a != total_b or base.bulk_messages != other.bulk_messages:
+        issues.append(
+            f"metrics message totals: reference="
+            f"{(total_a, base.bulk_messages)} {name}="
+            f"{(total_b, other.bulk_messages)}"
+        )
+    if tuple(base.sent_bits) != tuple(other.sent_bits) or tuple(
+        base.received_bits
+    ) != tuple(other.received_bits):
+        issues.append(f"metrics per-node load profile differs on {name}")
+    if tuple(base.counters) != tuple(other.counters):
+        issues.append(f"metrics counters differ on {name}")
+    if dict(base.faults) != dict(other.faults):
+        issues.append(
+            f"metrics.faults: reference={base.faults} {name}={other.faults}"
+        )
+    for ra, rb in zip(base.per_round, other.per_round):
+        if (
+            ra.message_bits != rb.message_bits
+            or ra.bulk_bits != rb.bulk_bits
+            or ra.messages != rb.messages
+            or ra.max_load_bits != rb.max_load_bits
+            or ra.faults != rb.faults
+        ):
+            issues.append(
+                f"metrics round {ra.round}: reference={ra.to_dict()} "
+                f"{name}={rb.to_dict()}"
+            )
+            break
+    return issues
+
+
+#: Columnar-ported entries safe to diff *under an active fault plan*:
+#: their outputs depend on individual deliveries but the protocol has no
+#: multi-round reassembly that a dropped chunk would turn into an error
+#: (chunked collectives raise on loss in both engines, but the raised
+#: error is not a comparable output).
+COLUMNAR_FAULT_CATALOG: tuple[str, ...] = ("fanout",)
+
+
+def diff_columnar(
+    names: Sequence[str] | None = None,
+    config: dict | None = None,
+    *,
+    fault_plan: "str | object" = "drop=0.2,corrupt=0.1,duplicate=0.1,seed=3",
+) -> list[EngineDiff]:
+    """The columnar correctness gate.
+
+    For every columnar-ported catalog entry, runs the reference and
+    columnar backends at **every** check level and compares outputs,
+    rounds, bit totals and the collected :class:`~repro.obs.RunMetrics`
+    (bit-for-bit per round).  Entries in :data:`COLUMNAR_FAULT_CATALOG`
+    are additionally compared under ``fault_plan``, and the metrics
+    comparison doubles as transcript-level accounting parity.
+    """
+    from .base import CHECK_LEVELS, resolve_engine
+
+    reports: list[EngineDiff] = []
+    for name in names if names is not None else sorted(COLUMNAR_CATALOG):
+        point = dict(config or {})
+        point["algorithm"] = name
+        for check in CHECK_LEVELS:
+            engines = (
+                resolve_engine("reference", check=check),
+                resolve_engine("columnar", check=check),
+            )
+            report = diff_engines(
+                catalog_factory,
+                point,
+                engines=engines,
+                label=f"{name}@{check}",
+            )
+            results = {
+                e.name: run_spec(catalog_factory(dict(point)), e)[0]
+                for e in engines
+            }
+            report.mismatches.extend(
+                _metrics_mismatches(
+                    "columnar",
+                    results["reference"].metrics,
+                    results["columnar"].metrics,
+                )
+            )
+            reports.append(report)
+        if name in COLUMNAR_FAULT_CATALOG:
+            report = EngineDiff(
+                label=f"{name}@faulty", engines=("reference", "columnar")
+            )
+            faulty = {}
+            for engine in ("reference", "columnar"):
+                result, _ = run_spec(
+                    catalog_factory(dict(point)), engine, fault_plan=fault_plan
+                )
+                faulty[engine] = result
+                report.rounds[engine] = result.rounds
+                report.total_message_bits[engine] = result.total_message_bits
+            base, other = faulty["reference"], faulty["columnar"]
+            for v in sorted(base.outputs):
+                if not _outputs_equal(base.outputs[v], other.outputs[v]):
+                    report.mismatches.append(
+                        f"node {v} faulty output: reference="
+                        f"{base.outputs[v]!r} columnar={other.outputs[v]!r}"
+                    )
+            if base.received_bits != other.received_bits:
+                report.mismatches.append("faulty received_bits differ")
+            report.mismatches.extend(
+                _metrics_mismatches("columnar", base.metrics, other.metrics)
+            )
+            reports.append(report)
     return reports
 
 

@@ -50,16 +50,17 @@ import queue as queue_mod
 import time
 import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable
 
 from ..clique.errors import CliqueError, SweepPointFailed
 from ..clique.graph import CliqueGraph
 from ..clique.network import CongestedClique, NodeProgram, RunResult
 from ..faults import resolve_fault_plan
-from ..obs import Observer, describe_observer, summarise_metrics
+from ..obs import Observer, summarise_metrics
 from .base import Engine, resolve_engine
 from .cache import RunCache, content_digest
+from .spec import ExecutionSpec
 
 __all__ = [
     "RunSpec",
@@ -145,15 +146,18 @@ def run_spec(
     spec: RunSpec,
     engine: "str | Engine | None" = None,
     *,
+    execution: Any = None,
     check: Any = None,
     observer: Any = None,
     fault_plan: Any = None,
 ) -> tuple[RunResult, Any]:
     """Execute one :class:`RunSpec` on the given engine.
 
-    ``check``, ``observer`` and ``fault_plan`` follow
-    :meth:`CongestedClique.run` semantics; ``fault_plan=None`` falls back
-    to the spec's own plan.  Returns ``(result, postprocess_value)``.
+    ``execution`` takes an :class:`~repro.engine.spec.ExecutionSpec`
+    (or dict / engine-name shorthand); the per-field keywords follow
+    :meth:`CongestedClique.run` semantics and may fill unset spec
+    fields.  ``fault_plan=None`` falls back to the spec's own plan.
+    Returns ``(result, postprocess_value)``.
     """
     clique = CongestedClique(
         spec.resolved_n(),
@@ -166,6 +170,7 @@ def run_spec(
         spec.program,
         spec.node_input,
         aux=spec.aux,
+        execution=execution,
         engine=engine,
         check=check,
         observer=observer,
@@ -597,6 +602,7 @@ def run_sweep(
     *,
     workers: int | None = None,
     engine: "str | Engine | None" = "fast",
+    execution: Any = None,
     cache: RunCache | None = None,
     base_seed: int = 0,
     observer: Any = None,
@@ -623,6 +629,15 @@ def run_sweep(
         process).
     engine:
         Engine name or instance used for every point (default: fast).
+    execution:
+        An :class:`~repro.engine.spec.ExecutionSpec` (or dict /
+        engine-name shorthand) bundling engine, check level, observer
+        and fault plan.  The per-field keywords may fill unset spec
+        fields; a field set both ways must agree.  The sweep default
+        engine (``"fast"``) applies only when neither the spec nor the
+        ``engine`` keyword names one.  ``transcripts`` is rejected here
+        — per-run transcript recording belongs on
+        :attr:`RunSpec.record_transcripts`.
     cache:
         Optional :class:`~repro.engine.cache.RunCache`; hits skip
         execution entirely and are marked ``from_cache=True``.  Failed
@@ -659,6 +674,24 @@ def run_sweep(
 
     Results are returned in grid order regardless of scheduling.
     """
+    exec_spec = ExecutionSpec.coerce(execution)
+    if exec_spec.engine is not None and engine == "fast":
+        engine = None  # the sweep default yields to an explicit spec
+    exec_spec = exec_spec.merged(
+        engine=engine, observer=observer, fault_plan=fault_plan
+    )
+    if exec_spec.transcripts is not None:
+        raise CliqueError(
+            "run_sweep does not take transcripts on the ExecutionSpec; "
+            "set RunSpec.record_transcripts in the factory instead"
+        )
+    if exec_spec.engine is None:
+        exec_spec = replace(exec_spec, engine="fast")
+    engine = exec_spec.engine
+    if exec_spec.check is not None:
+        engine = resolve_engine(engine, check=exec_spec.check)
+    observer = exec_spec.observer
+    fault_plan = exec_spec.fault_plan
     if isinstance(observer, Observer):
         raise CliqueError(
             "run_sweep needs an observer spec (None, True, False, "
@@ -674,15 +707,19 @@ def run_sweep(
     if retry_backoff < 0:
         raise CliqueError(f"retry_backoff must be >= 0, not {retry_backoff}")
     plan = resolve_fault_plan(fault_plan)
-    fault_desc = plan.describe() if plan is not None else None
-    observer_desc = describe_observer(observer)
+    # One spec, one key: the cache-key components come from the merged
+    # spec's canonical description, which matches what the legacy
+    # keyword path always produced — warmed caches stay valid.
+    key_desc = exec_spec.describe()
+    engine_desc = key_desc["engine"]
+    observer_desc = key_desc["observer"]
+    fault_desc = key_desc["fault_plan"]
     points: list[dict] = []
     for index, config in enumerate(configs):
         config = dict(config)
         config.setdefault("seed", derive_seed(base_seed, index, config))
         points.append(config)
 
-    engine_desc = resolve_engine(engine).describe()
     outcomes: list[SweepOutcome | None] = [None] * len(points)
     pending: list[tuple[int, dict]] = []
     for index, config in enumerate(points):

@@ -90,12 +90,30 @@ class ServiceClient:
         """Ask the daemon to drain queued work and exit."""
         return self.request({"op": "shutdown"})
 
+    @staticmethod
+    def _execution_payload(execution: Any) -> "dict | None":
+        """Serialise an ``execution=`` argument for the JSON protocol.
+
+        Accepts an :class:`~repro.engine.spec.ExecutionSpec`, a dict in
+        its ``to_dict`` form, an engine name, or ``None``.  Engine and
+        observer *instances* are rejected by ``to_dict`` — the protocol
+        carries specs only.
+        """
+        if execution is None:
+            return None
+        if isinstance(execution, dict):
+            execution = dict(execution)
+        from ..engine.spec import ExecutionSpec
+
+        return ExecutionSpec.coerce(execution).to_dict()
+
     def run(
         self,
         algorithm: str,
         config: "dict | None" = None,
         *,
-        engine: str = "fast",
+        execution: Any = None,
+        engine: "str | None" = None,
         observer: Any = None,
         fault_plan: "str | None" = None,
         cache: bool = True,
@@ -103,48 +121,62 @@ class ServiceClient:
         """Execute one catalog algorithm on the daemon.
 
         ``config`` carries the grid-point parameters (``n``, ``seed``,
-        ``p``, ``k``, ...); ``observer`` and ``fault_plan`` are specs
-        (JSON-able), never instances.  Returns the reply dict with
-        ``rounds``/bit totals/``common_output`` and ``cached``.
+        ``p``, ``k``, ...); ``execution`` is an
+        :class:`~repro.engine.spec.ExecutionSpec` (or its dict form, or
+        an engine name) bundling engine/check/observer/fault-plan; the
+        flat ``engine``/``observer``/``fault_plan`` keywords may fill
+        unset spec fields (a field set both ways must agree
+        server-side).  All are specs (JSON-able), never instances.  The
+        daemon defaults to the ``fast`` engine when no field names one.
+        Returns the reply dict with ``rounds``/bit
+        totals/``common_output`` and ``cached``.
         """
-        return self.request(
-            {
-                "op": "run",
-                "algorithm": algorithm,
-                "config": config or {},
-                "engine": engine,
-                "observer": observer,
-                "fault_plan": fault_plan,
-                "cache": cache,
-            }
-        )
+        payload = {
+            "op": "run",
+            "algorithm": algorithm,
+            "config": config or {},
+            "engine": engine,
+            "observer": observer,
+            "fault_plan": fault_plan,
+            "cache": cache,
+        }
+        spec = self._execution_payload(execution)
+        if spec is not None:
+            payload["execution"] = spec
+        return self.request(payload)
 
     def sweep(
         self,
         algorithm: str,
         configs: "list[dict]",
         *,
-        engine: str = "fast",
+        execution: Any = None,
+        engine: "str | None" = None,
         workers: "int | None" = None,
         observer: Any = None,
         fault_plan: "str | None" = None,
         base_seed: int = 0,
         cache: bool = True,
     ) -> dict:
-        """Run a grid of configs for one catalog algorithm on the daemon."""
-        return self.request(
-            {
-                "op": "sweep",
-                "algorithm": algorithm,
-                "configs": configs,
-                "engine": engine,
-                "workers": workers,
-                "observer": observer,
-                "fault_plan": fault_plan,
-                "base_seed": base_seed,
-                "cache": cache,
-            }
-        )
+        """Run a grid of configs for one catalog algorithm on the daemon.
+
+        ``execution`` follows the same rules as :meth:`run`.
+        """
+        payload = {
+            "op": "sweep",
+            "algorithm": algorithm,
+            "configs": configs,
+            "engine": engine,
+            "workers": workers,
+            "observer": observer,
+            "fault_plan": fault_plan,
+            "base_seed": base_seed,
+            "cache": cache,
+        }
+        spec = self._execution_payload(execution)
+        if spec is not None:
+            payload["execution"] = spec
+        return self.request(payload)
 
     def sleep(self, seconds: float) -> dict:
         """Diagnostic: occupy one worker thread for ``seconds`` (capped

@@ -37,6 +37,8 @@ import threading
 import time
 from typing import Any
 
+from dataclasses import replace
+
 from ..clique.errors import CliqueError
 from ..engine.cache import RunCache
 from ..engine.diff import CATALOG, catalog_factory
@@ -48,8 +50,7 @@ from ..engine.pool import (
     run_sweep,
     shutdown_pool,
 )
-from ..faults import resolve_fault_plan
-from ..obs import describe_observer
+from ..engine.spec import ExecutionSpec
 from .protocol import (
     ServiceError,
     default_socket_path,
@@ -367,26 +368,56 @@ class ReproServer:
         config["algorithm"] = algorithm
         return config
 
+    def _request_execution(self, request: dict) -> ExecutionSpec:
+        """Resolve the request's execution settings into one spec.
+
+        A request may carry an ``"execution"`` object (the
+        :meth:`ExecutionSpec.to_dict` form) and/or the flat legacy
+        ``engine``/``observer``/``fault_plan`` keys; the merge rules of
+        :meth:`ExecutionSpec.merged` apply, so a field set both ways
+        must agree.  The service default engine is ``fast``.
+        """
+        raw = request.get("execution")
+        if raw is not None and not isinstance(raw, dict):
+            raise ServiceError(
+                f"'execution' must be an object (the ExecutionSpec "
+                f"to_dict form), got {type(raw).__name__}"
+            )
+        try:
+            spec = ExecutionSpec.coerce(raw).merged(
+                engine=request.get("engine"),
+                observer=request.get("observer"),
+                fault_plan=request.get("fault_plan"),
+            )
+        except CliqueError as exc:
+            raise ServiceError(str(exc)) from None
+        if spec.transcripts is not None:
+            raise ServiceError(
+                "transcript recording is not available over the service "
+                "protocol (transcripts do not serialise); drop the "
+                "'transcripts' field"
+            )
+        if spec.engine is None:
+            spec = replace(spec, engine="fast")
+        return spec
+
     def _handle_run(self, request: dict) -> dict:
         config = self._catalog_config(request)
         config.setdefault("seed", derive_seed(0, 0, config))
-        engine = request.get("engine", "fast")
-        observer = request.get("observer")
+        spec = self._request_execution(request)
         use_cache = bool(request.get("cache", True))
-        plan = resolve_fault_plan(request.get("fault_plan"))
         key = None
         cached = False
         result = value = None
         if use_cache:
-            from ..engine.base import resolve_engine
-
+            desc = spec.describe()
             key = _point_key(
                 self.cache,
                 catalog_factory,
                 config,
-                resolve_engine(engine).describe(),
-                describe_observer(observer),
-                plan.describe() if plan is not None else None,
+                desc["engine"],
+                desc["observer"],
+                desc["fault_plan"],
             )
             hit = self.cache.get(key)
             if hit is not None:
@@ -394,10 +425,7 @@ class ReproServer:
                 cached = True
         if result is None:
             result, value = run_spec(
-                catalog_factory(dict(config)),
-                engine,
-                observer=observer,
-                fault_plan=plan,
+                catalog_factory(dict(config)), execution=spec
             )
             if key is not None:
                 self.cache.put(key, (result, value))
@@ -441,11 +469,9 @@ class ReproServer:
             catalog_factory,
             configs,
             workers=workers,
-            engine=request.get("engine", "fast"),
+            execution=self._request_execution(request),
             cache=self.cache if use_cache else None,
             base_seed=int(request.get("base_seed", 0)),
-            observer=request.get("observer"),
-            fault_plan=request.get("fault_plan"),
         )
         from ..engine.pool import aggregate_sweep_metrics
 

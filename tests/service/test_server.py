@@ -99,6 +99,34 @@ class TestRequests:
         assert faulty["cached"] is False
         assert faulty["rounds"] == clean["rounds"]
 
+    def test_run_with_execution_spec(self, client):
+        fast = client.run("fanout", {"n": 16, "rounds": 3, "seed": 0})
+        columnar = client.run(
+            "fanout",
+            {"n": 16, "rounds": 3, "seed": 0},
+            execution={"engine": "columnar", "check": "bandwidth"},
+        )
+        assert columnar["cached"] is False  # engine is part of the key
+        assert columnar["rounds"] == fast["rounds"]
+        assert columnar["common_output"] == fast["common_output"]
+        # An explicit spec naming the daemon's default engine shares
+        # the cache entry written by the plain request.
+        same = client.run(
+            "fanout",
+            {"n": 16, "rounds": 3, "seed": 0},
+            execution={"engine": "fast"},
+        )
+        assert same["cached"] is True
+
+    def test_run_execution_conflict_is_an_error(self, client):
+        with pytest.raises(ServiceError, match="conflicting execution"):
+            client.run(
+                "fanout",
+                {"n": 8, "seed": 0},
+                execution={"engine": "columnar"},
+                engine="fast",
+            )
+
     def test_sweep_and_cache_interop(self, client):
         configs = [{"n": n, "seed": 0} for n in (6, 8)]
         first = client.sweep("kds", configs, workers=2)
