@@ -4,6 +4,7 @@ states or uses (Sections 7.1–7.3 and Figure 1)."""
 from .apsp import apsp_minplus, transitive_closure_distributed, widest_paths_distributed
 from .bfs import UNREACHED, bfs_distances, bfs_tree
 from .broadcast import decide_by_gathering, gather_graph, gather_weighted_graph
+from .byzantine import bracha_broadcast, dolev_broadcast
 from .coloring import decide_k_colouring, find_k_colouring
 from .congest import congest_bfs, congest_flood_max
 from .common import (
@@ -60,6 +61,7 @@ __all__ = [
     "bfs_distances",
     "bfs_tree",
     "boruvka_mst",
+    "bracha_broadcast",
     "congest_bfs",
     "congest_flood_max",
     "connected_components",
@@ -70,6 +72,7 @@ __all__ = [
     "distributed_matmul",
     "distributed_median",
     "distributed_select",
+    "dolev_broadcast",
     "find_k_colouring",
     "gather_graph",
     "gather_weighted_graph",

@@ -1,0 +1,211 @@
+"""Byzantine-resilient broadcast — Dolev relay and Bracha broadcast.
+
+The paper's model assumes honest nodes; these two classics price what
+honest nodes must *pay* — in rounds and bits, honestly metered through
+the normal message channel — to agree on a broadcast value when up to
+``f`` senders are adversarial (the Byzantine tier of
+:class:`~repro.faults.FaultPlan`: equivocation, forged identities,
+selective delivery, limited broadcast).
+
+Both protocols are written round-rigid: every node runs the same fixed,
+data-independent round schedule and halts at the same round, so runs
+are engine-comparable and seed-replayable under any fault plan.
+
+* :func:`dolev_broadcast` — path-verified relay, 2 rounds.  A node
+  accepts a value supported by ``f + 1`` internally-disjoint paths from
+  the broadcaster (the direct link plus one per distinct relayer).
+  Tolerates ``f`` lying *relayers* when ``n >= 2f + 2``; an equivocating
+  broadcaster can still split honest nodes — that is Dolev's limit, not
+  a bug, and exactly what :func:`bracha_broadcast` fixes.
+* :func:`bracha_broadcast` — reliable broadcast, ``f + 5`` rounds
+  (INIT, ECHO, then ``f + 3`` READY rounds).  A node sends READY after
+  ``floor((n + f) / 2) + 1`` matching ECHOes or ``f + 1`` matching
+  READYs (amplification), and accepts a value with ``2f + 1`` distinct
+  READY senders.  With ``f < n / 3`` Byzantine *senders* all honest
+  nodes agree: either all accept the same value or none accepts.
+
+Messages are fixed-width: Dolev sends the bare ``value_width``-bit
+value, Bracha prepends a 2-bit tag (INIT/ECHO/READY).  Honest-to-honest
+links are reliable under Byzantine-only plans (the adversary rewrites
+only Byzantine *outgoing* messages), which is the channel assumption
+both arguments need.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..clique.bits import BitString
+from ..clique.errors import CliqueError
+from ..clique.node import Node
+
+__all__ = ["bracha_broadcast", "dolev_broadcast"]
+
+#: Bracha message tags (2 bits; 0 is unused so an all-zero payload is
+#: never a valid message).
+TAG_INIT, TAG_ECHO, TAG_READY = 1, 2, 3
+
+
+def _check_params(node: Node, broadcaster: int, f: int, width: int) -> None:
+    if not 0 <= broadcaster < node.n:
+        raise CliqueError(
+            f"broadcaster {broadcaster} out of range for n={node.n}"
+        )
+    if f < 0:
+        raise CliqueError(f"f must be >= 0, got {f}")
+    if width < 1 or width > 62:
+        raise CliqueError(
+            f"value_width must be in 1..62 (payloads are column-width "
+            f"limited), got {width}"
+        )
+
+
+def dolev_broadcast(
+    node: Node,
+    *,
+    broadcaster: int = 0,
+    f: int = 1,
+    value_width: int = 8,
+) -> Generator[None, None, int]:
+    """Path-verified relay: accept with ``f + 1`` disjoint paths.
+
+    Round 1: the broadcaster sends its ``value_width``-bit input to all.
+    Round 2: every other node relays the value it heard directly.  A
+    path ``broadcaster -> relayer -> me`` is internally disjoint from
+    every other such path and from the direct link, so a value heard
+    directly and from ``k`` distinct relayers has ``k + 1`` disjoint
+    paths; with at most ``f`` Byzantine nodes, ``f + 1`` paths mean at
+    least one was fully honest.  Requires ``n >= 2f + 2`` for an honest
+    broadcaster's value to gather enough paths.
+
+    Returns the accepted value, or ``-1`` when no value qualifies.  The
+    broadcaster trivially accepts its own input.
+    """
+    _check_params(node, broadcaster, f, value_width)
+    node.count("dolev_relayed", 0)
+    node.count("dolev_accepted", 0)
+    mask = (1 << value_width) - 1
+
+    if node.id == broadcaster:
+        node.send_to_all(BitString(int(node.input) & mask, value_width))
+    yield
+
+    direct = node.recv(broadcaster) if node.id != broadcaster else None
+    if direct is not None and len(direct) == value_width:
+        node.send_to_all(BitString(direct.value, value_width))
+        node.count("dolev_relayed", 1)
+    yield
+
+    if node.id == broadcaster:
+        node.count("dolev_accepted", 1)
+        return int(node.input) & mask
+    paths: dict[int, int] = {}
+    if direct is not None and len(direct) == value_width:
+        paths[direct.value] = 1
+    for src, payload in node.inbox.items():
+        if src == broadcaster or len(payload) != value_width:
+            continue
+        paths[payload.value] = paths.get(payload.value, 0) + 1
+    best = -1
+    for value in sorted(paths):
+        if paths[value] >= f + 1 and (best < 0 or paths[value] > paths[best]):
+            best = value
+    if best >= 0:
+        node.count("dolev_accepted", 1)
+    return best
+
+
+def bracha_broadcast(
+    node: Node,
+    *,
+    broadcaster: int = 0,
+    f: int = 1,
+    value_width: int = 8,
+) -> Generator[None, None, int]:
+    """Bracha reliable broadcast under ``f < n / 3`` Byzantine senders.
+
+    Fixed ``f + 5``-round schedule — INIT (round 1), ECHO (round 2),
+    then ``f + 3`` READY rounds for the amplification cascade to settle.
+    Own broadcasts count toward the sender's thresholds (a node "hears"
+    itself), matching the standard presentation.
+
+    Returns the accepted value (``2f + 1`` distinct READY senders; ties
+    broken toward the smallest value), or ``-1`` when none qualifies.
+    """
+    _check_params(node, broadcaster, f, value_width)
+    for key in ("bracha_echo_sent", "bracha_ready_sent", "bracha_accepted"):
+        node.count(key, 0)
+    mask = (1 << value_width) - 1
+    width = 2 + value_width
+    echo_threshold = (node.n + f) // 2 + 1
+    amplify_threshold = f + 1
+    accept_threshold = 2 * f + 1
+    echo_from: dict[int, set[int]] = {}
+    ready_from: dict[int, set[int]] = {}
+    ready_value = -1
+
+    def note(src: int, payload: BitString) -> None:
+        if len(payload) != width:
+            return
+        tag = payload.value >> value_width
+        value = payload.value & mask
+        if tag == TAG_ECHO:
+            echo_from.setdefault(value, set()).add(src)
+        elif tag == TAG_READY:
+            ready_from.setdefault(value, set()).add(src)
+
+    # Round 1: INIT.
+    own = int(node.input) & mask if node.id == broadcaster else -1
+    if node.id == broadcaster:
+        node.send_to_all(BitString((TAG_INIT << value_width) | own, width))
+    yield
+
+    # Round 2: ECHO whatever INIT arrived (the broadcaster echoes its
+    # own value — it cannot message itself).
+    init = node.recv(broadcaster)
+    echo = -1
+    if node.id == broadcaster:
+        echo = own
+    elif (
+        init is not None
+        and len(init) == width
+        and init.value >> value_width == TAG_INIT
+    ):
+        echo = init.value & mask
+    if echo >= 0:
+        node.send_to_all(BitString((TAG_ECHO << value_width) | echo, width))
+        node.count("bracha_echo_sent", 1)
+        echo_from.setdefault(echo, set()).add(node.id)
+    yield
+
+    # Rounds 3 .. f + 5: the READY cascade.
+    for _ in range(f + 3):
+        for src, payload in node.inbox.items():
+            note(src, payload)
+        if ready_value < 0:
+            triggered = [
+                v for v, s in echo_from.items() if len(s) >= echo_threshold
+            ] + [
+                v for v, s in ready_from.items() if len(s) >= amplify_threshold
+            ]
+            if triggered:
+                ready_value = min(triggered)
+                node.send_to_all(
+                    BitString((TAG_READY << value_width) | ready_value, width)
+                )
+                node.count("bracha_ready_sent", 1)
+                ready_from.setdefault(ready_value, set()).add(node.id)
+        yield
+
+    for src, payload in node.inbox.items():
+        note(src, payload)
+    best = -1
+    for value in sorted(ready_from):
+        supporters = len(ready_from[value])
+        if supporters >= accept_threshold and (
+            best < 0 or supporters > len(ready_from[best])
+        ):
+            best = value
+    if best >= 0:
+        node.count("bracha_accepted", 1)
+    return best

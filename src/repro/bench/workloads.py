@@ -606,3 +606,28 @@ register_workload(
         quick_params={"n": 24, "rounds": 4},
     )
 )
+register_workload(
+    Workload(
+        name="bracha-broadcast",
+        description="Bracha reliable broadcast, honest run "
+        "(f + 5 rounds of tagged all-to-all echo/ready traffic)",
+        run=_run_catalog,
+        params={"config": {"algorithm": "bracha", "n": 48, "f": 4, "seed": 0}},
+        quick_params={"config": {"algorithm": "bracha", "n": 16, "f": 1, "seed": 0}},
+    )
+)
+register_workload(
+    Workload(
+        name="byzantine-overhead",
+        description="fast-engine fan-out under an f=1 Byzantine plan "
+        "(per-delivery adversary cost; honest twin is fanout/fast)",
+        run=_run_fanout,
+        params={
+            "engine": "fast",
+            "n": 48,
+            "rounds": 8,
+            "fault_plan": "byzantine=equivocate+selective,f=1,seed=7,byz_rate=0.5",
+        },
+        quick_params={"n": 24, "rounds": 4},
+    )
+)

@@ -241,7 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="SPEC",
         help=(
             "inject deterministic faults and show per-round/per-kind "
-            "fault counts, e.g. 'drop=0.1,seed=7'"
+            "fault counts, e.g. 'drop=0.1,seed=7' or "
+            "'byzantine=equivocate+forge,f=2,seed=7'"
+        ),
+    )
+    p_stats.add_argument(
+        "--f", type=int, default=None, metavar="F",
+        help=(
+            "fault tolerance parameter for the Byzantine catalog "
+            "entries (bracha, dolev)"
+        ),
+    )
+    p_stats.add_argument(
+        "--resilient", action="store_true",
+        help=(
+            "wrap the program in the ack/retransmit resilience layer "
+            "and print its retransmit/unacked counters"
         ),
     )
     p_stats.add_argument(
@@ -619,6 +634,8 @@ def _catalog_config(args) -> dict:
         config["k"] = args.k
     if args.p is not None:
         config["p"] = args.p
+    if getattr(args, "f", None) is not None:
+        config["f"] = args.f
     return config
 
 
@@ -642,9 +659,11 @@ def _cmd_stats(args) -> int:
     cache = RunCache(args.cache) if args.cache else None
     key = None
     result = None
-    if cache is not None:
+    if cache is not None and not args.resilient:
         # Key-compatible with run_sweep so a sweep-warmed cache serves
         # stats lookups (and vice versa) when the configs line up.
+        # (--resilient wraps the program, so the catalog key would
+        # collide with the unwrapped run.)
         desc = execution.describe()
         key = _point_key(
             cache,
@@ -658,10 +677,13 @@ def _cmd_stats(args) -> int:
         if hit is not None:
             result, _ = hit
     if result is None:
-        result, value = run_spec(
-            catalog_factory(config), execution=execution
-        )
-        if cache is not None:
+        spec = catalog_factory(config)
+        if args.resilient:
+            from .faults import resilient
+
+            spec.program = resilient(spec.program)
+        result, value = run_spec(spec, execution=execution)
+        if cache is not None and not args.resilient:
             cache.put(key, (result, value))
     metrics = result.metrics
     columns = [
@@ -706,6 +728,15 @@ def _cmd_stats(args) -> int:
         for kind in sorted(metrics.faults):
             summary.append(
                 {"quantity": f"faults: {kind}", "value": metrics.faults[kind]}
+            )
+    resilience = metrics.resilience
+    if args.resilient or resilience:
+        for key in sorted(resilience) or ("retransmits", "unacked"):
+            summary.append(
+                {
+                    "quantity": f"resilience: {key}",
+                    "value": resilience.get(key, 0),
+                }
             )
     print()
     print(format_table(summary, title="run totals"))

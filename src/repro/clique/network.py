@@ -191,6 +191,23 @@ class RunResult:
             (c.get(key, 0) for c in self.counters), default=0
         )
 
+    @property
+    def resilience(self) -> dict[str, int]:
+        """Whole-run resilience-layer counters, summed over nodes.
+
+        The :func:`repro.faults.resilient` wrapper maintains per-node
+        ``resilient_*`` counters (retransmits, unacked frames);
+        this rolls them up as ``{"retransmits": ..., "unacked": ...}``
+        without the prefix.  Empty for unwrapped programs.
+        """
+        totals: dict[str, int] = {}
+        for per_node in self.counters:
+            for key, amount in per_node.items():
+                if key.startswith("resilient_"):
+                    short = key[len("resilient_"):]
+                    totals[short] = totals.get(short, 0) + amount
+        return totals
+
     def max_node_load(self) -> int:
         """``max_v max(sent_v, received_v)`` in bits — the quantity the
         routing bounds are stated in."""

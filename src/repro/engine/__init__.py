@@ -46,10 +46,17 @@ from .base import (
     resolve_engine,
 )
 from .cache import RunCache, content_digest, default_cache_dir
-from .columnar import ArrayContext, ColumnarEngine, DualProgram, array_program
+from .columnar import (
+    ArrayContext,
+    ColumnarEngine,
+    DualProgram,
+    adapt_generator,
+    array_program,
+)
 from .diff import (
     CATALOG,
     COLUMNAR_CATALOG,
+    NATIVE_RESILIENT,
     RESILIENT_CATALOG,
     EngineDiff,
     algorithm,
@@ -86,12 +93,14 @@ __all__ = [
     "EngineDiff",
     "ExecutionSpec",
     "FastEngine",
+    "NATIVE_RESILIENT",
     "RESILIENT_CATALOG",
     "ReferenceEngine",
     "ResolvedExecution",
     "RunCache",
     "RunSpec",
     "SweepOutcome",
+    "adapt_generator",
     "aggregate_sweep_metrics",
     "algorithm",
     "array_program",

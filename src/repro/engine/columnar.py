@@ -76,6 +76,7 @@ __all__ = [
     "ArrayProgram",
     "ColumnarEngine",
     "DualProgram",
+    "adapt_generator",
     "array_program",
 ]
 
@@ -148,6 +149,104 @@ def _array_form(program: Any) -> Callable:
         f"with @array_program or attach one via "
         f"DualProgram(generator, array) — or run on another engine"
     )
+
+
+def adapt_generator(program: Callable) -> Callable:
+    """Bridge a per-node generator program onto the columnar engine.
+
+    The adapted form drives ``n`` instances of ``program`` against real
+    :class:`~repro.clique.node.Node` objects (so send-side validation is
+    byte-identical to the reference engine) and shuttles their outboxes
+    and inboxes through the :class:`ArrayContext` column API.  Rounds,
+    bit accounting, halting and counters all follow reference
+    semantics: silent rounds count while any node is live, a node that
+    sends and then returns still has its messages delivered, and every
+    counter a node touches becomes a full per-node column.
+
+    The bridge is for *correctness* (differential gating, fault plans),
+    not speed — it runs the same Python generators the reference engine
+    would.  Message payloads are limited to the column width of 64 bits;
+    wider payloads belong on the bulk channel, which is forwarded as-is.
+    """
+    from ..clique.node import Node
+
+    @array_program
+    def adapted(ctx: "ArrayContext") -> Generator[None, None, dict]:
+        n = ctx.n
+        nodes = [
+            Node(v, n, ctx.bandwidth, ctx.inputs[v], ctx.auxes[v])
+            for v in range(n)
+        ]
+        gens: dict[int, Generator] = {}
+        outputs: dict[int, Any] = {}
+
+        def advance(v: int) -> None:
+            try:
+                next(gens[v])
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                nodes[v]._halted = True
+                del gens[v]
+
+        def flush_outboxes() -> None:
+            srcs: list[int] = []
+            dsts: list[int] = []
+            vals: list[int] = []
+            wids: list[int] = []
+            for node in nodes:
+                for dst, payload in node._outbox.items():
+                    if len(payload) > 64:
+                        raise CliqueError(
+                            f"adapt_generator: node {node.id} sent a "
+                            f"{len(payload)}-bit payload; columnar message "
+                            f"columns carry at most 64 bits"
+                        )
+                    srcs.append(node.id)
+                    dsts.append(dst)
+                    vals.append(payload.value)
+                    wids.append(len(payload))
+                node._outbox = {}
+                for dst, payload in node._bulk_outbox.items():
+                    ctx.bulk_send(node.id, dst, payload.value, len(payload))
+                node._bulk_outbox = {}
+            if srcs:
+                ctx.send(srcs, dsts, vals, wids)
+
+        for v in range(n):
+            gens[v] = program(nodes[v])
+            advance(v)
+
+        while gens or any(node._outbox for node in nodes):
+            flush_outboxes()
+            yield
+            inboxes: list[dict[int, BitString]] = [{} for _ in range(n)]
+            bs, bv, bw = ctx.inbox_broadcast
+            for i in range(bs.size):
+                payload = BitString(int(bv[i]), int(bw[i]))
+                src = int(bs[i])
+                for dst in range(n):
+                    if dst != src:
+                        inboxes[dst][src] = payload
+            ms, md, mv, mw = ctx.inbox_messages
+            for i in range(ms.size):
+                inboxes[int(md[i])][int(ms[i])] = BitString(
+                    int(mv[i]), int(mw[i])
+                )
+            for src, dst, value, width in ctx.inbox_bulk:
+                inboxes[dst][src] = BitString(value, width)
+            for v in list(gens):
+                nodes[v]._inbox = inboxes[v]
+                nodes[v]._round += 1
+                advance(v)
+
+        for key in sorted({k for node in nodes for k in node.counters}):
+            ctx.count(
+                key, [node.counters.get(key, 0) for node in nodes]
+            )
+        return outputs
+
+    adapted.__name__ = getattr(program, "__name__", "adapted_generator")
+    return adapted
 
 
 class ArrayContext:
@@ -771,6 +870,19 @@ class ColumnarEngine(Engine):
                 obs.on_message(
                     round=this_round, src=src, dst=dst, bits=width, kind="bulk"
                 )
+        if injector is not None:
+            # Forged-identity messages land last, into slots no genuine
+            # delivery claimed.  Bulk slots live outside ``inboxes``
+            # here but are occupied inbox slots in the reference engine,
+            # so shadow them while the forged buffer lands.
+            shadow: list[tuple[int, int]] = []
+            for src, dst, value, width in in_bulk:
+                if src not in inboxes[dst]:
+                    inboxes[dst][src] = BitString(value, width)
+                    shadow.append((dst, src))
+            injector.finish_round(this_round, inboxes, received)
+            for dst, src in shadow:
+                del inboxes[dst][src]
         if records is not None:
             bulk_in: list[dict[int, BitString]] = [{} for _ in range(n)]
             for src, dst, value, width in in_bulk:

@@ -38,6 +38,7 @@ __all__ = [
     "CATALOG",
     "COLUMNAR_CATALOG",
     "EngineDiff",
+    "NATIVE_RESILIENT",
     "RESILIENT_CATALOG",
     "algorithm",
     "assert_engines_agree",
@@ -305,6 +306,62 @@ def _spec_routing(config: dict) -> RunSpec:
     )
 
 
+def _byzantine_point(config: dict) -> tuple[int, int, int, int, int]:
+    """Shared parameter resolution for the Byzantine broadcast entries."""
+    n = int(config.get("n", 9))
+    f = int(config.get("f", 1))
+    broadcaster = int(config.get("broadcaster", 0))
+    value_width = int(config.get("value_width", 8))
+    value = int(config.get("value", 0xB5)) & ((1 << value_width) - 1)
+    return n, f, broadcaster, value_width, value
+
+
+@algorithm("bracha", columnar=True)
+def _spec_bracha(config: dict) -> RunSpec:
+    """Bracha reliable broadcast (natively Byzantine-resilient)."""
+    from ..algorithms import bracha_broadcast
+    from .columnar import DualProgram, adapt_generator
+
+    n, f, broadcaster, value_width, value = _byzantine_point(config)
+
+    def prog(node):
+        return (
+            yield from bracha_broadcast(
+                node, broadcaster=broadcaster, f=f, value_width=value_width
+            )
+        )
+
+    return RunSpec(
+        program=DualProgram(prog, adapt_generator(prog), "bracha"),
+        node_input=[value] * n,
+        n=n,
+        bandwidth=2 + value_width,
+    )
+
+
+@algorithm("dolev", columnar=True)
+def _spec_dolev(config: dict) -> RunSpec:
+    """Dolev path-verified relay (natively Byzantine-resilient)."""
+    from ..algorithms import dolev_broadcast
+    from .columnar import DualProgram, adapt_generator
+
+    n, f, broadcaster, value_width, value = _byzantine_point(config)
+
+    def prog(node):
+        return (
+            yield from dolev_broadcast(
+                node, broadcaster=broadcaster, f=f, value_width=value_width
+            )
+        )
+
+    return RunSpec(
+        program=DualProgram(prog, adapt_generator(prog), "dolev"),
+        node_input=[value] * n,
+        n=n,
+        bandwidth=value_width,
+    )
+
+
 def catalog_factory(config: dict) -> RunSpec:
     """Sweep factory dispatching on ``config["algorithm"]``.
 
@@ -430,8 +487,18 @@ def assert_engines_agree(
 #: Catalog algorithms compatible with the :func:`repro.faults.resilient`
 #: wrapper: pure message-passing, no cost-model bulk channel (the
 #: wrapper's 3-bit frame header lives inside the per-link budget, so
-#: bulk sends are rejected).
-RESILIENT_CATALOG: tuple[str, ...] = ("bfs", "broadcast", "kvc")
+#: bulk sends are rejected).  The :data:`NATIVE_RESILIENT` subset is
+#: resilient *by protocol design* and runs unwrapped.
+RESILIENT_CATALOG: tuple[str, ...] = ("bfs", "broadcast", "kvc", "bracha", "dolev")
+
+#: Catalog entries that tolerate faults natively (Byzantine broadcast
+#: protocols): :func:`diff_resilient` runs them unwrapped and compares
+#: engine against engine — outputs, rounds, bits *and* full metrics
+#: including per-behaviour fault counters — instead of against a
+#: fault-free baseline (their outputs legitimately depend on the
+#: injected adversary, so "same as fault-free" is not the contract;
+#: "identical on every backend" is).
+NATIVE_RESILIENT: frozenset[str] = frozenset({"bracha", "dolev"})
 
 
 def diff_resilient(
@@ -464,6 +531,11 @@ def diff_resilient(
         point = dict(config or {})
         point["algorithm"] = name
         engine_names = tuple(_engine_label(e) for e in engines)
+        if name in NATIVE_RESILIENT:
+            reports.append(
+                _diff_native_resilient(point, engines, engine_names, fault_plan)
+            )
+            continue
         report = EngineDiff(label=f"resilient:{name}", engines=engine_names)
         baseline, _ = run_spec(catalog_factory(dict(point)), "reference")
         report.rounds["fault-free"] = baseline.rounds
@@ -495,6 +567,57 @@ def diff_resilient(
                     )
         reports.append(report)
     return reports
+
+
+def _diff_native_resilient(
+    point: dict,
+    engines: Sequence["str | Engine"],
+    engine_names: tuple[str, ...],
+    fault_plan: "str | object",
+) -> EngineDiff:
+    """Engine-vs-engine comparison for :data:`NATIVE_RESILIENT` entries.
+
+    The first engine's faulty run is the baseline; every other backend
+    must reproduce its outputs, rounds, bit totals and full metrics —
+    fault counters included — under the same seeded plan.  Runs attach
+    a metrics observer so per-behaviour adversary counters are part of
+    the comparison surface.
+    """
+    from ..obs import MetricsCollector
+
+    name = point["algorithm"]
+    report = EngineDiff(label=f"byzantine:{name}", engines=engine_names)
+    results: dict[str, RunResult] = {}
+    for engine, engine_name in zip(engines, engine_names):
+        spec = catalog_factory(dict(point))
+        result, _ = run_spec(
+            spec, engine, fault_plan=fault_plan, observer=MetricsCollector()
+        )
+        results[engine_name] = result
+        report.rounds[engine_name] = result.rounds
+        report.total_message_bits[engine_name] = result.total_message_bits
+    baseline_name = engine_names[0]
+    baseline = results[baseline_name]
+    for engine_name in engine_names[1:]:
+        other = results[engine_name]
+        if sorted(other.outputs) != sorted(baseline.outputs):
+            report.mismatches.append(
+                f"output nodes differ: {baseline_name}="
+                f"{sorted(baseline.outputs)} "
+                f"{engine_name}={sorted(other.outputs)}"
+            )
+            continue
+        for v in sorted(baseline.outputs):
+            if not _outputs_equal(baseline.outputs[v], other.outputs[v]):
+                report.mismatches.append(
+                    f"node {v} output: {baseline_name}="
+                    f"{baseline.outputs[v]!r} "
+                    f"{engine_name}={other.outputs[v]!r}"
+                )
+        report.mismatches.extend(
+            _metrics_mismatches(engine_name, baseline.metrics, other.metrics)
+        )
+    return report
 
 
 def _metrics_mismatches(name: str, base, other) -> list[str]:

@@ -577,6 +577,11 @@ class FastEngine(Engine):
                 sent_records[src][dst] = payload
             if obs is not None and delivered is not None:
                 obs.on_message(round=this_round, src=src, dst=dst, bits=plen, kind=kind)
+        if injector is not None:
+            # Forged-identity messages land last, into slots no genuine
+            # delivery claimed; the sorted buffer makes the outcome
+            # independent of the rng delivery permutation above.
+            injector.finish_round(this_round, inboxes, received_bits)
         return sent_records, (
             total_bits,
             bulk_bits,

@@ -294,6 +294,10 @@ class ReferenceEngine(Engine):
                         )
                 node._outbox = {}
                 node._bulk_outbox = {}
+            if injector is not None:
+                # Forged-identity messages land last, into slots no
+                # genuine delivery claimed.
+                injector.finish_round(this_round, inboxes, round_received)
             total_bits += round_msg_bits
             bulk_bits += round_bulk_bits
             for v in range(n):

@@ -4,7 +4,9 @@ Three layers, each usable on its own:
 
 * :class:`FaultPlan` (:mod:`repro.faults.plan`) — a pure, seed-keyed
   description of an unreliable network: drops, corruption, duplication,
-  link failures, crashes.  Every decision is a hash of
+  link failures, crashes, plus an adversarial tier of Byzantine sender
+  behaviours (equivocation, forged identities, selective delivery,
+  limited broadcast).  Every decision is a hash of
   ``(seed, round, src, dst)``, so faulty runs replay bit-identically.
 * :class:`FaultInjector` (:mod:`repro.faults.inject`) — the per-run
   adapter engines consult at delivery time; surfaces every injected
@@ -23,10 +25,11 @@ it; the observability layer knows faults only as events.
 """
 
 from .inject import FaultInjector
-from .plan import FaultPlan
+from .plan import BYZANTINE_BEHAVIOURS, FaultPlan
 from .resilience import HEADER_BITS, attempt_offsets, resilient
 
 __all__ = [
+    "BYZANTINE_BEHAVIOURS",
     "FaultInjector",
     "FaultPlan",
     "HEADER_BITS",

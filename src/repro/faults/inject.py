@@ -11,7 +11,11 @@ hold exactly one injector per run and consult it at two points:
   inbox slot over a stale duplicate;
 * :meth:`deliver` — once per queued bandwidth-checked message; the
   return value (possibly corrupted payload, or ``None`` for a lost
-  message) replaces the payload the engine would have delivered.
+  message) replaces the payload the engine would have delivered;
+* :meth:`finish_round` — after the round's real deliveries, to land
+  forged-identity messages buffered by the Byzantine tier into inbox
+  slots genuine messages did not claim.  Engines without Byzantine
+  plans may still call it unconditionally — it is a no-op then.
 
 Because every decision ultimately comes from the plan's coordinate
 hashes, two engines delivering the same logical messages in different
@@ -64,6 +68,14 @@ class FaultInjector:
         #: node -> last round it is down (math.inf = never restarts).
         self._down_until: dict[int, float] = {}
         self._scanned_round = 0
+        #: The fixed adversarial node set (empty when the tier is off).
+        self.byzantine: frozenset[int] = plan.byzantine_nodes(n)
+        self._behaviours = frozenset(plan.byzantine_behaviours())
+        #: Forged messages buffered until :meth:`finish_round`, as
+        #: ``(forged_src, dst, real_src, payload)`` tuples.
+        self._forged: list[tuple[int, int, int, BitString]] = []
+        #: (round, src) -> reachable set memo for limited broadcast.
+        self._limit_memo: dict[tuple[int, int], frozenset[int]] = {}
 
     # -- crash schedule (memoised form of plan.node_down) ----------------
 
@@ -140,6 +152,33 @@ class FaultInjector:
         if self.node_down(round, src) or self.node_down(round, dst):
             self._emit(round, src, dst, "crash", plen)
             return None
+        if src in self.byzantine:
+            behaviours = self._behaviours
+            if "selective" in behaviours and plan.byz_selective_drops(
+                round, src, dst
+            ):
+                self._emit(round, src, dst, "byz_selective", plen)
+                return None
+            if "limited" in behaviours:
+                key = (round, src)
+                reachable = self._limit_memo.get(key)
+                if reachable is None:
+                    reachable = plan.byz_limited_reachable(round, src, self.n)
+                    self._limit_memo[key] = reachable
+                if dst not in reachable:
+                    self._emit(round, src, dst, "byz_limited", plen)
+                    return None
+            if "equivocate" in behaviours and plan.byz_equivocates(
+                round, src, dst
+            ):
+                payload = plan.equivocate_payload(round, src, dst, payload)
+                self._emit(round, src, dst, "byz_equivocate", plen)
+            if "forge" in behaviours and plan.byz_forges(round, src, dst):
+                forged = plan.forged_src(round, src, dst, self.byzantine)
+                if forged is not None:
+                    self._forged.append((forged, dst, src, payload))
+                    self._emit(round, src, dst, "byz_forge", plen)
+                    return None
         if plan.drops(round, src, dst):
             self._emit(round, src, dst, "drop", plen)
             return None
@@ -150,6 +189,43 @@ class FaultInjector:
             self._pending.setdefault(round + 1, {})[(src, dst)] = payload
             self._emit(round, src, dst, "duplicate", plen)
         return payload
+
+    def finish_round(
+        self,
+        round: int,
+        inboxes: list[dict[int, BitString]],
+        received_bits: list[int],
+    ) -> None:
+        """Land buffered forged messages after the round's real deliveries.
+
+        Forged messages claim another Byzantine node's identity, so they
+        occupy *that* node's inbox slot — but only when it is still
+        empty: a genuine message (and every non-forged fault outcome)
+        always wins.  The buffer is applied in sorted
+        ``(forged_src, dst, real_src)`` order, making the result
+        independent of the engine's per-message delivery order.  No-op
+        when nothing was forged, so engines may call it unconditionally.
+        """
+        if not self._forged:
+            return
+        obs = self.observer
+        per_message = obs is not None and obs.wants_messages
+        self._forged.sort()
+        for forged, dst, _real, payload in self._forged:
+            if forged in inboxes[dst]:
+                continue
+            plen = len(payload)
+            inboxes[dst][forged] = payload
+            received_bits[dst] += plen
+            if per_message:
+                obs.on_message(
+                    round=round,
+                    src=forged,
+                    dst=dst,
+                    bits=plen,
+                    kind="forged",
+                )
+        self._forged.clear()
 
     def _emit(self, round: int, src: int, dst: int, kind: str, bits: int) -> None:
         if self.observer is not None:

@@ -29,6 +29,39 @@ relaxes that into a round-synchronous omission/corruption adversary:
   set, a crashed node comes back after that many rounds (and may crash
   again); with ``None`` the crash is permanent.
 
+Adversarial tier (Byzantine behaviours)
+---------------------------------------
+The omission/corruption faults above are honest-but-unlucky: the
+network misbehaves uniformly.  The *Byzantine* tier instead corrupts a
+fixed set of ``byzantine_f`` nodes (chosen by seed-keyed hash ranking,
+see :meth:`FaultPlan.byzantine_nodes`) whose **outgoing** messages the
+adversary rewrites at delivery time.  ``byzantine`` names the active
+behaviours, ``+``-separated:
+
+* **equivocate** — different receivers of the same round's messages see
+  *different* payloads: per ``(round, src, dst)`` the payload has one
+  deterministically chosen bit flipped (length-preserving, so the
+  message stays within the bandwidth budget it was validated against).
+* **forge** (alias ``lie``) — the message claims a forged sender: it is
+  delivered into the receiver's inbox slot of another *Byzantine* node.
+  Channels are authenticated in the standard model, so the adversary
+  can only borrow identities it controls — colluding Byzantine nodes
+  masquerade as each other, never as honest nodes.  A genuine message
+  on the forged slot always wins.
+* **selective** — selective delivery: each outgoing message is dropped
+  for a hash-chosen subset of receivers.
+* **limited** — limited broadcast: at most ``byzantine_limit`` of the
+  sender's outgoing messages per round are delivered (the surviving
+  destinations are chosen by hash ranking); the rest are dropped.
+
+``equivocate``, ``forge`` and ``selective`` fire per message with
+probability ``byzantine_rate``; ``limited`` is a hard per-round cap.
+All decisions remain pure functions of ``(seed, round, src, dst)``, so
+the reference, fast, sharded and columnar engines — and any replay —
+inject byte-identical adversarial behaviour.  Byzantine *receivers*
+are not modelled here: programs are honest, and what a Byzantine node
+does with its inbox is an algorithm-level concern.
+
 Faults apply to the bandwidth-checked message channel only.  The
 privileged bulk channel (``Node._bulk_send``) is the cost-model router
 fiction of Lemma 2 — injecting faults there would corrupt the
@@ -48,7 +81,13 @@ from dataclasses import dataclass, fields
 from ..clique.bits import BitString
 from ..clique.errors import CliqueError
 
-__all__ = ["FaultPlan"]
+__all__ = ["BYZANTINE_BEHAVIOURS", "FaultPlan"]
+
+#: The adversarial behaviour vocabulary of the Byzantine tier.
+BYZANTINE_BEHAVIOURS = ("equivocate", "forge", "selective", "limited")
+
+#: Accepted spellings for behaviours in ``byzantine=`` specs.
+_BEHAVIOUR_ALIASES = {"lie": "forge", "equivocation": "equivocate"}
 
 #: Rate fields of a plan, also the spelling accepted by
 #: :meth:`FaultPlan.from_spec` (short aliases included).
@@ -69,6 +108,11 @@ _SPEC_ALIASES = {
     "crash": "crash_rate",
     "restart": "crash_restart_rounds",
     "seed": "seed",
+    "byzantine": "byzantine",
+    "byz": "byzantine",
+    "f": "byzantine_f",
+    "byz_rate": "byzantine_rate",
+    "limit": "byzantine_limit",
 }
 
 #: 2**64 as a float divisor, mapping 64 hash bits onto [0, 1).
@@ -95,9 +139,21 @@ class FaultPlan:
     #: Rounds a crashed node stays down before its links heal;
     #: ``None`` means a crash is permanent.
     crash_restart_rounds: int | None = None
+    #: Active adversarial behaviours, ``+``-separated (see module docs);
+    #: ``""`` means no Byzantine tier.
+    byzantine: str = ""
+    #: Number of Byzantine nodes (``0`` disables the tier even when
+    #: behaviours are named, which makes honest/adversarial twin runs a
+    #: one-field sweep).
+    byzantine_f: int = 0
+    #: Per-message firing probability of equivocate/forge/selective.
+    byzantine_rate: float = 0.5
+    #: Outgoing messages a ``limited`` Byzantine sender may deliver per
+    #: round.
+    byzantine_limit: int = 1
 
     def __post_init__(self) -> None:
-        for name in _RATE_FIELDS:
+        for name in (*_RATE_FIELDS, "byzantine_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise CliqueError(f"FaultPlan.{name} must be in [0, 1], got {rate!r}")
@@ -106,6 +162,39 @@ class FaultPlan:
                 f"crash_restart_rounds must be >= 1 (or None for permanent "
                 f"crashes), got {self.crash_restart_rounds!r}"
             )
+        if self.byzantine_f < 0:
+            raise CliqueError(
+                f"byzantine_f must be >= 0, got {self.byzantine_f!r}"
+            )
+        if self.byzantine_limit < 0:
+            raise CliqueError(
+                f"byzantine_limit must be >= 0, got {self.byzantine_limit!r}"
+            )
+        # Normalise the behaviour spelling once so every query is a
+        # frozenset lookup; frozen dataclass, hence object.__setattr__.
+        object.__setattr__(
+            self, "byzantine", "+".join(self.byzantine_behaviours())
+        )
+
+    def byzantine_behaviours(self) -> tuple[str, ...]:
+        """The validated, canonically-ordered behaviour tuple."""
+        names = [b.strip() for b in self.byzantine.split("+") if b.strip()]
+        resolved = []
+        for name in names:
+            canon = _BEHAVIOUR_ALIASES.get(name, name)
+            if canon not in BYZANTINE_BEHAVIOURS:
+                import difflib
+
+                known = sorted(set(BYZANTINE_BEHAVIOURS) | set(_BEHAVIOUR_ALIASES))
+                close = difflib.get_close_matches(name, known, n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise CliqueError(
+                    f"unknown Byzantine behaviour {name!r}; known "
+                    f"behaviours: {known}{hint}"
+                )
+            if canon not in resolved:
+                resolved.append(canon)
+        return tuple(b for b in BYZANTINE_BEHAVIOURS if b in resolved)
 
     # -- construction ----------------------------------------------------
 
@@ -114,8 +203,15 @@ class FaultPlan:
         """Parse a compact CLI spec like ``"drop=0.2,corrupt=0.01,seed=7"``.
 
         Keys are the field names or their short aliases (``drop``,
-        ``corrupt``, ``dup``, ``link``, ``crash``, ``restart``, ``seed``).
+        ``corrupt``, ``dup``, ``link``, ``crash``, ``restart``, ``seed``,
+        ``byzantine``/``byz``, ``f``, ``byz_rate``, ``limit``).  Unknown
+        keys fail with a nearest-match suggestion, mirroring
+        :func:`repro.engine.base.resolve_engine`.
         """
+        import difflib
+
+        field_names = {f.name for f in fields(cls)}
+        known = sorted(set(_SPEC_ALIASES) | field_names)
         kwargs: dict = {}
         for part in spec.split(","):
             part = part.strip()
@@ -123,14 +219,19 @@ class FaultPlan:
                 continue
             key, sep, value = part.partition("=")
             field = _SPEC_ALIASES.get(key.strip(), key.strip())
-            if not sep or field not in {f.name for f in fields(cls)}:
+            if not sep or field not in field_names:
+                close = difflib.get_close_matches(key.strip(), known, n=1)
+                hint = f"; did you mean {close[0]!r}?" if sep and close else ""
                 raise CliqueError(
                     f"bad fault-plan spec entry {part!r}; expected "
-                    f"key=value with key one of {sorted(_SPEC_ALIASES)}"
+                    f"key=value with key one of {known}{hint}"
                 )
             try:
-                if field in ("seed", "crash_restart_rounds"):
+                if field in ("seed", "crash_restart_rounds", "byzantine_f",
+                             "byzantine_limit"):
                     kwargs[field] = int(value)
+                elif field == "byzantine":
+                    kwargs[field] = value.strip()
                 else:
                     kwargs[field] = float(value)
             except ValueError:
@@ -142,14 +243,31 @@ class FaultPlan:
     @property
     def is_zero(self) -> bool:
         """True when no fault kind can ever fire."""
-        return all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+        return (
+            all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+            and not self.byzantine_active
+        )
+
+    @property
+    def byzantine_active(self) -> bool:
+        """True when the adversarial tier can rewrite any message."""
+        return bool(self.byzantine) and self.byzantine_f > 0
 
     def describe(self) -> dict:
-        """JSON-able configuration (cache-key material)."""
+        """JSON-able configuration (cache-key material).
+
+        Byzantine keys appear only when the tier is active, so plans
+        predating the adversarial tier keep their cache keys.
+        """
         desc = {"fault_plan": "hash", "seed": self.seed}
         for name in _RATE_FIELDS:
             desc[name] = getattr(self, name)
         desc["crash_restart_rounds"] = self.crash_restart_rounds
+        if self.byzantine_active:
+            desc["byzantine"] = self.byzantine
+            desc["byzantine_f"] = self.byzantine_f
+            desc["byzantine_rate"] = self.byzantine_rate
+            desc["byzantine_limit"] = self.byzantine_limit
         return desc
 
     # -- the hash oracle -------------------------------------------------
@@ -234,6 +352,82 @@ class FaultPlan:
         mask = 1 << (n_bits - 1 - index)
         return BitString(payload.value ^ mask, n_bits)
 
+    # -- the adversarial tier --------------------------------------------
+
+    def byzantine_nodes(self, n: int) -> frozenset[int]:
+        """The fixed Byzantine set for an ``n``-node run.
+
+        The ``byzantine_f`` nodes with the smallest seed-keyed hash rank
+        (ties broken by node id), so the set is pure in ``(seed, n)`` and
+        identical across engines.  Capped at ``n`` when ``f > n``.
+        """
+        if not self.byzantine_active or n <= 0:
+            return frozenset()
+        ranked = sorted(range(n), key=lambda v: (self._u01("byz-node", v), v))
+        return frozenset(ranked[: min(self.byzantine_f, n)])
+
+    def byz_selective_drops(self, round: int, src: int, dst: int) -> bool:
+        """Selective delivery: drop ``src -> dst`` for this receiver?"""
+        return self._u01("byz-select", round, src, dst) < self.byzantine_rate
+
+    def byz_limited_reachable(self, round: int, src: int, n: int) -> frozenset[int]:
+        """Limited broadcast: the receivers ``src`` can reach this round.
+
+        The ``byzantine_limit`` receivers with the smallest
+        per-``(round, src, dst)`` hash rank (ties by id) out of all
+        ``n - 1`` possible destinations.  Pure in the coordinates alone —
+        no engine needs to assemble the sender's actual destination
+        list, so per-message delivery order cannot matter.
+        """
+        others = [d for d in range(n) if d != src]
+        if self.byzantine_limit >= len(others):
+            return frozenset(others)
+        ranked = sorted(
+            others, key=lambda d: (self._u01("byz-limit", round, src, d), d)
+        )
+        return frozenset(ranked[: self.byzantine_limit])
+
+    def byz_equivocates(self, round: int, src: int, dst: int) -> bool:
+        """Equivocation: does this receiver see a rewritten payload?"""
+        return self._u01("byz-equiv", round, src, dst) < self.byzantine_rate
+
+    def equivocate_payload(
+        self, round: int, src: int, dst: int, payload: BitString
+    ) -> BitString:
+        """The equivocated payload: one hash-chosen bit flipped.
+
+        Length-preserving (stays within the validated bandwidth budget)
+        and keyed by ``dst``, so different receivers of the same round's
+        broadcast see *different* values — the defining equivocation.
+        """
+        n_bits = len(payload)
+        if n_bits == 0:
+            return payload
+        index = int(self._u01("byz-equiv-bit", round, src, dst) * n_bits)
+        index = min(index, n_bits - 1)
+        mask = 1 << (n_bits - 1 - index)
+        return BitString(payload.value ^ mask, n_bits)
+
+    def byz_forges(self, round: int, src: int, dst: int) -> bool:
+        """Lying sender: does this message claim a forged ``src``?"""
+        return self._u01("byz-forge", round, src, dst) < self.byzantine_rate
+
+    def forged_src(
+        self, round: int, src: int, dst: int, byzantine: frozenset[int]
+    ) -> int | None:
+        """The identity a forged message claims, or ``None`` for no-op.
+
+        Channels are authenticated, so candidates are the *other*
+        Byzantine nodes (excluding the receiver — a node never hears a
+        message "from itself").  With no candidate the forge is a no-op
+        and the message passes through genuinely.
+        """
+        candidates = sorted(byzantine - {src, dst})
+        if not candidates:
+            return None
+        pick = int(self._u01("byz-forge-src", round, src, dst) * len(candidates))
+        return candidates[min(pick, len(candidates) - 1)]
+
     def __repr__(self) -> str:
         active = {
             name: getattr(self, name)
@@ -245,4 +439,6 @@ class FaultPlan:
             if self.crash_restart_rounds is not None
             else ""
         )
+        if self.byzantine_active:
+            extra += f", byzantine={self.byzantine!r}, f={self.byzantine_f}"
         return f"FaultPlan(seed={self.seed}, {active or 'zero-rate'}{extra})"

@@ -146,6 +146,32 @@ class RunMetrics:
         """Largest per-node value of counter ``key`` (0 when unused)."""
         return max((c.get(key, 0) for c in self.counters), default=0)
 
+    @property
+    def resilience(self) -> dict[str, int]:
+        """Resilience-layer counters summed over nodes (prefix stripped).
+
+        Mirrors ``RunResult.resilience``: the per-node ``resilient_*``
+        counters of the :func:`repro.faults.resilient` wrapper rolled up
+        into ``{"retransmits": ..., "unacked": ...}``.  Empty for
+        unwrapped programs.
+        """
+        totals: dict[str, int] = {}
+        for per_node in self.counters:
+            for key, amount in per_node.items():
+                if key.startswith("resilient_"):
+                    short = key[len("resilient_"):]
+                    totals[short] = totals.get(short, 0) + amount
+        return totals
+
+    @property
+    def byzantine_faults(self) -> dict[str, int]:
+        """The adversarial-tier slice of :attr:`faults` (``byz_*`` kinds)."""
+        return {
+            kind: count
+            for kind, count in self.faults.items()
+            if kind.startswith("byz_")
+        }
+
     def routed_payload_load(self) -> int:
         """Max per-node routed payload bits — the exponent-bearing load.
 

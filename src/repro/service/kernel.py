@@ -663,6 +663,10 @@ class ShardedEngine(Engine):
                             bits=plen,
                             kind=kind,
                         )
+                if injector is not None:
+                    # Forged-identity messages land last, into slots no
+                    # genuine delivery claimed.
+                    injector.finish_round(this_round, inboxes, round_received)
                 total_bits += round_msg_bits
                 bulk_bits += round_bulk_bits
                 for v in range(n):
