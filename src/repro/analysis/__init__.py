@@ -1,12 +1,47 @@
-"""Measurement analysis: exponent fitting and report tables."""
+"""Measurement analysis: exponent fitting, report tables, and the
+symbolic cost model.
+
+The :mod:`.symbolic` names are re-exported lazily (PEP 562): importing
+:mod:`repro.analysis` stays cheap, and sympy is only pulled in when a
+symbolic name is actually touched (``repro predict``, the symbolic
+gate, or the ``symbolic-validate`` bench workload).
+"""
 
 from .fitting import ExponentFit, fit_exponent, fit_metric_exponent
-from .report import format_table, print_table
+from .report import format_table, magnitude, print_table
 
 __all__ = [
+    "CostModel",
+    "CostPoint",
     "ExponentFit",
+    "SymbolicReport",
+    "cost_model_names",
     "fit_exponent",
     "fit_metric_exponent",
     "format_table",
+    "get_cost_model",
+    "magnitude",
+    "predict_points",
     "print_table",
+    "validate_symbolic",
 ]
+
+_SYMBOLIC_NAMES = frozenset(
+    {
+        "CostModel",
+        "CostPoint",
+        "SymbolicReport",
+        "cost_model_names",
+        "get_cost_model",
+        "predict_points",
+        "validate_symbolic",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _SYMBOLIC_NAMES:
+        from . import symbolic
+
+        return getattr(symbolic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -631,3 +631,38 @@ register_workload(
         quick_params={"n": 24, "rounds": 4},
     )
 )
+
+
+def _run_symbolic_validate(params: dict, ctx: dict) -> dict:
+    """Time the full symbolic gate: closed-form evaluation (sympy
+    substitution + the arithmetic instance-profile binders) plus the
+    metered engine runs it cross-validates against."""
+    from ..analysis.symbolic import validate_symbolic
+
+    report = validate_symbolic(
+        ns=params["ns"], engines=tuple(params.get("engines", ("reference",)))
+    )
+    if not report.ok:
+        raise CliqueError(
+            "symbolic-validate workload found mismatches: " + report.summary()
+        )
+    return {
+        "checks": len(report.checks),
+        "algorithms": len({c.algorithm for c in report.checks}),
+        "rounds": sum(c.measured.rounds for c in report.checks),
+        "total_bits": sum(c.measured.total_bits for c in report.checks),
+    }
+
+
+register_workload(
+    Workload(
+        name="symbolic-validate",
+        description="exact symbolic-cost gate over the full catalog "
+        "(closed-form evaluation + reference-engine cross-validation)",
+        run=_run_symbolic_validate,
+        params={"ns": [8, 11, 16]},
+        quick_params={"ns": [8, 9]},
+        time_budget=40.0,
+        quick_time_budget=15.0,
+    )
+)

@@ -267,6 +267,48 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    p_predict = sub.add_parser(
+        "predict",
+        help=(
+            "evaluate an algorithm's closed-form symbolic cost model "
+            "(and cross-validate it exactly against metered runs)"
+        ),
+    )
+    # Deliberately NOT restricted to parser choices: unknown names must
+    # reach get_cost_model() so its did-you-mean hint fires.
+    p_predict.add_argument(
+        "algorithm", nargs="?", default=None,
+        help="catalog algorithm (omit with --validate to gate the full catalog)",
+    )
+    p_predict.add_argument(
+        "--n", type=int, default=1_000_000, metavar="N",
+        help="extrapolation target clique size (default: 1000000)",
+    )
+    p_predict.add_argument("--seed", type=int, default=0)
+    p_predict.add_argument("--k", type=int, default=None)
+    p_predict.add_argument("--p", type=float, default=None)
+    p_predict.add_argument("--f", type=int, default=None)
+    p_predict.add_argument(
+        "--validate", action="store_true",
+        help=(
+            "run the exact gate: execute the catalog point(s) fault-free "
+            "on every engine and require zero-tolerance agreement with "
+            "the closed forms (exit 1 on any mismatch)"
+        ),
+    )
+    p_predict.add_argument(
+        "--ns", type=int, nargs="+", default=None, metavar="N",
+        help="clique sizes for --validate (default: 8 11 16)",
+    )
+    p_predict.add_argument(
+        "--engines", nargs="+", default=["reference", "fast"], metavar="NAME",
+        help="engines the --validate gate runs (default: reference fast)",
+    )
+    p_predict.add_argument(
+        "--markdown", action="store_true",
+        help="emit the --validate report as a GitHub-flavoured table",
+    )
+
     p_trace = sub.add_parser(
         "trace",
         help="run one catalog algorithm under the structured event tracer",
@@ -635,6 +677,94 @@ def _catalog_config(args) -> dict:
     if args.p is not None:
         config["p"] = args.p
     if getattr(args, "f", None) is not None:
+        config["f"] = args.f
+    return config
+
+
+def _big(x: int) -> str:
+    """Exact when it fits on a line, order-of-magnitude otherwise."""
+    from .analysis.report import magnitude
+
+    return str(x) if x < 10**20 else magnitude(x)
+
+
+def _cmd_predict(args) -> int:
+    from .analysis import symbolic
+    from .analysis.report import format_table
+    from .clique.errors import CliqueError
+
+    if args.validate:
+        names = [args.algorithm] if args.algorithm else None
+        try:
+            report = symbolic.validate_symbolic(
+                names=names,
+                ns=args.ns or symbolic.DEFAULT_VALIDATION_NS,
+                config=_predict_config(args),
+                engines=tuple(args.engines),
+            )
+        except CliqueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.markdown() if args.markdown else report.table())
+        return 0 if report.ok else 1
+
+    if not args.algorithm:
+        print(
+            "error: repro predict needs an algorithm (or --validate)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        model = symbolic.get_cost_model(args.algorithm)
+    except CliqueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = _predict_config(args)
+    print(f"algorithm: {model.name}")
+    print(f"rounds        = {model.rounds}")
+    print(f"message_bits  = {model.message_bits}")
+    print(f"bulk_bits     = {model.bulk_bits}")
+    if model.domain:
+        print(f"domain: {model.domain}")
+    if model.assumes:
+        print(f"assumes: {model.assumes}")
+    if model.exponent:
+        print(f"exponent: {model.exponent}")
+    target = max(2, int(args.n))
+    ns = []
+    cur = model.default_n
+    while cur < target:
+        ns.append(cur)
+        cur *= 4
+    ns.append(target)
+    rows = []
+    try:
+        for point in symbolic.predict_points(model.name, ns, config):
+            rows.append(
+                {
+                    "n": point.n,
+                    "rounds": _big(point.rounds),
+                    "message_bits": _big(point.message_bits),
+                    "bulk_bits": _big(point.bulk_bits),
+                    "total_bits": _big(point.total_bits),
+                }
+            )
+    except CliqueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(format_table(rows, title="closed-form extrapolation"))
+    return 0
+
+
+def _predict_config(args) -> dict:
+    """Config overrides shared by ``predict`` evaluation and validation."""
+    config = {"seed": args.seed}
+    if args.k is not None:
+        config["k"] = args.k
+    if args.p is not None:
+        config["p"] = args.p
+    if args.f is not None:
         config["f"] = args.f
     return config
 
@@ -1093,6 +1223,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "stats": _cmd_stats,
+        "predict": _cmd_predict,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
         "serve": _cmd_serve,

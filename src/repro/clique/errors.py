@@ -12,6 +12,21 @@ class CliqueError(Exception):
     """Base class for all simulator errors."""
 
 
+def did_you_mean(name: str, known: "list[str]") -> str:
+    """Shared unknown-name hint suffix: ``"; did you mean 'x'?"`` or ``""``.
+
+    One error style for every name lookup the CLI can reach —
+    engines (:func:`repro.engine.base.resolve_engine`), fault-plan spec
+    keys and Byzantine behaviours (:class:`repro.faults.FaultPlan`),
+    catalog algorithms and symbolic cost models (``repro predict``) all
+    suffix their ``unknown X`` errors through this helper.
+    """
+    import difflib
+
+    close = difflib.get_close_matches(name, known, n=1)
+    return f"; did you mean {close[0]!r}?" if close else ""
+
+
 class BandwidthExceeded(CliqueError):
     """A message larger than the per-round, per-link bit budget was sent.
 

@@ -56,6 +56,7 @@ from .columnar import (
 from .diff import (
     CATALOG,
     COLUMNAR_CATALOG,
+    COST_DECLARATIONS,
     NATIVE_RESILIENT,
     RESILIENT_CATALOG,
     EngineDiff,
@@ -86,6 +87,7 @@ __all__ = [
     "CATALOG",
     "CHECK_LEVELS",
     "COLUMNAR_CATALOG",
+    "COST_DECLARATIONS",
     "ColumnarEngine",
     "DualProgram",
     "ENGINES",

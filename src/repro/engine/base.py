@@ -125,11 +125,10 @@ def resolve_engine(spec: "str | Engine | None", check: Any = None) -> "Engine":
         try:
             cls = ENGINES[spec]
         except KeyError:
-            import difflib
+            from ..clique.errors import did_you_mean
 
             known = engine_names()
-            close = difflib.get_close_matches(spec, known, n=1)
-            hint = f"; did you mean {close[0]!r}?" if close else ""
+            hint = did_you_mean(spec, known)
             raise CliqueError(
                 f"unknown engine {spec!r}; known engines: {known}{hint}"
             ) from None

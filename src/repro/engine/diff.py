@@ -29,7 +29,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..clique.errors import CliqueError
+from ..clique.errors import CliqueError, did_you_mean
 from ..clique.network import RunResult, _outputs_equal
 from .base import Engine
 from .pool import RunSpec, run_spec
@@ -37,6 +37,7 @@ from .pool import RunSpec, run_spec
 __all__ = [
     "CATALOG",
     "COLUMNAR_CATALOG",
+    "COST_DECLARATIONS",
     "EngineDiff",
     "NATIVE_RESILIENT",
     "RESILIENT_CATALOG",
@@ -62,9 +63,16 @@ CATALOG: dict[str, Callable[[dict], RunSpec]] = {}
 #: carries a columnar form, i.e. the set :func:`diff_columnar` gates.
 COLUMNAR_CATALOG: tuple[str, ...] = ()
 
+#: Analytic-twin declarations: catalog entry name -> the
+#: :mod:`repro.analysis.symbolic` cost-model name it is accountable to.
+#: Populated by the ``cost=`` key of the :func:`algorithm` decorator;
+#: ``validate_symbolic()`` and the coverage test require every declared
+#: name to resolve to a registered :class:`~repro.analysis.symbolic.CostModel`.
+COST_DECLARATIONS: dict[str, str] = {}
+
 
 def algorithm(
-    name: str, *, columnar: bool = False
+    name: str, *, columnar: bool = False, cost: str | None = None
 ) -> Callable[[Callable[[dict], RunSpec]], Callable[[dict], RunSpec]]:
     """Register a catalog entry: ``@algorithm("name")`` on a spec builder.
 
@@ -73,6 +81,12 @@ def algorithm(
     generator form and a columnar array form, adding the entry to
     :data:`COLUMNAR_CATALOG` so the columnar differential gate picks it
     up automatically.
+
+    ``cost`` names the entry's analytic twin — the symbolic
+    :class:`~repro.analysis.symbolic.CostModel` whose closed forms must
+    reproduce this builder's metered rounds and bits exactly (defaults
+    to the entry's own name).  Recorded in :data:`COST_DECLARATIONS`;
+    enforced by ``repro predict --validate`` and the CI symbolic-gate.
     """
 
     def register(builder: Callable[[dict], RunSpec]) -> Callable[[dict], RunSpec]:
@@ -80,6 +94,7 @@ def algorithm(
         if name in CATALOG:
             raise CliqueError(f"catalog algorithm {name!r} already registered")
         CATALOG[name] = builder
+        COST_DECLARATIONS[name] = cost or name
         if columnar:
             COLUMNAR_CATALOG = COLUMNAR_CATALOG + (name,)
         return builder
@@ -372,8 +387,10 @@ def catalog_factory(config: dict) -> RunSpec:
     try:
         builder = CATALOG[name]
     except KeyError:
+        known = sorted(CATALOG)
+        hint = did_you_mean(str(name), known)
         raise CliqueError(
-            f"unknown catalog algorithm {name!r}; known: {sorted(CATALOG)}"
+            f"unknown catalog algorithm {name!r}; known: {known}{hint}"
         ) from None
     return builder(config)
 
@@ -419,6 +436,7 @@ def diff_engines(
     config: dict,
     engines: Sequence["str | Engine"] = ("reference", "fast"),
     label: str | None = None,
+    symbolic: bool = False,
 ) -> EngineDiff:
     """Run one grid point on every backend and compare the results.
 
@@ -426,10 +444,27 @@ def diff_engines(
     state leaks between runs.  Outputs are compared node by node with
     the same numpy-tolerant equality ``RunResult.common_output`` uses;
     round counts and total message/bulk bits must match exactly.
+
+    ``symbolic=True`` folds the algorithm's analytic twin into the
+    comparison surface: the :class:`~repro.analysis.symbolic.CostModel`
+    declared for ``config["algorithm"]`` is evaluated at the same point
+    and its closed-form rounds and total bits must match the baseline
+    engine exactly, reported as a pseudo-engine row ``"symbolic"``.  The
+    model's ``domain`` pins (e.g. ``scheme="lenzen"`` for routing) are
+    merged into the config *before* the engines run, so every backend
+    and the closed form see the identical instance.
     """
+    model = None
+    if symbolic:
+        from ..analysis.symbolic import get_cost_model
+
+        algo = config.get("algorithm", label)
+        model = get_cost_model(COST_DECLARATIONS.get(algo, algo))
+        config = model.config(config)
     names = tuple(_engine_label(e) for e in engines)
     report = EngineDiff(
-        label=label or config.get("algorithm", "program"), engines=names
+        label=label or config.get("algorithm", "program"),
+        engines=names + (("symbolic",) if model is not None else ()),
     )
     results: dict[str, RunResult] = {}
     for engine, name in zip(engines, names):
@@ -439,6 +474,26 @@ def diff_engines(
         report.total_message_bits[name] = result.total_message_bits
 
     baseline_name = names[0]
+    if model is not None:
+        predicted = model.evaluate(config)
+        report.rounds["symbolic"] = predicted.rounds
+        report.total_message_bits["symbolic"] = predicted.message_bits
+        base = results[baseline_name]
+        if predicted.rounds != base.rounds:
+            report.mismatches.append(
+                f"symbolic rounds: {baseline_name}={base.rounds} "
+                f"closed-form={predicted.rounds}"
+            )
+        if predicted.message_bits != base.total_message_bits:
+            report.mismatches.append(
+                f"symbolic message bits: {baseline_name}="
+                f"{base.total_message_bits} closed-form={predicted.message_bits}"
+            )
+        if predicted.bulk_bits != base.bulk_bits:
+            report.mismatches.append(
+                f"symbolic bulk bits: {baseline_name}={base.bulk_bits} "
+                f"closed-form={predicted.bulk_bits}"
+            )
     baseline = results[baseline_name]
     for name in names[1:]:
         other = results[name]
@@ -755,17 +810,26 @@ def diff_catalog(
     names: Sequence[str] | None = None,
     config: dict | None = None,
     engines: Sequence["str | Engine"] = ("reference", "fast"),
+    symbolic: bool = False,
 ) -> list[EngineDiff]:
     """Differentially check every named catalog algorithm.
 
     ``config`` supplies shared overrides (``n``, ``seed``, ...); each
-    algorithm keeps its own defaults otherwise.
+    algorithm keeps its own defaults otherwise.  ``symbolic=True`` adds
+    each entry's closed-form cost model as an extra comparison row (see
+    :func:`diff_engines`).
     """
     reports = []
     for name in names if names is not None else sorted(CATALOG):
         point = dict(config or {})
         point["algorithm"] = name
         reports.append(
-            diff_engines(catalog_factory, point, engines=engines, label=name)
+            diff_engines(
+                catalog_factory,
+                point,
+                engines=engines,
+                label=name,
+                symbolic=symbolic,
+            )
         )
     return reports

@@ -183,11 +183,10 @@ class FaultPlan:
         for name in names:
             canon = _BEHAVIOUR_ALIASES.get(name, name)
             if canon not in BYZANTINE_BEHAVIOURS:
-                import difflib
+                from ..clique.errors import did_you_mean
 
                 known = sorted(set(BYZANTINE_BEHAVIOURS) | set(_BEHAVIOUR_ALIASES))
-                close = difflib.get_close_matches(name, known, n=1)
-                hint = f"; did you mean {close[0]!r}?" if close else ""
+                hint = did_you_mean(name, known)
                 raise CliqueError(
                     f"unknown Byzantine behaviour {name!r}; known "
                     f"behaviours: {known}{hint}"
@@ -208,7 +207,7 @@ class FaultPlan:
         keys fail with a nearest-match suggestion, mirroring
         :func:`repro.engine.base.resolve_engine`.
         """
-        import difflib
+        from ..clique.errors import did_you_mean
 
         field_names = {f.name for f in fields(cls)}
         known = sorted(set(_SPEC_ALIASES) | field_names)
@@ -220,8 +219,7 @@ class FaultPlan:
             key, sep, value = part.partition("=")
             field = _SPEC_ALIASES.get(key.strip(), key.strip())
             if not sep or field not in field_names:
-                close = difflib.get_close_matches(key.strip(), known, n=1)
-                hint = f"; did you mean {close[0]!r}?" if sep and close else ""
+                hint = did_you_mean(key.strip(), known) if sep else ""
                 raise CliqueError(
                     f"bad fault-plan spec entry {part!r}; expected "
                     f"key=value with key one of {known}{hint}"

@@ -1,0 +1,101 @@
+"""Edge cases of the exponent-fitting estimators.
+
+The symbolic gate leans on ``fit_metric_exponent`` for its consistency
+check, so its failure modes — single-point sweeps, zero-cost metrics,
+non-monotone series — must be pinned down, not just the happy path.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.fitting import fit_exponent, fit_metric_exponent
+
+
+def _point(n, rounds=1, message_bits=0, total_bits=0):
+    return SimpleNamespace(
+        n=n, rounds=rounds, message_bits=message_bits, total_bits=total_bits
+    )
+
+
+class TestFitExponentEdges:
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_exponent([8], [3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_exponent([8, 16], [3])
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ValueError, match="positive rounds"):
+            fit_exponent([8, 16], [0, 4])
+
+    def test_n_of_one_rejected(self):
+        # log(1) = 0 would silently degenerate the design matrix.
+        with pytest.raises(ValueError, match="n > 1"):
+            fit_exponent([1, 16], [2, 4])
+
+    def test_non_monotone_series_fits_with_low_r_squared(self):
+        # A zig-zag series is legal input; the fit just explains it badly.
+        fit = fit_exponent([8, 16, 32, 64], [10, 3, 12, 2])
+        assert fit.r_squared < 0.5
+        assert fit.ns == (8, 16, 32, 64)
+
+    def test_constant_series_has_zero_slope_and_perfect_r2(self):
+        fit = fit_exponent([8, 16, 32], [7, 7, 7])
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+
+class TestFitMetricExponentEdges:
+    def test_single_distinct_n_rejected(self):
+        # Many metrics, one clique size: still a single-point sweep.
+        points = [_point(16, rounds=r) for r in (3, 4, 5)]
+        with pytest.raises(ValueError, match=">= 2 distinct clique sizes"):
+            fit_metric_exponent(points, "rounds")
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 distinct clique sizes"):
+            fit_metric_exponent([], "rounds")
+
+    def test_none_metrics_skipped(self):
+        # Failed sweep points surface as None; they must not count as data.
+        points = [None, _point(8, rounds=2), None, _point(16, rounds=4)]
+        fit = fit_metric_exponent(points, "rounds")
+        assert fit.ns == (8, 16)
+
+    def test_all_none_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 distinct clique sizes"):
+            fit_metric_exponent([None, None], "rounds")
+
+    def test_zero_cost_metric_clamped_to_one(self):
+        # A metric that measures 0 (e.g. bulk_bits of a pure message
+        # algorithm) is clamped to 1, not passed to log().
+        points = [_point(8, total_bits=0), _point(16, total_bits=0)]
+        fit = fit_metric_exponent(points, "total_bits")
+        assert fit.rounds == (1, 1)
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+
+    def test_means_average_per_clique_size(self):
+        points = [
+            _point(8, rounds=2),
+            _point(8, rounds=4),
+            _point(16, rounds=6),
+        ]
+        fit = fit_metric_exponent(points, "rounds")
+        assert fit.rounds == (3, 6)
+
+    def test_callable_quantity(self):
+        points = [_point(8, rounds=2), _point(16, rounds=4)]
+        fit = fit_metric_exponent(points, lambda m: m.rounds * 10)
+        assert fit.rounds == (20, 40)
+
+    def test_non_monotone_metric_series_survives(self):
+        points = [
+            _point(8, rounds=10),
+            _point(16, rounds=2),
+            _point(32, rounds=9),
+        ]
+        fit = fit_metric_exponent(points, "rounds")
+        assert fit.r_squared < 1.0

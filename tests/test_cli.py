@@ -96,6 +96,39 @@ class TestCommands:
         assert main(["run", "triangle", "--n", "12", "--engine", "fast"]) == 0
         assert "rounds:" in capsys.readouterr().out
 
+    def test_predict_prints_extrapolation_table(self, capsys):
+        assert main(["predict", "broadcast", "--n", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-form extrapolation" in out
+        assert "1000000" in out and "ceiling" in out
+
+    def test_predict_unknown_algorithm_hints(self, capsys):
+        assert main(["predict", "sortign"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'sorting'" in err
+
+    def test_predict_without_algorithm_or_validate(self, capsys):
+        assert main(["predict"]) == 2
+        assert "needs an algorithm" in capsys.readouterr().err
+
+    def test_predict_validate_single_algorithm(self, capsys):
+        code = main(
+            ["predict", "dolev", "--validate", "--ns", "8", "11",
+             "--engines", "reference"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "symbolic gate" in out and "checks exact" in out
+
+    def test_predict_validate_markdown(self, capsys):
+        code = main(
+            ["predict", "fanout", "--validate", "--ns", "8",
+             "--engines", "reference", "--markdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Symbolic cost gate" in out and "| fanout |" in out
+
     def test_sweep_prints_table_and_fit(self, capsys):
         code = main(
             ["sweep", "subgraph", "--ns", "8", "16", "--seeds", "2",
