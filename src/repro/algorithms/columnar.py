@@ -40,6 +40,7 @@ from ..clique.routing import (
     _relay_position,
     relay_min_bandwidth,
 )
+from ..engine.columnar import array_program
 from .matmul import Semiring
 
 __all__ = [
@@ -49,6 +50,8 @@ __all__ = [
     "array_route",
     "fanout_array",
     "fanout_generator",
+    "fanout_work_array",
+    "fanout_work_generator",
     "routing_array",
     "routing_generator",
     "matmul_array",
@@ -567,9 +570,19 @@ def fanout_generator(node) -> Generator[None, None, tuple[int, int]]:
     return (count, fold)
 
 
+@array_program(shardable=True)
 def fanout_array(ctx) -> Generator[None, None, list[tuple[int, int]]]:
-    """Columnar twin of :func:`fanout_generator` — fully vectorised."""
+    """Columnar twin of :func:`fanout_generator` — fully vectorised.
+
+    Shardable: broadcasts are emitted for the owned senders only
+    (identical columns to the classic full-range emission when the
+    owned range is the whole clique), the evolving per-node value is
+    deterministic from the global inputs so every shard advances the
+    full vector, and the inbox is consumed by whole-column/scatter
+    updates — valid on owned rows whatever slice arrives.
+    """
     n = ctx.n
+    lo, hi = ctx.lo, ctx.hi
     rounds = int(ctx.auxes[0])
     w = _fanout_width(ctx.bandwidth)
     mask = _U64((1 << w) - 1)
@@ -577,7 +590,7 @@ def fanout_array(ctx) -> Generator[None, None, list[tuple[int, int]]]:
     count = np.zeros(n, dtype=_I64)
     fold = np.zeros(n, dtype=_U64)
     for r in range(rounds):
-        ctx.broadcast(x, w)
+        ctx.broadcast(x[lo:hi], w, senders=ctx.ids[lo:hi])
         yield
         bs, bv, _bw = ctx.inbox_broadcast
         if bs.size:
@@ -592,6 +605,144 @@ def fanout_array(ctx) -> Generator[None, None, list[tuple[int, int]]]:
             np.bitwise_xor.at(fold, dst, val)
         x = (x * _U64(_FANOUT_MUL) + _U64(_FANOUT_INC + r)) & mask
     return [(int(count[v]), int(fold[v])) for v in range(n)]
+
+
+# -- fanout_work: the compute-heavy shard-parallel stress program -----------
+#
+# ``fanout`` is communication-bound: O(n) vector work per round, nothing
+# for extra cores to chew on.  ``fanout_work`` adds a per-node hidden
+# state of ``state`` uint64 lanes put through ``passes`` xorshift-
+# multiply mixing passes per round — O(n * state * passes) elementwise
+# work that shard-parallel execution genuinely splits — and exchanges
+# digests over a k-regular ring (unicast only, so the fast and explicit
+# delivery paths agree message for message).  Both twins run their lane
+# arithmetic through the same numpy uint64 helpers, so the wrapping
+# semantics are identical by construction.
+
+_WORK_SEED_A = 0x9E3779B97F4A7C15
+_WORK_SEED_B = 0xBF58476D1CE4E5B9
+_WORK_MUL = 0x2545F4914F6CDD1D
+_WORK_RC_A = 0x9E3779B1
+_WORK_RC_B = 0x85EBCA77
+_M64 = (1 << 64) - 1
+
+
+def _work_degree(n: int) -> int:
+    return min(8, n - 1)
+
+
+def _work_state(values, m: int) -> np.ndarray:
+    """``(len(values), m)`` uint64 lane matrix seeded from the inputs."""
+    vals = np.asarray([int(v) & _M64 for v in values], dtype=_U64)
+    lanes = np.arange(m, dtype=_U64)
+    return (
+        vals[:, None] * _U64(_WORK_SEED_A)
+        + lanes[None, :] * _U64(_WORK_SEED_B)
+        + _U64(1)
+    )
+
+
+def _work_mix(state: np.ndarray, r: int, passes: int) -> np.ndarray:
+    """``passes`` in-place xorshift-multiply rounds over the lane axis."""
+    for p in range(passes):
+        state ^= state << _U64(13)
+        state ^= state >> _U64(7)
+        state ^= state << _U64(17)
+        state *= _U64(_WORK_MUL)
+        state += _U64(((r + 1) * _WORK_RC_A + p * _WORK_RC_B) & _M64)
+    return state
+
+
+def _work_digest(state: np.ndarray, mask) -> np.ndarray:
+    """Per-node ``w``-bit digest: lane xor-fold, avalanched, masked."""
+    d = np.bitwise_xor.reduce(state, axis=-1)
+    d ^= d >> _U64(29)
+    return d & mask
+
+
+def _work_params(aux) -> tuple[int, int, int]:
+    aux = dict(aux)
+    return (
+        int(aux.get("rounds", 3)),
+        int(aux.get("state", 16)),
+        int(aux.get("passes", 2)),
+    )
+
+
+def fanout_work_generator(node) -> Generator[None, None, tuple[int, int]]:
+    """Generator form of the compute-heavy fan-out stress program.
+
+    Each round: mix the hidden lane state, unicast the digest to the
+    ``min(8, n-1)`` next ring neighbours, then fold the received
+    digests back into lane 0.  Returns ``(messages received, xor fold
+    of received values ^ final digest)`` — sensitive to every delivery
+    *and* every mixing pass.
+    """
+    n = node.n
+    rounds, m, passes = _work_params(node.aux)
+    w = _fanout_width(node.bandwidth)
+    mask = _U64((1 << w) - 1)
+    k = _work_degree(n)
+    state = _work_state([node.input], m)[0]
+    count = 0
+    fold = 0
+    for r in range(rounds):
+        _work_mix(state, r, passes)
+        digest = int(_work_digest(state, mask))
+        for off in range(1, k + 1):
+            node.send((node.id + off) % n, BitString(digest, w))
+        yield
+        rf = 0
+        for _src, msg in node.inbox.items():
+            count += 1
+            fold ^= msg.value
+            rf ^= msg.value
+        state[0] ^= _U64(rf)
+    _work_mix(state, rounds, passes)
+    final = int(_work_digest(state, mask))
+    return (count, fold ^ final)
+
+
+@array_program(shardable=True)
+def fanout_work_array(ctx) -> Generator[None, None, list[tuple[int, int]]]:
+    """Columnar twin of :func:`fanout_work_generator`.
+
+    Shardable: the lane state is held as an ``(owned, m)`` matrix —
+    the part shard-parallel execution actually splits — digests go out
+    src-major for the owned senders only, and the received digests are
+    folded back with scatter reductions over owned destinations.
+    """
+    n = ctx.n
+    lo, hi = ctx.lo, ctx.hi
+    rounds, m, passes = _work_params(ctx.auxes[0])
+    w = _fanout_width(ctx.bandwidth)
+    mask = _U64((1 << w) - 1)
+    k = _work_degree(n)
+    state = _work_state(ctx.inputs[lo:hi], m)
+    count = np.zeros(n, dtype=_I64)
+    fold = np.zeros(n, dtype=_U64)
+    offs = np.arange(1, k + 1, dtype=_I64)
+    src_col = np.repeat(ctx.ids[lo:hi], k)
+    dst_col = (src_col + np.tile(offs, hi - lo)) % n
+    for r in range(rounds):
+        _work_mix(state, r, passes)
+        digest = _work_digest(state, mask)
+        if k:
+            ctx.send(src_col, dst_col, np.repeat(digest, k), w)
+        yield
+        src, dst, val, _wid = ctx.inbox_messages
+        rf = np.zeros(n, dtype=_U64)
+        if src.size:
+            np.add.at(count, dst, 1)
+            np.bitwise_xor.at(fold, dst, val)
+            np.bitwise_xor.at(rf, dst, val)
+        state[:, 0] ^= rf[lo:hi]
+    _work_mix(state, rounds, passes)
+    final = _work_digest(state, mask)
+    return {
+        v: (int(count[v]), int(fold[v]) ^ int(final[v - lo]))
+        for v in range(lo, hi)
+    }
 
 
 def _flow_length(src: int, dst: int) -> int:

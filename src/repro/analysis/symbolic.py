@@ -892,6 +892,27 @@ cost_model(
 )
 
 
+cost_model(
+    CostModel(
+        name="fanout_work",
+        rounds=R,
+        message_bits=R * N * Min(8, N - 1) * Min(B, 48),
+        bulk_bits=Integer(0),
+        binder=lambda cfg: {
+            **_base_binding(cfg),
+            R: Integer(int(cfg.get("rounds", 3))),
+        },
+        default_n=8,
+        assumes=(
+            "R rounds of min(B, 48)-bit ring digests to the min(8, N-1) "
+            "next neighbours; lane mixing is local compute and free on "
+            "the wire"
+        ),
+        exponent="Theta(R) rounds",
+    )
+)
+
+
 def _bind_routing(cfg: dict) -> dict:
     binding = _base_binding(cfg)
     flows, load, bulk = _routing_profile(cfg)

@@ -23,7 +23,7 @@ import platform
 import statistics
 import subprocess
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
@@ -108,8 +108,15 @@ def _max_rss_kb() -> "int | None":
 
 
 def environment_fingerprint() -> dict:
-    """The machine/toolchain facts a timing is only comparable within."""
+    """The machine/toolchain facts a timing is only comparable within.
+
+    ``cpu_count`` is the machine; ``cpu_affinity`` the cores this
+    process may actually use (cgroup/taskset clamps show up only here),
+    which is what pool and shard sizing go by.
+    """
     import numpy
+
+    from ..engine.pool import available_cpus
 
     return {
         "python": platform.python_version(),
@@ -118,6 +125,7 @@ def environment_fingerprint() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "cpu_affinity": available_cpus(),
     }
 
 

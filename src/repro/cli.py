@@ -189,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="validation level",
     )
     p_sweep.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "shard-parallel execution on supporting engines "
+            "(columnar; 0 = one shard per available core)"
+        ),
+    )
+    p_sweep.add_argument(
         "--cache", default=None, metavar="DIR",
         help="run-cache directory (reruns of the same grid are free)",
     )
@@ -228,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument(
         "--check", choices=_LazyChoices(_check_choices), default=None
+    )
+    p_stats.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "shard-parallel execution on supporting engines "
+            "(columnar; 0 = one shard per available core)"
+        ),
     )
     p_stats.add_argument(
         "--links", type=int, default=0, metavar="K",
@@ -325,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument(
         "--check", choices=_LazyChoices(_check_choices), default=None
+    )
+    p_trace.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "shard-parallel execution on supporting engines "
+            "(columnar; 0 = one shard per available core)"
+        ),
     )
     p_trace.add_argument(
         "--limit", type=int, default=40,
@@ -785,6 +806,7 @@ def _cmd_stats(args) -> int:
         check=args.check,
         observer=collector,
         fault_plan=args.fault_plan,
+        shards=args.shards,
     )
     cache = RunCache(args.cache) if args.cache else None
     key = None
@@ -924,7 +946,10 @@ def _cmd_trace(args) -> int:
     result, _ = run_spec(
         catalog_factory(config),
         execution=ExecutionSpec(
-            engine=args.engine, check=args.check, observer=tracer
+            engine=args.engine,
+            check=args.check,
+            observer=tracer,
+            shards=args.shards,
         ),
     )
     if args.jsonl:
@@ -975,7 +1000,10 @@ def _cmd_sweep(args) -> int:
             configs.append(config)
 
     execution = ExecutionSpec(
-        engine=args.engine, check=args.check, fault_plan=args.fault_plan
+        engine=args.engine,
+        check=args.check,
+        fault_plan=args.fault_plan,
+        shards=args.shards,
     )
     cache = RunCache(args.cache) if args.cache else None
     outcomes = run_sweep(

@@ -98,10 +98,37 @@ class ArrayProgram(Protocol):
         ...
 
 
-def array_program(fn: Callable) -> Callable:
-    """Mark ``fn(ctx)`` as an array program runnable by the columnar engine."""
-    fn.__is_array_program__ = True
-    return fn
+def array_program(
+    fn: Callable | None = None, *, shardable: bool = False
+) -> Callable:
+    """Mark ``fn(ctx)`` as an array program runnable by the columnar engine.
+
+    ``shardable=True`` additionally declares the program safe for
+    shard-parallel execution (``ColumnarEngine(shards=N)``), where each
+    shard runs its own program instance over an owned node range
+    ``[ctx.lo, ctx.hi)``.  A shardable program must uphold the contract:
+
+    * emissions carry only owned senders (``lo <= src < hi``), queued in
+      ascending owned-block order, so concatenating the shard outboxes
+      in shard order reproduces the single-instance emission columns;
+    * the inbox is consumed order-insensitively — :attr:`inbox_messages`
+      arrives filtered to owned destinations (scatter reductions such as
+      ``np.add.at`` / ``np.bitwise_xor.at`` qualify; positional
+      consumption does not), while :attr:`inbox_broadcast` stays global;
+    * outputs and counters need only be valid on owned rows (the
+      coordinator merges owned slices), and outputs must be picklable
+      when the process executor ships them back.
+
+    Programs without the flag transparently fall back to single-instance
+    execution whatever ``shards=`` asks for.
+    """
+
+    def mark(f: Callable) -> Callable:
+        f.__is_array_program__ = True
+        f.__columnar_shardable__ = shardable
+        return f
+
+    return mark if fn is None else mark(fn)
 
 
 class DualProgram:
@@ -262,6 +289,11 @@ class ArrayContext:
         Per-node resolved inputs, indexed by node id.
     round:
         Completed communication rounds.
+    lo, hi:
+        The owned node range under shard-parallel execution (see
+        :func:`array_program`); ``(0, n)`` — every node — on the
+        single-instance path, so range-aware programs behave
+        identically there.
 
     Emission (before a ``yield``): :meth:`broadcast`, :meth:`send`,
     :meth:`bulk_send`.  Inbox (after a ``yield``):
@@ -278,6 +310,8 @@ class ArrayContext:
         "inputs",
         "auxes",
         "round",
+        "lo",
+        "hi",
         "_check",
         "_bcast",
         "_uni",
@@ -297,6 +331,8 @@ class ArrayContext:
         inputs: Sequence[Any],
         auxes: Sequence[Any],
         check: str = "bandwidth",
+        lo: int = 0,
+        hi: int | None = None,
     ) -> None:
         self.n = n
         self.bandwidth = bandwidth
@@ -304,6 +340,8 @@ class ArrayContext:
         self.inputs = tuple(inputs)
         self.auxes = tuple(auxes)
         self.round = 0
+        self.lo = lo
+        self.hi = n if hi is None else hi
         self._check = check
         self._bcast: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._uni: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
@@ -481,6 +519,27 @@ class ColumnarEngine(Engine):
         Force per-node transcript recording (also enabled by the
         clique's ``record_transcripts``); recording uses the explicit
         per-message delivery path.
+    shards:
+        ``None`` (the default) runs the classic single-instance path.
+        ``N > 1`` partitions the node range into ``N`` shards (clamped
+        to ``n``) that each run their own instance of a *shardable*
+        array program (see :func:`array_program`), exchanging only the
+        cross-shard message columns per round; ``0`` means one shard
+        per available CPU.  Results are bit-identical to the
+        single-instance path for every shard count.  Runs that need the
+        explicit per-message path (fault plans, transcripts, per-message
+        or timing observers) and non-shardable programs transparently
+        fall back to single-instance execution.
+    executor:
+        ``"process"`` (the default when sharding) forks one worker per
+        shard; ``"inline"`` advances the shards in-process (testing and
+        differential gating).  Falls back to inline with a
+        :class:`RuntimeWarning` where ``fork`` is unavailable.
+    transport:
+        ``"direct"`` hands inline shard traffic over as objects;
+        ``"pickle"`` round-trips it through the pickle-protocol-5
+        :class:`~repro.service.kernel.ShardTransport` (process shards
+        always use the pickled framing).
     """
 
     name = "columnar"
@@ -489,20 +548,60 @@ class ColumnarEngine(Engine):
         self,
         check: str = "bandwidth",
         record_transcripts: bool = False,
+        shards: "int | None" = None,
+        executor: "str | None" = None,
+        transport: str = "direct",
     ) -> None:
         check = canonical_check(check)
         if check not in CHECK_LEVELS:
             raise CliqueError(f"check must be one of {CHECK_LEVELS}, got {check!r}")
+        if shards is not None and (
+            isinstance(shards, bool) or not isinstance(shards, int) or shards < 0
+        ):
+            raise CliqueError(
+                f"shards must be None, 0 (auto) or a positive int, got {shards!r}"
+            )
+        if executor not in (None, "inline", "process"):
+            raise CliqueError(
+                f"executor must be 'inline' or 'process', got {executor!r}"
+            )
+        if transport not in ("direct", "pickle"):
+            raise CliqueError(
+                f"transport must be 'direct' or 'pickle', got {transport!r}"
+            )
         self.check = check
         self.record_transcripts = record_transcripts
+        self.shards = shards
+        self.executor = executor
+        self.transport = transport
 
     def describe(self) -> dict:
-        """Engine configuration (cache key component)."""
-        return {
+        """Engine configuration (cache key component).
+
+        The shard keys appear only when sharding is configured, so
+        cache keys of classic single-instance runs are unchanged.
+        """
+        out = {
             "engine": self.name,
             "check": self.check,
             "record_transcripts": self.record_transcripts,
         }
+        if self.shards is not None:
+            out["shards"] = self.shards
+            out["executor"] = self.executor or "process"
+            out["transport"] = self.transport
+        return out
+
+    def _effective_shards(self, n: int) -> int:
+        """The resolved shard count for an ``n``-node run."""
+        shards = self.shards
+        if shards is None:
+            return 1
+        if shards == 0:
+            from .pool import available_cpus
+
+            shards = available_cpus()
+        return max(1, min(int(shards), n))
 
     def execute(
         self,
@@ -537,6 +636,18 @@ class ColumnarEngine(Engine):
         track_halts = obs is not None and obs.wants_halts
         timer = PhaseTimer() if obs is not None and obs.wants_timing else None
         explicit = injector is not None or record or per_message
+
+        shard_count = self._effective_shards(n)
+        if (
+            shard_count > 1
+            and not explicit
+            and not track_halts
+            and timer is None
+            and getattr(array, "__columnar_shardable__", False)
+        ):
+            return self._execute_sharded(
+                clique, array, inputs, auxes, obs=obs, shard_count=shard_count
+            )
 
         if timer is not None:
             timer.start("spawn")
@@ -646,6 +757,162 @@ class ColumnarEngine(Engine):
             metrics=metrics,
         )
 
+    # -- shard-parallel execution ----------------------------------------
+
+    def _execute_sharded(
+        self,
+        clique,
+        array: Callable,
+        inputs: Sequence[Any],
+        auxes: Sequence[Any],
+        *,
+        obs: Any,
+        shard_count: int,
+    ) -> RunResult:
+        """Run a shardable array program across ``shard_count`` shards.
+
+        Each shard advances its own instance of ``array`` over an owned
+        node range; the coordinator concatenates the shard outboxes in
+        shard order (equal to the single-instance emission columns by
+        the shardable contract), validates and accounts them with the
+        exact single-instance code, and routes each shard its owned
+        destination slice — so outputs, rounds, bits and metrics are
+        bit-identical to ``shards=None`` for every shard count.
+        """
+        # Lazy import: the service layer imports the engine package, so
+        # the engine only reaches up at execute time.
+        from ..service.kernel import spawn_columnar_shards
+
+        n = clique.n
+        bandwidth = clique.bandwidth
+        pool = spawn_columnar_shards(
+            array,
+            n,
+            bandwidth,
+            inputs,
+            auxes,
+            check=self.check,
+            count=shard_count,
+            executor=self.executor or "process",
+            transport=self.transport,
+        )
+        if obs is not None:
+            obs.on_run_start(n=n, bandwidth=bandwidth, engine=self.name)
+
+        rounds = 0
+        total_bits = 0
+        bulk_total = 0
+        sent_totals = np.zeros(n, dtype=_I64)
+        received_totals = np.zeros(n, dtype=_I64)
+        outputs: dict[int, Any] = {}
+        counter_cols: dict[str, np.ndarray] = {}
+        ranges = pool.ranges
+        count = len(ranges)
+        finished = [False] * count
+        empty_outbox = (
+            _EMPTY_I, _EMPTY_U, _EMPTY_I,
+            _EMPTY_I, _EMPTY_I, _EMPTY_U, _EMPTY_I,
+        )
+        outboxes: list = [(empty_outbox, [])] * count
+
+        def absorb(index: int, reply) -> None:
+            outboxes[index] = (reply.columns, reply.bulk)
+            if reply.finished and not finished[index]:
+                finished[index] = True
+                lo, hi = ranges[index]
+                for v, out in _normalise_outputs(reply.value, n).items():
+                    if lo <= v < hi:
+                        outputs[v] = out
+                for key, col in (reply.counters or {}).items():
+                    dest = counter_cols.get(key)
+                    if dest is None:
+                        dest = counter_cols[key] = np.zeros(n, dtype=_I64)
+                    dest[lo:hi] = np.asarray(col, dtype=_I64)[lo:hi]
+
+        try:
+            for index, reply in enumerate(pool.first()):
+                absorb(index, reply)
+            while True:
+                pending = any(
+                    cols[0].size or cols[3].size or bulk
+                    for cols, bulk in outboxes
+                )
+                if all(finished) and not pending:
+                    break
+                if rounds >= clique.max_rounds:
+                    raise RoundLimitExceeded(clique.max_rounds)
+                this_round = rounds + 1
+
+                bs, bv, bw, us, ud, uv, uw, bulk = _concat_outboxes(outboxes)
+                bs, bv, bw, us, ud, uv, uw = _validate_columns(
+                    n, bandwidth, self.check,
+                    bs, bv, bw, us, ud, uv, uw, bulk,
+                )
+                sent, received, msg_bits, bulk_bits = _sent_accounting(
+                    n, bs, bw, us, uw, bulk
+                )
+                _fast_received(received, bs, bw, ud, uw)
+                total_bits += msg_bits
+                bulk_total += bulk_bits
+                sent_totals += sent
+                received_totals += received
+                rounds = this_round
+                if obs is not None:
+                    obs.on_round(
+                        RoundStats(
+                            this_round,
+                            int(us.size),
+                            int(bs.size) * (n - 1),
+                            len(bulk),
+                            msg_bits,
+                            bulk_bits,
+                            sent.tolist(),
+                            received.tolist(),
+                        )
+                    )
+
+                outboxes = [(empty_outbox, [])] * count
+                live = [i for i in range(count) if not finished[i]]
+                if live:
+                    slices = []
+                    for index in live:
+                        lo, hi = ranges[index]
+                        if us.size:
+                            owned = (ud >= lo) & (ud < hi)
+                            coo = (us[owned], ud[owned], uv[owned], uw[owned])
+                        else:
+                            coo = (us, ud, uv, uw)
+                        slices.append(
+                            (coo, [t for t in bulk if lo <= t[1] < hi])
+                        )
+                    replies = pool.step(this_round, (bs, bv, bw), live, slices)
+                    for index, reply in zip(live, replies):
+                        absorb(index, reply)
+        except BaseException:
+            pool.close(kill=True)
+            raise
+        pool.close()
+
+        counters = tuple(
+            {key: int(col[v]) for key, col in counter_cols.items()}
+            for v in range(n)
+        )
+        metrics = None
+        if obs is not None:
+            obs.on_run_end(rounds=rounds, counters=counters)
+            metrics = obs.run_metrics()
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_message_bits=total_bits,
+            bulk_bits=bulk_total,
+            sent_bits=tuple(int(x) for x in sent_totals),
+            received_bits=tuple(int(x) for x in received_totals),
+            counters=counters,
+            transcripts=None,
+            metrics=metrics,
+        )
+
     # -- delivery --------------------------------------------------------
 
     def _deliver(
@@ -663,25 +930,13 @@ class ColumnarEngine(Engine):
         n = ctx.n
         bs, bv, bw, us, ud, uv, uw = ctx._collect_outbox()
         bulk = ctx._bulk
-        bs, bv, bw, us, ud, uv, uw = self._validate(
-            ctx, bs, bv, bw, us, ud, uv, uw, bulk
+        bs, bv, bw, us, ud, uv, uw = _validate_columns(
+            n, ctx.bandwidth, self.check, bs, bv, bw, us, ud, uv, uw, bulk
         )
 
-        sent = np.zeros(n, dtype=_I64)
-        received = np.zeros(n, dtype=_I64)
-        msg_bits = 0
-        bulk_bits = 0
-        if bs.size:
-            per_sender = bw * (n - 1)
-            msg_bits += int(per_sender.sum())
-            sent[bs] += per_sender
-        if us.size:
-            msg_bits += int(uw.sum())
-            np.add.at(sent, us, uw)
-        for src, dst, _value, width in bulk:
-            bulk_bits += width
-            sent[src] += width
-            received[dst] += width
+        sent, received, msg_bits, bulk_bits = _sent_accounting(
+            n, bs, bw, us, uw, bulk
+        )
 
         if explicit:
             coo, in_bulk = self._deliver_explicit(
@@ -700,11 +955,7 @@ class ColumnarEngine(Engine):
         else:
             # Fault-free fast path: delivery is the identity transpose of
             # the outbox columns; only the accounting needs computing.
-            if bs.size:
-                received += int(bw.sum())
-                received[bs] -= bw
-            if us.size:
-                np.add.at(received, ud, uw)
+            _fast_received(received, bs, bw, ud, uw)
             ctx._in_bcast = (bs, bv, bw)
             ctx._in_coo = (us, ud, uv, uw)
             ctx._in_bulk = list(bulk)
@@ -721,99 +972,6 @@ class ColumnarEngine(Engine):
         )
         ctx._clear_outbox()
         return stats
-
-    def _validate(
-        self,
-        ctx: ArrayContext,
-        bs, bv, bw, us, ud, uv, uw,
-        bulk: list,
-    ):
-        """Apply the configured check level as array comparisons."""
-        n, b = ctx.n, ctx.bandwidth
-        check = self.check
-        if check == "off":
-            return bs, bv, bw, us, ud, uv, uw
-        # bandwidth: the per-link bit budget, on both segments.
-        if bs.size:
-            over = bw > b
-            if over.any():
-                i = _first(over)
-                src = int(bs[i])
-                raise BandwidthExceeded(
-                    src, 0 if src != 0 else 1, int(bw[i]), b
-                )
-        if us.size:
-            over = uw > b
-            if over.any():
-                i = _first(over)
-                raise BandwidthExceeded(int(us[i]), int(ud[i]), int(uw[i]), b)
-        if check != "full":
-            # Lax semantics: a repeated send to the same slot overwrites
-            # (last write wins), matching the other backends' lax nodes.
-            if us.size:
-                us, ud, uv, uw = _dedup_last(n, us, ud, uv, uw)
-            return bs, bv, bw, us, ud, uv, uw
-        # full: addressing, empty payloads, duplicate slots.
-        if bs.size:
-            bad = (bs < 0) | (bs >= n)
-            if bad.any():
-                i = _first(bad)
-                raise InvalidAddress(
-                    f"broadcast sender {int(bs[i])} out of range (n={n})"
-                )
-            empty = bw < 1
-            if empty.any():
-                i = _first(empty)
-                raise ProtocolViolation(
-                    f"node {int(bs[i])} sent an empty message; "
-                    f"omit the send instead"
-                )
-            if np.unique(bs).size != bs.size:
-                dup = int(bs[_first_duplicate(bs)])
-                raise DuplicateMessage(dup, (dup + 1) % n)
-        if us.size:
-            bad = (ud < 0) | (ud >= n) | (us < 0) | (us >= n)
-            if bad.any():
-                i = _first(bad)
-                raise InvalidAddress(
-                    f"node {int(us[i])} addressed nonexistent node "
-                    f"{int(ud[i])} (n={n})"
-                )
-            self_send = us == ud
-            if self_send.any():
-                i = _first(self_send)
-                raise InvalidAddress(f"node {int(us[i])} addressed itself")
-            empty = uw < 1
-            if empty.any():
-                i = _first(empty)
-                raise ProtocolViolation(
-                    f"node {int(us[i])} sent an empty message to "
-                    f"{int(ud[i])}; omit the send instead"
-                )
-            keys = us * n + ud
-            if np.unique(keys).size != keys.size:
-                i = _first_duplicate(keys)
-                raise DuplicateMessage(int(us[i]), int(ud[i]))
-            if bs.size:
-                clash = np.isin(us, bs)
-                if clash.any():
-                    i = _first(clash)
-                    raise DuplicateMessage(int(us[i]), int(ud[i]))
-        if bulk:
-            seen = set()
-            uni_slots = (
-                set(zip(us.tolist(), ud.tolist())) if us.size else set()
-            )
-            bset = set(bs.tolist())
-            for src, dst, _value, _width in bulk:
-                if src == dst or not 0 <= dst < ctx.n or not 0 <= src < ctx.n:
-                    raise InvalidAddress(
-                        f"bulk send {src} -> {dst} is invalid (n={ctx.n})"
-                    )
-                if (src, dst) in seen or (src, dst) in uni_slots or src in bset:
-                    raise DuplicateMessage(src, dst)
-                seen.add((src, dst))
-        return bs, bv, bw, us, ud, uv, uw
 
     def _deliver_explicit(
         self,
@@ -908,6 +1066,175 @@ class ColumnarEngine(Engine):
                 wid_col[i] = len(payload)
                 i += 1
         return (src_col, dst_col, val_col, wid_col), in_bulk
+
+
+def _concat_outboxes(outboxes: Sequence[tuple]) -> tuple:
+    """Concatenate per-shard ``(columns, bulk)`` outboxes in shard order.
+
+    By the shardable contract each program instance emits its owned
+    block in ascending order, so shard-order concatenation reproduces
+    the single-instance emission columns exactly.
+    """
+    bseg = [cols for cols, _bulk in outboxes if cols[0].size]
+    useg = [cols for cols, _bulk in outboxes if cols[3].size]
+    if len(bseg) == 1:
+        bs, bv, bw = bseg[0][:3]
+    elif bseg:
+        bs = np.concatenate([s[0] for s in bseg])
+        bv = np.concatenate([s[1] for s in bseg])
+        bw = np.concatenate([s[2] for s in bseg])
+    else:
+        bs, bv, bw = _EMPTY_I, _EMPTY_U, _EMPTY_I
+    if len(useg) == 1:
+        us, ud, uv, uw = useg[0][3:]
+    elif useg:
+        us = np.concatenate([s[3] for s in useg])
+        ud = np.concatenate([s[4] for s in useg])
+        uv = np.concatenate([s[5] for s in useg])
+        uw = np.concatenate([s[6] for s in useg])
+    else:
+        us, ud, uv, uw = _EMPTY_I, _EMPTY_I, _EMPTY_U, _EMPTY_I
+    bulk: list = []
+    for _cols, shard_bulk in outboxes:
+        bulk.extend(shard_bulk)
+    return bs, bv, bw, us, ud, uv, uw, bulk
+
+
+def _validate_columns(
+    n: int,
+    bandwidth: int,
+    check: str,
+    bs, bv, bw, us, ud, uv, uw,
+    bulk: list,
+):
+    """Apply a check level to one round's emission columns.
+
+    Shared by the single-instance delivery path and the shard-parallel
+    coordinator (which validates the *concatenated* shard columns, so
+    the two paths raise identically on the same invalid traffic).
+    Returns the possibly-deduplicated columns.
+    """
+    b = bandwidth
+    if check == "off":
+        return bs, bv, bw, us, ud, uv, uw
+    # bandwidth: the per-link bit budget, on both segments.
+    if bs.size:
+        over = bw > b
+        if over.any():
+            i = _first(over)
+            src = int(bs[i])
+            raise BandwidthExceeded(
+                src, 0 if src != 0 else 1, int(bw[i]), b
+            )
+    if us.size:
+        over = uw > b
+        if over.any():
+            i = _first(over)
+            raise BandwidthExceeded(int(us[i]), int(ud[i]), int(uw[i]), b)
+    if check != "full":
+        # Lax semantics: a repeated send to the same slot overwrites
+        # (last write wins), matching the other backends' lax nodes.
+        if us.size:
+            us, ud, uv, uw = _dedup_last(n, us, ud, uv, uw)
+        return bs, bv, bw, us, ud, uv, uw
+    # full: addressing, empty payloads, duplicate slots.
+    if bs.size:
+        bad = (bs < 0) | (bs >= n)
+        if bad.any():
+            i = _first(bad)
+            raise InvalidAddress(
+                f"broadcast sender {int(bs[i])} out of range (n={n})"
+            )
+        empty = bw < 1
+        if empty.any():
+            i = _first(empty)
+            raise ProtocolViolation(
+                f"node {int(bs[i])} sent an empty message; "
+                f"omit the send instead"
+            )
+        if np.unique(bs).size != bs.size:
+            dup = int(bs[_first_duplicate(bs)])
+            raise DuplicateMessage(dup, (dup + 1) % n)
+    if us.size:
+        bad = (ud < 0) | (ud >= n) | (us < 0) | (us >= n)
+        if bad.any():
+            i = _first(bad)
+            raise InvalidAddress(
+                f"node {int(us[i])} addressed nonexistent node "
+                f"{int(ud[i])} (n={n})"
+            )
+        self_send = us == ud
+        if self_send.any():
+            i = _first(self_send)
+            raise InvalidAddress(f"node {int(us[i])} addressed itself")
+        empty = uw < 1
+        if empty.any():
+            i = _first(empty)
+            raise ProtocolViolation(
+                f"node {int(us[i])} sent an empty message to "
+                f"{int(ud[i])}; omit the send instead"
+            )
+        keys = us * n + ud
+        if np.unique(keys).size != keys.size:
+            i = _first_duplicate(keys)
+            raise DuplicateMessage(int(us[i]), int(ud[i]))
+        if bs.size:
+            clash = np.isin(us, bs)
+            if clash.any():
+                i = _first(clash)
+                raise DuplicateMessage(int(us[i]), int(ud[i]))
+    if bulk:
+        seen = set()
+        uni_slots = (
+            set(zip(us.tolist(), ud.tolist())) if us.size else set()
+        )
+        bset = set(bs.tolist())
+        for src, dst, _value, _width in bulk:
+            if src == dst or not 0 <= dst < n or not 0 <= src < n:
+                raise InvalidAddress(
+                    f"bulk send {src} -> {dst} is invalid (n={n})"
+                )
+            if (src, dst) in seen or (src, dst) in uni_slots or src in bset:
+                raise DuplicateMessage(src, dst)
+            seen.add((src, dst))
+    return bs, bv, bw, us, ud, uv, uw
+
+
+def _sent_accounting(
+    n: int, bs, bw, us, uw, bulk: list
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Sender-side bit accounting for one round's validated columns.
+
+    Returns ``(sent, received, msg_bits, bulk_bits)`` with ``received``
+    holding only the bulk-channel arrivals (message arrivals are added
+    by :func:`_fast_received` on the fault-free path or per delivery on
+    the explicit path).
+    """
+    sent = np.zeros(n, dtype=_I64)
+    received = np.zeros(n, dtype=_I64)
+    msg_bits = 0
+    bulk_bits = 0
+    if bs.size:
+        per_sender = bw * (n - 1)
+        msg_bits += int(per_sender.sum())
+        sent[bs] += per_sender
+    if us.size:
+        msg_bits += int(uw.sum())
+        np.add.at(sent, us, uw)
+    for src, dst, _value, width in bulk:
+        bulk_bits += width
+        sent[src] += width
+        received[dst] += width
+    return sent, received, msg_bits, bulk_bits
+
+
+def _fast_received(received: np.ndarray, bs, bw, ud, uw) -> None:
+    """Receiver-side accounting when delivery is the identity transpose."""
+    if bs.size:
+        received += int(bw.sum())
+        received[bs] -= bw
+    if ud.size:
+        np.add.at(received, ud, uw)
 
 
 def _dedup_last(n: int, us, ud, uv, uw):

@@ -304,6 +304,40 @@ def _spec_fanout(config: dict) -> RunSpec:
     )
 
 
+@algorithm("fanout_work", columnar=True)
+def _spec_fanout_work(config: dict) -> RunSpec:
+    """Compute-heavy fan-out: lane mixing plus k-regular ring digests.
+
+    The shard-parallel stress entry — per-node hidden uint64 lane state
+    mixed ``passes`` times per round (the work extra cores split),
+    digests unicast to the ``min(8, n-1)`` next ring neighbours, and an
+    output folding every delivery *and* the final lane state.
+    """
+    from ..algorithms.columnar import (
+        fanout_work_array,
+        fanout_work_generator,
+    )
+    from .columnar import DualProgram
+
+    n = int(config.get("n", 8))
+    seed = int(config.get("seed", 0))
+    aux = {
+        "rounds": int(config.get("rounds", 3)),
+        "state": int(config.get("state", 16)),
+        "passes": int(config.get("passes", 2)),
+    }
+    inputs = [(seed * 7919 + 31 * v + 1) for v in range(n)]
+    return RunSpec(
+        program=DualProgram(
+            fanout_work_generator, fanout_work_array, "fanout_work"
+        ),
+        node_input=inputs,
+        aux=lambda v: dict(aux),
+        n=n,
+        bandwidth_multiplier=int(config.get("bandwidth_multiplier", 2)),
+    )
+
+
 @algorithm("routing", columnar=True)
 def _spec_routing(config: dict) -> RunSpec:
     """Relay-scheme routing of pseudo-random variable-length flows."""
@@ -731,7 +765,26 @@ def _metrics_mismatches(name: str, base, other) -> list[str]:
 #: multi-round reassembly that a dropped chunk would turn into an error
 #: (chunked collectives raise on loss in both engines, but the raised
 #: error is not a comparable output).
-COLUMNAR_FAULT_CATALOG: tuple[str, ...] = ("fanout",)
+COLUMNAR_FAULT_CATALOG: tuple[str, ...] = ("fanout", "fanout_work")
+
+
+def _columnar_gate_engine(check: str, shard: "int | None"):
+    """The columnar engine one ``diff_columnar`` axis point runs.
+
+    ``shard=None`` is the classic single-instance engine; a shard count
+    builds a shard-parallel engine on inline shards with the pickled
+    transport, so every gate point exercises the full shard codec
+    without paying a process fork per (entry, check, shards) cell —
+    process-executor parity has its own dedicated tests.
+    """
+    from .base import resolve_engine
+    from .columnar import ColumnarEngine
+
+    if shard is None:
+        return resolve_engine("columnar", check=check)
+    return ColumnarEngine(
+        check=check, shards=shard, executor="inline", transport="pickle"
+    )
 
 
 def diff_columnar(
@@ -739,6 +792,7 @@ def diff_columnar(
     config: dict | None = None,
     *,
     fault_plan: "str | object" = "drop=0.2,corrupt=0.1,duplicate=0.1,seed=3",
+    shards: "Sequence[int | None]" = (None,),
 ) -> list[EngineDiff]:
     """The columnar correctness gate.
 
@@ -748,6 +802,11 @@ def diff_columnar(
     (bit-for-bit per round).  Entries in :data:`COLUMNAR_FAULT_CATALOG`
     are additionally compared under ``fault_plan``, and the metrics
     comparison doubles as transcript-level accounting parity.
+
+    ``shards`` adds a shard-parallel axis: every ``(entry, check)``
+    cell — the faulty leg included — is repeated per listed shard count
+    (``None`` = classic single-instance), and each must stay
+    bit-identical to the reference engine.
     """
     from .base import CHECK_LEVELS, resolve_engine
 
@@ -755,54 +814,64 @@ def diff_columnar(
     for name in names if names is not None else sorted(COLUMNAR_CATALOG):
         point = dict(config or {})
         point["algorithm"] = name
-        for check in CHECK_LEVELS:
-            engines = (
-                resolve_engine("reference", check=check),
-                resolve_engine("columnar", check=check),
-            )
-            report = diff_engines(
-                catalog_factory,
-                point,
-                engines=engines,
-                label=f"{name}@{check}",
-            )
-            results = {
-                e.name: run_spec(catalog_factory(dict(point)), e)[0]
-                for e in engines
-            }
-            report.mismatches.extend(
-                _metrics_mismatches(
-                    "columnar",
-                    results["reference"].metrics,
-                    results["columnar"].metrics,
+        for shard in shards:
+            suffix = "" if shard is None else f"@shards={shard}"
+            for check in CHECK_LEVELS:
+                engines = (
+                    resolve_engine("reference", check=check),
+                    _columnar_gate_engine(check, shard),
                 )
-            )
-            reports.append(report)
-        if name in COLUMNAR_FAULT_CATALOG:
-            report = EngineDiff(
-                label=f"{name}@faulty", engines=("reference", "columnar")
-            )
-            faulty = {}
-            for engine in ("reference", "columnar"):
-                result, _ = run_spec(
-                    catalog_factory(dict(point)), engine, fault_plan=fault_plan
+                report = diff_engines(
+                    catalog_factory,
+                    point,
+                    engines=engines,
+                    label=f"{name}@{check}{suffix}",
                 )
-                faulty[engine] = result
-                report.rounds[engine] = result.rounds
-                report.total_message_bits[engine] = result.total_message_bits
-            base, other = faulty["reference"], faulty["columnar"]
-            for v in sorted(base.outputs):
-                if not _outputs_equal(base.outputs[v], other.outputs[v]):
-                    report.mismatches.append(
-                        f"node {v} faulty output: reference="
-                        f"{base.outputs[v]!r} columnar={other.outputs[v]!r}"
+                results = {
+                    e.name: run_spec(catalog_factory(dict(point)), e)[0]
+                    for e in engines
+                }
+                report.mismatches.extend(
+                    _metrics_mismatches(
+                        "columnar",
+                        results["reference"].metrics,
+                        results["columnar"].metrics,
                     )
-            if base.received_bits != other.received_bits:
-                report.mismatches.append("faulty received_bits differ")
-            report.mismatches.extend(
-                _metrics_mismatches("columnar", base.metrics, other.metrics)
-            )
-            reports.append(report)
+                )
+                reports.append(report)
+            if name in COLUMNAR_FAULT_CATALOG:
+                report = EngineDiff(
+                    label=f"{name}@faulty{suffix}",
+                    engines=("reference", "columnar"),
+                )
+                faulty = {}
+                for label, engine in (
+                    ("reference", "reference"),
+                    ("columnar", _columnar_gate_engine("bandwidth", shard)),
+                ):
+                    result, _ = run_spec(
+                        catalog_factory(dict(point)),
+                        engine,
+                        fault_plan=fault_plan,
+                    )
+                    faulty[label] = result
+                    report.rounds[label] = result.rounds
+                    report.total_message_bits[label] = (
+                        result.total_message_bits
+                    )
+                base, other = faulty["reference"], faulty["columnar"]
+                for v in sorted(base.outputs):
+                    if not _outputs_equal(base.outputs[v], other.outputs[v]):
+                        report.mismatches.append(
+                            f"node {v} faulty output: reference="
+                            f"{base.outputs[v]!r} columnar={other.outputs[v]!r}"
+                        )
+                if base.received_bits != other.received_bits:
+                    report.mismatches.append("faulty received_bits differ")
+                report.mismatches.extend(
+                    _metrics_mismatches("columnar", base.metrics, other.metrics)
+                )
+                reports.append(report)
     return reports
 
 

@@ -66,6 +66,7 @@ __all__ = [
     "RunSpec",
     "SweepOutcome",
     "aggregate_sweep_metrics",
+    "available_cpus",
     "derive_seed",
     "pool_stats",
     "run_spec",
@@ -75,6 +76,24 @@ __all__ = [
 
 #: Ceiling on one retry-backoff sleep, seconds.
 _BACKOFF_CAP = 5.0
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup cpuset or ``taskset`` clamp the two disagree, and sizing a
+    worker pool by the machine oversubscribes the allowed cores.  The
+    scheduling affinity mask is the honest figure where the platform
+    exposes it (Linux); elsewhere fall back to ``cpu_count``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - affinity query refused
+            pass
+    return os.cpu_count() or 1
 
 
 @dataclass
@@ -688,8 +707,10 @@ def run_sweep(
     if exec_spec.engine is None:
         exec_spec = replace(exec_spec, engine="fast")
     engine = exec_spec.engine
-    if exec_spec.check is not None:
-        engine = resolve_engine(engine, check=exec_spec.check)
+    if exec_spec.check is not None or exec_spec.shards is not None:
+        engine = resolve_engine(
+            engine, check=exec_spec.check, shards=exec_spec.shards
+        )
     observer = exec_spec.observer
     fault_plan = exec_spec.fault_plan
     if isinstance(observer, Observer):
@@ -743,7 +764,7 @@ def run_sweep(
         pending.append((index, config))
 
     if workers is None:
-        workers = min(len(pending), os.cpu_count() or 1)
+        workers = min(len(pending), available_cpus())
     tasks = [
         (
             program_factory,

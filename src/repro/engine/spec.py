@@ -55,7 +55,10 @@ class ExecutionSpec:
     instance; ``observer`` an observer *spec* (``True``/``False``/
     ``"metrics"``/``"off"``) or instance; ``fault_plan`` a spec string
     like ``"drop=0.2,seed=7"`` or a :class:`~repro.faults.FaultPlan`;
-    ``transcripts`` overrides the clique's transcript recording.
+    ``transcripts`` overrides the clique's transcript recording;
+    ``shards`` requests shard-parallel execution (``0`` = one shard per
+    available core) on engines that support it — currently
+    ``engine="columnar"``.
     """
 
     engine: Any = None
@@ -63,9 +66,20 @@ class ExecutionSpec:
     observer: Any = None
     fault_plan: Any = None
     transcripts: bool | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "check", canonical_check(self.check))
+        shards = self.shards
+        if shards is not None and (
+            isinstance(shards, bool)
+            or not isinstance(shards, int)
+            or shards < 0
+        ):
+            raise CliqueError(
+                f"shards must be a non-negative int (0 = one shard per "
+                f"available core) or None, got {shards!r}"
+            )
 
     # -- construction ----------------------------------------------------
 
@@ -160,8 +174,11 @@ class ExecutionSpec:
         from ..obs import describe_observer
 
         plan = resolve_fault_plan(self.fault_plan)
+        engine = resolve_engine(
+            self.engine, check=self.check, shards=self.shards
+        )
         return {
-            "engine": resolve_engine(self.engine, check=self.check).describe(),
+            "engine": engine.describe(),
             "observer": describe_observer(self.observer),
             "fault_plan": plan.describe() if plan is not None else None,
         }
@@ -176,6 +193,7 @@ class ExecutionSpec:
         observer: Any = None,
         fault_plan: Any = None,
         transcripts: bool | None = None,
+        shards: int | None = None,
     ) -> "ExecutionSpec":
         """Overlay legacy per-field keywords onto this spec.
 
@@ -191,6 +209,7 @@ class ExecutionSpec:
             ("observer", observer),
             ("fault_plan", fault_plan),
             ("transcripts", transcripts),
+            ("shards", shards),
         ):
             if value is None:
                 continue
@@ -238,6 +257,7 @@ def resolve_execution(
     observer: Any = None,
     fault_plan: Any = None,
     transcripts: bool | None = None,
+    shards: int | None = None,
 ) -> ResolvedExecution:
     """The one resolution point for "how does this run execute".
 
@@ -252,9 +272,10 @@ def resolve_execution(
         observer=observer,
         fault_plan=fault_plan,
         transcripts=transcripts,
+        shards=shards,
     )
     return ResolvedExecution(
-        engine=resolve_engine(spec.engine, check=spec.check),
+        engine=resolve_engine(spec.engine, check=spec.check, shards=spec.shards),
         observer=spec.observer,
         fault_plan=spec.fault_plan,
         transcripts=spec.transcripts,

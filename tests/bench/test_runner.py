@@ -55,8 +55,9 @@ class TestRunSuite:
 
     def test_environment_fingerprint_recorded(self):
         fingerprint = environment_fingerprint()
-        for key in ("python", "numpy", "platform", "cpu_count"):
+        for key in ("python", "numpy", "platform", "cpu_count", "cpu_affinity"):
             assert key in fingerprint
+        assert fingerprint["cpu_affinity"] >= 1
         report = run_suite(["codec/bool-row"], repeats=1, warmup=0)
         assert report.environment == fingerprint
 
